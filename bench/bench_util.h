@@ -1,0 +1,72 @@
+#ifndef TRAJPATTERN_BENCH_BENCH_UTIL_H_
+#define TRAJPATTERN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/zebranet_generator.h"
+#include "geometry/grid.h"
+#include "io/flags.h"
+#include "stats/timer.h"
+
+namespace trajpattern::bench {
+
+/// Shared knobs of the Fig. 4 scalability experiments: a ZebraNet-style
+/// workload mined over an `g x g` grid.  Defaults are sized so the whole
+/// suite completes on a small machine; pass --scale=N (or per-flag
+/// overrides) for larger runs.
+struct Fig4Config {
+  int num_trajectories = 60;   // S
+  int avg_length = 40;         // L
+  int grid_side = 10;          // sqrt(G)
+  int k = 10;
+  int max_pattern_length = 4;  // shared depth bound (PB requires one)
+  double delta = 0.0;          // 0 = one cell pitch
+  double sigma = 0.006;
+  uint64_t seed = 1;
+};
+
+inline Fig4Config ParseFig4Config(const Flags& flags) {
+  Fig4Config c;
+  const double scale = flags.GetDouble("scale", 1.0);
+  c.num_trajectories =
+      flags.GetInt("s", static_cast<int>(c.num_trajectories * scale));
+  c.avg_length = flags.GetInt("l", c.avg_length);
+  c.grid_side = flags.GetInt("g", c.grid_side);
+  c.k = flags.GetInt("k", c.k);
+  c.max_pattern_length = flags.GetInt("max_len", c.max_pattern_length);
+  c.delta = flags.GetDouble("delta", c.delta);
+  c.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  return c;
+}
+
+inline TrajectoryDataset MakeZebraData(const Fig4Config& c) {
+  ZebraNetGeneratorOptions opt;
+  opt.num_zebras = c.num_trajectories;
+  opt.num_groups = std::max(2, c.num_trajectories / 10);
+  opt.num_snapshots = c.avg_length;
+  opt.sigma = c.sigma;
+  opt.seed = c.seed;
+  return GenerateZebraNet(opt);
+}
+
+inline MiningSpace MakeSpace(const Fig4Config& c) {
+  const Grid grid = Grid::UnitSquare(c.grid_side);
+  const double delta =
+      c.delta > 0.0 ? c.delta
+                    : std::max(grid.cell_width(), grid.cell_height());
+  return MiningSpace(grid, delta);
+}
+
+inline MinerOptions MakeMinerOptions(const Fig4Config& c) {
+  MinerOptions opt;
+  opt.k = c.k;
+  opt.max_pattern_length = static_cast<size_t>(c.max_pattern_length);
+  return opt;
+}
+
+}  // namespace trajpattern::bench
+
+#endif  // TRAJPATTERN_BENCH_BENCH_UTIL_H_

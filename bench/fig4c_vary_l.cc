@@ -1,0 +1,54 @@
+// Reproduces Fig. 4(c): response time vs. the average trajectory length
+// L.  Expected shape: both algorithms grow roughly linearly in L (the
+// data-scan cost dominates equally).
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/pb_miner.h"
+#include "bench_util.h"
+#include "stats/table.h"
+
+namespace tb = trajpattern::bench;
+using trajpattern::Flags;
+using trajpattern::MinePbPatterns;
+using trajpattern::MineTrajPatterns;
+using trajpattern::NmEngine;
+using trajpattern::PbMinerOptions;
+using trajpattern::Table;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  tb::Fig4Config base = tb::ParseFig4Config(flags);
+  std::vector<int> ls = {20, 40, 80, 160};
+  if (flags.Has("l")) ls = {base.avg_length};
+
+  std::printf("Fig 4(c): response time vs L  (k=%d, S=%d, G=%d)\n", base.k,
+              base.num_trajectories, base.grid_side * base.grid_side);
+  Table table({"L", "TrajPattern (s)", "PB (s)", "TP evals", "PB evals",
+               "PB capped"});
+  for (int l : ls) {
+    tb::Fig4Config cfg = base;
+    cfg.avg_length = l;
+    const auto data = tb::MakeZebraData(cfg);
+    const auto space = tb::MakeSpace(cfg);
+
+    NmEngine tp_engine(data, space);
+    const auto tp = MineTrajPatterns(tp_engine, tb::MakeMinerOptions(cfg));
+
+    NmEngine pb_engine(data, space);
+    PbMinerOptions pb_opt;
+    pb_opt.k = cfg.k;
+    pb_opt.max_length = static_cast<size_t>(cfg.max_pattern_length);
+    pb_opt.max_expanded_prefixes = flags.GetInt("pb_cap", 25000);
+    const auto pb = MinePbPatterns(pb_engine, pb_opt);
+
+    table.AddRow({std::to_string(l), Table::Num(tp.stats.seconds),
+                  Table::Num(pb.stats.seconds),
+                  std::to_string(tp.stats.candidates_evaluated),
+                  std::to_string(pb.stats.evaluations),
+                  pb.stats.hit_prefix_cap ? "yes" : "no"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 4(d): response time vs. the number of grid cells G.
+// Expected shape: TrajPattern grows roughly linearly in G while PB's
+// extensible-prefix count (and hence time) explodes.
+
+#include <cstdio>
+#include <vector>
+
+#include "baseline/pb_miner.h"
+#include "bench_util.h"
+#include "stats/table.h"
+
+namespace tb = trajpattern::bench;
+using trajpattern::Flags;
+using trajpattern::MinePbPatterns;
+using trajpattern::MineTrajPatterns;
+using trajpattern::NmEngine;
+using trajpattern::PbMinerOptions;
+using trajpattern::Table;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  tb::Fig4Config base = tb::ParseFig4Config(flags);
+  std::vector<int> sides = {6, 8, 12, 16};
+  if (flags.Has("g")) sides = {base.grid_side};
+
+  std::printf("Fig 4(d): response time vs G  (k=%d, S=%d, L=%d)\n", base.k,
+              base.num_trajectories, base.avg_length);
+  Table table({"G", "TrajPattern (s)", "PB (s)", "TP evals", "PB evals",
+               "PB peak prefixes", "PB capped"});
+  const auto data = tb::MakeZebraData(base);
+  for (int side : sides) {
+    tb::Fig4Config cfg = base;
+    cfg.grid_side = side;
+    const auto space = tb::MakeSpace(cfg);
+
+    NmEngine tp_engine(data, space);
+    const auto tp = MineTrajPatterns(tp_engine, tb::MakeMinerOptions(cfg));
+
+    NmEngine pb_engine(data, space);
+    PbMinerOptions pb_opt;
+    pb_opt.k = cfg.k;
+    pb_opt.max_length = static_cast<size_t>(cfg.max_pattern_length);
+    pb_opt.max_expanded_prefixes = flags.GetInt("pb_cap", 25000);
+    const auto pb = MinePbPatterns(pb_engine, pb_opt);
+
+    table.AddRow({std::to_string(side * side), Table::Num(tp.stats.seconds),
+                  Table::Num(pb.stats.seconds),
+                  std::to_string(tp.stats.candidates_evaluated),
+                  std::to_string(pb.stats.evaluations),
+                  std::to_string(pb.stats.peak_live_prefixes),
+                  pb.stats.hit_prefix_cap ? "yes" : "no"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces the §6.1 pattern-length statistic: on the bus workload, the
+// average length of the top-k match patterns of length >= 3 (paper:
+// ~3.18) vs. the top-k NM patterns of length >= 3 (paper: ~4.2).
+// Expected shape: NM's average is clearly larger — the match measure
+// decays with length, NM does not.
+
+#include <cstdio>
+
+#include "baseline/match_apriori.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/bus_generator.h"
+#include "io/flags.h"
+#include "stats/table.h"
+#include "trajectory/transform.h"
+
+namespace {
+
+using namespace trajpattern;
+
+double AverageLength(const std::vector<ScoredPattern>& ps) {
+  if (ps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& sp : ps) sum += static_cast<double>(sp.pattern.length());
+  return sum / static_cast<double>(ps.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const Flags flags(argc, argv);
+
+  BusGeneratorOptions bopt;
+  bopt.num_routes = flags.GetInt("routes", 5);
+  bopt.buses_per_route = flags.GetInt("buses", 10);
+  bopt.num_days = flags.GetInt("days", 10);
+  bopt.num_snapshots = flags.GetInt("snapshots", 100);
+  bopt.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const int k = flags.GetInt("k", 300);
+  const size_t min_len = static_cast<size_t>(flags.GetInt("min_len", 3));
+  const size_t max_len = static_cast<size_t>(flags.GetInt("max_len", 8));
+
+  std::printf(
+      "Pattern-length statistic (§6.1): avg length of top-%d patterns of "
+      "length >= %zu, bus workload\n",
+      k, min_len);
+
+  const TrajectoryDataset traces = GenerateBusTraces(bopt);
+  const TrajectoryDataset vel = ToVelocityTrajectories(traces);
+  BoundingBox vbox = vel.MeanBoundingBox(0.005);
+  const int vgrid_side = flags.GetInt("vgrid", 16);
+  const Grid vgrid(vbox, vgrid_side, vgrid_side);
+  const MiningSpace vspace(
+      vgrid, std::max(vgrid.cell_width(), vgrid.cell_height()));
+
+  NmEngine nm_engine(vel, vspace);
+  MinerOptions mopt;
+  mopt.k = k;
+  mopt.min_length = min_len;
+  mopt.max_pattern_length = max_len;
+  mopt.max_candidates_per_iteration =
+      static_cast<size_t>(flags.GetInt("beam", 4000));
+  mopt.max_iterations = flags.GetInt("iters", 12);
+  const MiningResult nm_res = MineTrajPatterns(nm_engine, mopt);
+
+  NmEngine match_engine(vel, vspace);
+  MatchMinerOptions match_opt;
+  match_opt.k = k;
+  match_opt.min_length = min_len;
+  match_opt.max_length = max_len;
+  match_opt.min_match = flags.GetDouble("min_match", 0.0);
+  match_opt.frontier_cap =
+      static_cast<size_t>(flags.GetInt("match_frontier", 2000));
+  const MatchMiningResult match_res =
+      MineMatchPatterns(match_engine, match_opt);
+
+  Table table({"measure", "patterns", "avg length", "paper reported"});
+  table.AddRow({"match", std::to_string(match_res.patterns.size()),
+                Table::Num(AverageLength(match_res.patterns), 2), "3.18"});
+  table.AddRow({"NM", std::to_string(nm_res.patterns.size()),
+                Table::Num(AverageLength(nm_res.patterns), 2), "4.2"});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Location-based advertising (the e-Flyer scenario of §1).
+//
+// A retail store wants to push flyers only to mobile customers likely to
+// pass by soon.  We mine movement patterns from historical customer
+// trajectories, then score live customers by whether their recent
+// movement confirms a pattern that leads through the store's cell.
+//
+// Build & run:  ./build/examples/flyer_targeting
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/uniform_generator.h"
+#include "datagen/planted_generator.h"
+
+using namespace trajpattern;
+
+namespace {
+
+// Customers who shop follow a common approach path towards the store;
+// window shoppers wander randomly.
+TrajectoryDataset MakeCustomerHistory() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.50), Point2(0.35, 0.52), Point2(0.55, 0.55),
+                 Point2(0.75, 0.58)};  // ends at the store
+  opt.num_with_pattern = 40;
+  opt.num_background = 20;
+  opt.num_snapshots = 16;
+  opt.sigma = 0.01;
+  opt.seed = 31;
+  return GeneratePlantedPatterns(opt);
+}
+
+}  // namespace
+
+int main() {
+  const Point2 store(0.75, 0.58);
+  const Grid grid = Grid::UnitSquare(10);
+  const CellId store_cell = grid.CellOf(store);
+  const MiningSpace space(grid, 0.06);
+
+  // 1. Mine movement patterns from history.
+  const TrajectoryDataset history = MakeCustomerHistory();
+  NmEngine engine(history, space);
+  MinerOptions mopt;
+  mopt.k = 15;
+  mopt.min_length = 3;
+  mopt.max_pattern_length = 4;
+  mopt.max_candidates_per_iteration = 3000;
+  mopt.max_iterations = 10;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+
+  // 2. Keep the patterns that END at the store's cell: confirming their
+  // prefix means the customer is heading our way.
+  std::vector<ScoredPattern> store_patterns;
+  for (const auto& sp : mined.patterns) {
+    if (sp.pattern[sp.pattern.length() - 1] == store_cell) {
+      store_patterns.push_back(sp);
+    }
+  }
+  std::printf("mined %zu patterns, %zu lead to the store cell c%d\n",
+              mined.patterns.size(), store_patterns.size(), store_cell);
+
+  // 3. Score live customers: recent 3 observed positions vs. pattern
+  // prefixes (Eq. 2 confirmation, as in pattern-assisted prediction).
+  struct LiveCustomer {
+    const char* name;
+    std::vector<TrajectoryPoint> recent;
+  };
+  const double sigma = 0.01;
+  const std::vector<LiveCustomer> live = {
+      {"alice (on approach path)",
+       {{Point2(0.16, 0.50), sigma},
+        {Point2(0.34, 0.53), sigma},
+        {Point2(0.56, 0.55), sigma}}},
+      {"bob (wandering far away)",
+       {{Point2(0.90, 0.10), sigma},
+        {Point2(0.85, 0.20), sigma},
+        {Point2(0.80, 0.15), sigma}}},
+      {"carol (approaching, noisy)",
+       {{Point2(0.13, 0.48), sigma},
+        {Point2(0.37, 0.54), sigma},
+        {Point2(0.53, 0.57), sigma}}},
+  };
+
+  std::printf("\nflyer decisions (confirm threshold 0.5):\n");
+  for (const auto& customer : live) {
+    double best = 0.0;
+    for (const auto& sp : store_patterns) {
+      // Align the customer's most recent j positions with the pattern
+      // segment that ends just before the store position.
+      const size_t j =
+          std::min(customer.recent.size(), sp.pattern.length() - 1);
+      if (j == 0) continue;
+      const Pattern segment =
+          sp.pattern.SubPattern(sp.pattern.length() - 1 - j, j);
+      const double conf = std::exp(
+          WindowLogMatch(customer.recent, customer.recent.size() - j,
+                         segment, space) /
+          static_cast<double>(j));
+      best = std::max(best, conf);
+    }
+    std::printf("  %-28s confidence %.2f -> %s\n", customer.name, best,
+                best >= 0.5 ? "SEND FLYER" : "skip");
+  }
+  return 0;
+}

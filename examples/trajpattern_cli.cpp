@@ -1,0 +1,188 @@
+// trajpattern_cli — end-to-end command-line front door to the library.
+//
+//   generate   synthesize a workload to CSV
+//   mine       mine top-k NM patterns from a trajectory CSV
+//   score      score a pattern CSV against a trajectory CSV
+//
+// Examples:
+//   trajpattern_cli --cmd=generate --kind=zebranet --out=/tmp/z.csv
+//   trajpattern_cli --cmd=mine --in=/tmp/z.csv --k=20 --min_len=3
+//                   --out=/tmp/patterns.csv   (one line)
+//   trajpattern_cli --cmd=score --in=/tmp/z.csv --patterns=/tmp/patterns.csv
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "core/parameters.h"
+#include "core/pattern_group.h"
+#include "datagen/bus_generator.h"
+#include "datagen/uniform_generator.h"
+#include "datagen/zebranet_generator.h"
+#include "io/csv.h"
+#include "io/flags.h"
+
+using namespace trajpattern;
+
+namespace {
+
+int Generate(const Flags& flags) {
+  const std::string kind = flags.GetString("kind", "zebranet");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=<file.csv> is required\n");
+    return 1;
+  }
+  TrajectoryDataset data;
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (kind == "zebranet") {
+    ZebraNetGeneratorOptions opt;
+    opt.num_zebras = flags.GetInt("n", 100);
+    opt.num_snapshots = flags.GetInt("snapshots", 50);
+    opt.num_groups = flags.GetInt("groups", 10);
+    opt.seed = seed;
+    data = GenerateZebraNet(opt);
+  } else if (kind == "uniform") {
+    UniformGeneratorOptions opt;
+    opt.num_objects = flags.GetInt("n", 100);
+    opt.num_snapshots = flags.GetInt("snapshots", 50);
+    opt.seed = seed;
+    data = GenerateUniformObjects(opt);
+  } else if (kind == "bus") {
+    BusGeneratorOptions opt;
+    opt.num_routes = flags.GetInt("routes", 5);
+    opt.buses_per_route = flags.GetInt("buses", 10);
+    opt.num_days = flags.GetInt("days", 10);
+    opt.num_snapshots = flags.GetInt("snapshots", 100);
+    opt.seed = seed;
+    data = GenerateBusTraces(opt);
+  } else {
+    std::fprintf(stderr, "generate: unknown --kind=%s (zebranet|uniform|bus)\n",
+                 kind.c_str());
+    return 1;
+  }
+  if (!WriteTrajectoriesCsvFile(data, out)) {
+    std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trajectories (%zu snapshots) to %s\n", data.size(),
+              data.TotalPoints(), out.c_str());
+  return 0;
+}
+
+int Mine(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "mine: --in=<file.csv> is required\n");
+    return 1;
+  }
+  TrajectoryDataset data;
+  if (!ReadTrajectoriesCsvFile(in, &data) || data.empty()) {
+    std::fprintf(stderr, "mine: cannot read %s\n", in.c_str());
+    return 1;
+  }
+
+  // Space: either fully specified or suggested from the data (§5).
+  const ParameterSuggestion suggestion =
+      SuggestParameters(data, flags.GetInt("max_grid", 128));
+  const int side = flags.GetInt("grid", suggestion.cells_per_side);
+  const Grid grid(suggestion.box, side, side);
+  const double delta = flags.GetDouble("delta", suggestion.delta);
+  const MiningSpace space(grid, delta);
+  std::printf("space: %dx%d grid, delta=%.5f, gamma=%.5f\n", side, side,
+              delta, suggestion.gamma);
+
+  NmEngine engine(data, space);
+  MinerOptions opt;
+  opt.k = flags.GetInt("k", 50);
+  opt.min_length = static_cast<size_t>(flags.GetInt("min_len", 0));
+  opt.max_pattern_length = static_cast<size_t>(flags.GetInt("max_len", 8));
+  opt.max_wildcards = flags.GetInt("wildcards", 0);
+  opt.max_candidates_per_iteration =
+      static_cast<size_t>(flags.GetInt("beam", 10000));
+  const MiningResult result = MineTrajPatterns(engine, opt);
+  std::printf(
+      "mined %zu patterns in %.2fs (%lld scored, %d iterations%s)\n",
+      result.patterns.size(), result.stats.seconds,
+      static_cast<long long>(result.stats.candidates_evaluated),
+      result.stats.iterations,
+      result.stats.hit_candidate_cap ? ", beam capped" : "");
+
+  const auto groups = GroupPatterns(
+      result.patterns, grid, flags.GetDouble("gamma", suggestion.gamma));
+  std::printf("%zu pattern groups; best per group:\n", groups.size());
+  for (size_t g = 0; g < groups.size() && g < 10; ++g) {
+    std::printf("  [%zu patterns] NM=%9.3f  %s\n", groups[g].size(),
+                groups[g].members.front().nm,
+                groups[g].members.front().pattern.ToString().c_str());
+  }
+
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "mine: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    WritePatternsCsv(result.patterns, os);
+    std::printf("wrote %zu patterns to %s\n", result.patterns.size(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int Score(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  const std::string patterns_path = flags.GetString("patterns", "");
+  if (in.empty() || patterns_path.empty()) {
+    std::fprintf(stderr,
+                 "score: --in=<traj.csv> and --patterns=<patterns.csv> are "
+                 "required\n");
+    return 1;
+  }
+  TrajectoryDataset data;
+  if (!ReadTrajectoriesCsvFile(in, &data) || data.empty()) {
+    std::fprintf(stderr, "score: cannot read %s\n", in.c_str());
+    return 1;
+  }
+  std::vector<ScoredPattern> patterns;
+  {
+    std::ifstream is(patterns_path);
+    if (!is || !ReadPatternsCsv(is, &patterns)) {
+      std::fprintf(stderr, "score: cannot read %s\n", patterns_path.c_str());
+      return 1;
+    }
+  }
+  const ParameterSuggestion suggestion =
+      SuggestParameters(data, flags.GetInt("max_grid", 128));
+  const int side = flags.GetInt("grid", suggestion.cells_per_side);
+  const MiningSpace space(Grid(suggestion.box, side, side),
+                          flags.GetDouble("delta", suggestion.delta));
+  NmEngine engine(data, space);
+  std::printf("%-40s %12s %12s\n", "pattern", "NM", "match");
+  for (const auto& sp : patterns) {
+    std::printf("%-40s %12.3f %12.4g\n", sp.pattern.ToString().c_str(),
+                engine.NmTotal(sp.pattern), engine.MatchTotal(sp.pattern));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string cmd = flags.GetString("cmd", "help");
+  if (cmd == "generate") return Generate(flags);
+  if (cmd == "mine") return Mine(flags);
+  if (cmd == "score") return Score(flags);
+  std::printf(
+      "usage: trajpattern_cli --cmd=generate|mine|score [options]\n"
+      "  generate: --kind=zebranet|uniform|bus --out=F [--n --snapshots "
+      "--seed ...]\n"
+      "  mine:     --in=F [--k --min_len --max_len --wildcards --grid "
+      "--delta --gamma --beam --out=F]\n"
+      "  score:    --in=F --patterns=F [--grid --delta]\n");
+  return cmd == "help" ? 0 : 1;
+}

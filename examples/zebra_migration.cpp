@@ -1,0 +1,80 @@
+// Animal-migration mining (the ZebraNet scenario of §1 and §6.2).
+//
+// Sensors on zebras report imprecise positions; herds move together with
+// per-animal noise and occasional departures.  We mine location patterns
+// (migration corridors) directly and present them as pattern groups, then
+// contrast the NM ranking against the unnormalized match ranking.
+//
+// Build & run:  ./build/examples/zebra_migration
+
+#include <cstdio>
+
+#include "baseline/match_apriori.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "core/pattern_group.h"
+#include "datagen/zebranet_generator.h"
+#include "io/ascii_art.h"
+
+using namespace trajpattern;
+
+int main() {
+  ZebraNetGeneratorOptions gen;
+  gen.num_zebras = 60;
+  gen.num_groups = 6;
+  gen.num_snapshots = 50;
+  gen.sigma = 0.006;
+  gen.seed = 11;
+  const TrajectoryDataset traces = GenerateZebraNet(gen);
+  std::printf("zebra traces: %zu animals x %d snapshots, %d herds\n",
+              traces.size(), gen.num_snapshots, gen.num_groups);
+
+  const Grid grid = Grid::UnitSquare(14);
+  std::printf("\nwhere the herds grazed (snapshot density):\n%s",
+              RenderDensity(traces, grid).c_str());
+  const MiningSpace space(grid,
+                          std::max(grid.cell_width(), grid.cell_height()));
+  NmEngine engine(traces, space);
+
+  MinerOptions mopt;
+  mopt.k = 25;
+  mopt.min_length = 3;
+  mopt.max_pattern_length = 6;
+  mopt.max_candidates_per_iteration = 4000;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+
+  std::printf("\nmigration corridors (pattern groups, gamma = 3 sigma):\n");
+  const auto groups = GroupPatterns(mined.patterns, grid, 3.0 * gen.sigma);
+  int shown = 0;
+  for (const auto& g : groups) {
+    const auto& best = g.members.front();
+    std::printf("  corridor %d: %zu similar pattern(s), length %zu, NM %.2f\n",
+                ++shown, g.size(), best.pattern.length(), best.nm);
+    std::printf("    cells: %s  path:", best.pattern.ToString().c_str());
+    for (const Point2& c : best.pattern.Centers(grid)) {
+      std::printf(" (%.2f,%.2f)", c.x, c.y);
+    }
+    std::printf("\n");
+    if (shown >= 8) break;
+  }
+
+  // Contrast with the match measure: its top patterns are shorter (§6.1).
+  NmEngine match_engine(traces, space);
+  MatchMinerOptions match_opt;
+  match_opt.k = 25;
+  match_opt.min_length = 3;
+  match_opt.max_length = 6;
+  match_opt.min_match = 1e-4;
+  const MatchMiningResult match_res =
+      MineMatchPatterns(match_engine, match_opt);
+  auto avg_len = [](const std::vector<ScoredPattern>& ps) {
+    double s = 0.0;
+    for (const auto& sp : ps) s += static_cast<double>(sp.pattern.length());
+    return ps.empty() ? 0.0 : s / static_cast<double>(ps.size());
+  };
+  std::printf(
+      "\navg pattern length: NM %.2f vs match %.2f (NM favors longer, more "
+      "informative patterns)\n",
+      avg_len(mined.patterns), avg_len(match_res.patterns));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "baseline/brute_force.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace trajpattern {
+namespace {
+
+std::vector<ScoredPattern> Enumerate(
+    const NmEngine& engine, int k, size_t max_length, size_t min_length,
+    std::vector<CellId> alphabet,
+    const std::function<double(const Pattern&)>& score) {
+  if (alphabet.empty()) alphabet = engine.TouchedCells();
+  std::vector<ScoredPattern> best;
+  auto consider = [&](const Pattern& p) {
+    if (p.length() < min_length) return;
+    best.push_back({p, score(p)});
+    std::sort(best.begin(), best.end(), BetterScored);
+    if (best.size() > static_cast<size_t>(k)) best.resize(k);
+  };
+  std::vector<CellId> cells;
+  std::function<void()> recurse = [&]() {
+    if (!cells.empty()) consider(Pattern(cells));
+    if (cells.size() == max_length) return;
+    for (CellId c : alphabet) {
+      cells.push_back(c);
+      recurse();
+      cells.pop_back();
+    }
+  };
+  recurse();
+  return best;
+}
+
+}  // namespace
+
+std::vector<ScoredPattern> BruteForceTopK(const NmEngine& engine, int k,
+                                          size_t max_length, size_t min_length,
+                                          std::vector<CellId> alphabet) {
+  return Enumerate(engine, k, max_length, min_length, std::move(alphabet),
+                   [&](const Pattern& p) { return engine.NmTotal(p); });
+}
+
+std::vector<ScoredPattern> BruteForceTopKByMatch(const NmEngine& engine, int k,
+                                                 size_t max_length,
+                                                 size_t min_length,
+                                                 std::vector<CellId> alphabet) {
+  return Enumerate(engine, k, max_length, min_length, std::move(alphabet),
+                   [&](const Pattern& p) { return engine.MatchTotal(p); });
+}
+
+}  // namespace trajpattern

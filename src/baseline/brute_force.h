@@ -1,0 +1,29 @@
+#ifndef TRAJPATTERN_BASELINE_BRUTE_FORCE_H_
+#define TRAJPATTERN_BASELINE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/nm_engine.h"
+#include "core/pattern.h"
+
+namespace trajpattern {
+
+/// Exhaustive top-k enumeration over every pattern up to `max_length`
+/// built from `alphabet` (all touched cells when empty).  Exponential in
+/// `max_length` — this is the test oracle that validates Theorem 1's
+/// exactness claim for TrajPattern and the baselines on small instances,
+/// not a practical miner.
+std::vector<ScoredPattern> BruteForceTopK(const NmEngine& engine, int k,
+                                          size_t max_length,
+                                          size_t min_length = 1,
+                                          std::vector<CellId> alphabet = {});
+
+/// Same enumeration ranked by the unnormalized match measure (for
+/// validating the match/Apriori baseline).
+std::vector<ScoredPattern> BruteForceTopKByMatch(
+    const NmEngine& engine, int k, size_t max_length, size_t min_length = 1,
+    std::vector<CellId> alphabet = {});
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_BASELINE_BRUTE_FORCE_H_

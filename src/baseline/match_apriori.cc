@@ -1,0 +1,105 @@
+#include "baseline/match_apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/top_k.h"
+#include "stats/timer.h"
+
+namespace trajpattern {
+
+MatchMiningResult MineMatchPatterns(const NmEngine& engine,
+                                    const MatchMinerOptions& options) {
+  WallTimer timer;
+  MatchMiningResult result;
+  auto& stats = result.stats;
+
+  TopKPatterns top_k(options.k);
+  auto offer = [&](const Pattern& p, double match) {
+    if (p.length() < options.min_length) return;
+    if (match < options.min_match) return;
+    top_k.Offer(p, match);
+  };
+
+  std::vector<CellId> alphabet;
+  if (options.restrict_to_touched_cells) {
+    alphabet = engine.TouchedCells();
+  } else {
+    alphabet.resize(engine.space().grid.num_cells());
+    for (int c = 0; c < engine.space().grid.num_cells(); ++c) alphabet[c] = c;
+  }
+
+  // Level 1.
+  std::vector<ScoredPattern> frontier;
+  for (CellId c : alphabet) {
+    Pattern p(c);
+    const double match = engine.MatchTotal(p);
+    ++stats.candidates_evaluated;
+    offer(p, match);
+    frontier.push_back({std::move(p), match});
+  }
+  stats.levels = 1;
+
+  // Level-wise growth.  A pattern with match below omega cannot have a
+  // super-pattern in the answer (Apriori), so frontiers carry only
+  // survivors.
+  while (!frontier.empty()) {
+    const double w = std::max(top_k.Omega(), options.min_match);
+    std::vector<ScoredPattern> survivors;
+    for (auto& sp : frontier) {
+      if (sp.nm >= w) survivors.push_back(std::move(sp));
+    }
+    if (survivors.empty()) break;
+    if (options.frontier_cap > 0 && survivors.size() > options.frontier_cap) {
+      stats.hit_frontier_cap = true;
+      std::partial_sort(survivors.begin(),
+                        survivors.begin() + options.frontier_cap,
+                        survivors.end(), BetterScored);
+      survivors.resize(options.frontier_cap);
+    }
+    const size_t next_len = survivors.front().pattern.length() + 1;
+    if (options.max_length > 0 && next_len > options.max_length) break;
+
+    // Join: suffix(j-1) of A == prefix(j-1) of B -> A + last(B).  The
+    // partners for each A are found through a prefix hash map: the naive
+    // all-pairs walk is quadratic in the survivor count and allocates
+    // sub-patterns per pair, which dominated large runs.
+    std::sort(survivors.begin(), survivors.end(),
+              [](const ScoredPattern& a, const ScoredPattern& b) {
+                return a.pattern < b.pattern;
+              });
+    const size_t j = survivors.front().pattern.length();
+    std::unordered_map<Pattern, std::vector<size_t>, PatternHash> by_prefix;
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      by_prefix[survivors[i].pattern.SubPattern(0, j - 1)].push_back(i);
+    }
+    std::unordered_set<Pattern, PatternHash> seen;
+    std::vector<ScoredPattern> next;
+    for (const auto& a : survivors) {
+      const auto partners = by_prefix.find(a.pattern.SubPattern(1, j - 1));
+      if (partners == by_prefix.end()) continue;
+      for (size_t bi : partners->second) {
+        const auto& b = survivors[bi];
+        Pattern cand = a.pattern.Concat(b.pattern.SubPattern(j - 1, 1));
+        if (!seen.insert(cand).second) continue;
+        // Apriori pruning: both length-j contiguous sub-patterns must be
+        // frontier survivors (prefix == a, suffix == join partner b).
+        const double bound = std::min(a.nm, b.nm);
+        if (bound < w) continue;
+        const double match = engine.MatchTotal(cand);
+        ++stats.candidates_evaluated;
+        offer(cand, match);
+        next.push_back({std::move(cand), match});
+      }
+    }
+    ++stats.levels;
+    frontier = std::move(next);
+  }
+
+  result.patterns = top_k.Sorted();
+  stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace trajpattern

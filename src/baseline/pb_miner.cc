@@ -1,0 +1,78 @@
+#include "baseline/pb_miner.h"
+
+#include <cassert>
+#include <deque>
+
+#include "core/top_k.h"
+#include "stats/timer.h"
+
+namespace trajpattern {
+
+PbMiningResult MinePbPatterns(const NmEngine& engine,
+                              const PbMinerOptions& options) {
+  assert(options.max_length >= 1);
+  WallTimer timer;
+  PbMiningResult result;
+  auto& stats = result.stats;
+
+  TopKPatterns top_k(options.k);
+  auto offer = [&](const Pattern& p, double nm) {
+    if (p.length() < options.min_length) return;
+    top_k.Offer(p, nm);
+  };
+
+  std::vector<CellId> alphabet;
+  if (options.restrict_to_touched_cells) {
+    alphabet = engine.TouchedCells();
+  } else {
+    alphabet.resize(engine.space().grid.num_cells());
+    for (int c = 0; c < engine.space().grid.num_cells(); ++c) alphabet[c] = c;
+  }
+
+  // Breadth-first prefix growth; BFS keeps all same-length prefixes live
+  // together, matching the projection-based picture ("a large set of
+  // prefixes need to be maintained").
+  std::deque<ScoredPattern> live;
+  for (CellId c : alphabet) {
+    Pattern p(c);
+    const double nm = engine.NmTotal(p);
+    ++stats.evaluations;
+    offer(p, nm);
+    live.push_back({std::move(p), nm});
+  }
+  stats.peak_live_prefixes = live.size();
+
+  while (!live.empty()) {
+    if (options.max_expanded_prefixes > 0 &&
+        stats.prefixes_expanded >= options.max_expanded_prefixes) {
+      stats.hit_prefix_cap = true;
+      break;
+    }
+    ScoredPattern prefix = std::move(live.front());
+    live.pop_front();
+    const size_t c = prefix.pattern.length();
+    if (c >= options.max_length) continue;
+    // Loose extensibility bound: unspecified positions contribute their
+    // best possible (zero) log prob, so an extension to length m can
+    // score at best (c/m) * NM(prefix); maximal at m = max_length.
+    const double bound =
+        (static_cast<double>(c) / static_cast<double>(options.max_length)) *
+        prefix.nm;
+    if (bound < top_k.Omega()) continue;
+    ++stats.prefixes_expanded;
+    for (CellId x : alphabet) {
+      Pattern ext = prefix.pattern.Concat(Pattern(x));
+      const double nm = engine.NmTotal(ext);
+      ++stats.evaluations;
+      offer(ext, nm);
+      live.push_back({std::move(ext), nm});
+    }
+    stats.peak_live_prefixes = std::max(stats.peak_live_prefixes, live.size());
+  }
+
+  result.patterns = top_k.Sorted();
+  stats.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace trajpattern

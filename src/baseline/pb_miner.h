@@ -1,0 +1,60 @@
+#ifndef TRAJPATTERN_BASELINE_PB_MINER_H_
+#define TRAJPATTERN_BASELINE_PB_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nm_engine.h"
+#include "core/pattern.h"
+
+namespace trajpattern {
+
+/// Options for the projection-based (PB) baseline.
+struct PbMinerOptions {
+  /// Number of patterns to mine.
+  int k = 100;
+  /// Maximum pattern length the prefixes may grow to.  PB has no
+  /// length-free termination for NM (the paper's §6.2 critique: the
+  /// per-position upper bound is loose), so a depth bound is part of the
+  /// method.  Must be >= 1.
+  size_t max_length = 8;
+  /// Only patterns at least this long are eligible for the answer.
+  size_t min_length = 1;
+  /// Use `NmEngine::TouchedCells` as the alphabet.
+  bool restrict_to_touched_cells = true;
+  /// Abort the run once this many prefixes were expanded (0 = unlimited);
+  /// models "we need to keep G^c prefixes, which may be too large".
+  int64_t max_expanded_prefixes = 0;
+};
+
+/// Counters for a PB run.
+struct PbMinerStats {
+  int64_t prefixes_expanded = 0;
+  int64_t evaluations = 0;
+  size_t peak_live_prefixes = 0;
+  bool hit_prefix_cap = false;
+  double seconds = 0.0;
+};
+
+/// Result of PB mining: top-k patterns by NM, best first.
+struct PbMiningResult {
+  std::vector<ScoredPattern> patterns;
+  PbMinerStats stats;
+};
+
+/// Projection-based miner for NM patterns, the paper's §6.2 baseline
+/// (after [13]).
+///
+/// Grows prefixes one position at a time.  A prefix p of length c is kept
+/// extensible iff its loose upper bound max_m (c/m) * NM(p) =
+/// (c/max_length) * NM(p) reaches the running k-th-best threshold — the
+/// bound the paper criticizes: appended positions are assumed to match
+/// perfectly (log prob 0), so nearly every prefix stays extensible and
+/// the live-prefix set grows ~G^c.  Exact (same top-k as TrajPattern up
+/// to `max_length`) whenever the prefix cap is not hit.
+PbMiningResult MinePbPatterns(const NmEngine& engine,
+                              const PbMinerOptions& options);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_BASELINE_PB_MINER_H_

@@ -1,0 +1,102 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+
+#include "prob/log_space.h"
+#include "stats/running_stats.h"
+
+namespace trajpattern {
+namespace {
+
+/// NM(P, T) for a single trajectory, computed directly (Eq. 3-4); the
+/// classifier scores one trajectory at a time, so the engine's per-cell
+/// column cache would buy nothing.
+double NmInTrajectory(const Pattern& p, const Trajectory& t,
+                      const MiningSpace& space) {
+  const size_t m = p.length();
+  if (t.size() < m || m == 0) return LogFloor();
+  double best = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k + m <= t.size(); ++k) {
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) sum += space.LogProb(t[k + j], p[j]);
+    best = std::max(best, sum);
+  }
+  return best / static_cast<double>(p.SpecifiedCount());
+}
+
+}  // namespace
+
+void PatternClassifier::Train(const std::vector<LabeledData>& classes) {
+  assert(!classes.empty());
+  labels_.clear();
+  patterns_.clear();
+  train_means_.clear();
+  train_stddevs_.clear();
+  for (const auto& cls : classes) {
+    assert(!cls.data.empty());
+    labels_.push_back(cls.label);
+    NmEngine engine(cls.data, space_);
+    MiningResult mined = MineTrajPatterns(engine, options_.miner);
+    patterns_.push_back(std::move(mined.patterns));
+    RunningStats stats;
+    for (const auto& t : cls.data) {
+      stats.Add(RawScore(t, patterns_.back()));
+    }
+    train_means_.push_back(stats.mean());
+    // Floor the deviation so single-trajectory classes stay usable.
+    train_stddevs_.push_back(std::max(stats.stddev(), 1e-9));
+  }
+}
+
+double PatternClassifier::RawScore(
+    const Trajectory& t, const std::vector<ScoredPattern>& patterns) const {
+  if (patterns.empty()) return LogFloor();
+  std::vector<double> nms;
+  nms.reserve(patterns.size());
+  for (const auto& sp : patterns) {
+    nms.push_back(NmInTrajectory(sp.pattern, t, space_));
+  }
+  size_t take = nms.size();
+  if (options_.score_top_patterns > 0) {
+    take = std::min(nms.size(),
+                    static_cast<size_t>(options_.score_top_patterns));
+    std::partial_sort(nms.begin(), nms.begin() + take, nms.end(),
+                      std::greater<double>());
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < take; ++i) sum += nms[i];
+  return sum / static_cast<double>(take);
+}
+
+std::vector<double> PatternClassifier::Scores(
+    const Trajectory& trajectory) const {
+  assert(!labels_.empty());
+  std::vector<double> scores(labels_.size());
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    scores[i] = (RawScore(trajectory, patterns_[i]) - train_means_[i]) /
+                train_stddevs_[i];
+  }
+  return scores;
+}
+
+std::string PatternClassifier::Classify(const Trajectory& trajectory) const {
+  const std::vector<double> scores = Scores(trajectory);
+  const size_t best = static_cast<size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+  return labels_[best];
+}
+
+double PatternClassifier::Accuracy(const TrajectoryDataset& test,
+                                   const std::string& expected_label) const {
+  if (test.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& t : test) {
+    if (Classify(t) == expected_label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace trajpattern

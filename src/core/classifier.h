@@ -1,0 +1,86 @@
+#ifndef TRAJPATTERN_CORE_CLASSIFIER_H_
+#define TRAJPATTERN_CORE_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "core/pattern.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Pattern-based trajectory classifier — the application §1 motivates
+/// ("constructing a classifier based on the discovered patterns").
+///
+/// Training mines the top-k NM patterns per class; classification scores
+/// a trajectory against each class's pattern set and picks the class
+/// whose patterns it matches best.  The per-class score is the mean NM
+/// between the trajectory and the class's patterns, standardized by the
+/// class's training-score mean and standard deviation (a z-score), so
+/// that classes with sharper or broader pattern vocabularies compete on
+/// the same scale even when their territories overlap.
+class PatternClassifier {
+ public:
+  struct Options {
+    /// Patterns mined per class.
+    MinerOptions miner;
+    /// When > 0, a trajectory's class score averages only its best this
+    /// many pattern NMs instead of all k: a trajectory need only realize
+    /// SOME of its class's vocabulary (a bus covers one stretch of its
+    /// route per window), so the full mean dilutes the signal.
+    int score_top_patterns = 0;
+    Options() = default;
+  };
+
+  /// One labeled training set.
+  struct LabeledData {
+    std::string label;
+    TrajectoryDataset data;
+  };
+
+  PatternClassifier(const MiningSpace& space, const Options& options)
+      : space_(space), options_(options) {}
+
+  /// Mines each class's pattern vocabulary.  Classes must be non-empty.
+  void Train(const std::vector<LabeledData>& classes);
+
+  /// Returns the best-scoring label for `trajectory`; requires `Train`.
+  std::string Classify(const Trajectory& trajectory) const;
+
+  /// Per-class centered scores for `trajectory`, in training order
+  /// (diagnostics; the max is the classification).
+  std::vector<double> Scores(const Trajectory& trajectory) const;
+
+  /// Labels in training order.
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// The mined vocabulary of class `i` (training order).
+  const std::vector<ScoredPattern>& class_patterns(size_t i) const {
+    return patterns_[i];
+  }
+
+  /// Fraction of trajectories in `test` whose `Classify` result equals
+  /// `expected_label`.
+  double Accuracy(const TrajectoryDataset& test,
+                  const std::string& expected_label) const;
+
+ private:
+  /// Mean NM of `t` against one class's pattern set.
+  double RawScore(const Trajectory& t,
+                  const std::vector<ScoredPattern>& patterns) const;
+
+  MiningSpace space_;
+  Options options_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<ScoredPattern>> patterns_;
+  /// Per-class training-score mean and standard deviation (the z-score
+  /// standardization).
+  std::vector<double> train_means_;
+  std::vector<double> train_stddevs_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_CORE_CLASSIFIER_H_

@@ -1,0 +1,245 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "stats/timer.h"
+
+namespace trajpattern {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+TrajPatternMiner::TrajPatternMiner(const NmEngine* engine,
+                                   const MinerOptions& options)
+    : engine_(engine), options_(options), top_k_(options.k) {
+  assert(options.k > 0);
+}
+
+double TrajPatternMiner::Score(const Pattern& p) {
+  auto it = scores_.find(p);
+  if (it != scores_.end()) return it->second;
+  const double nm = engine_->NmTotal(p);
+  scores_.emplace(p, nm);
+  ++stats_.candidates_evaluated;
+  if (Eligible(p)) top_k_.Offer(p, nm);
+  return nm;
+}
+
+MiningResult TrajPatternMiner::Mine() {
+  WallTimer timer;
+
+  // Step 1: singular patterns form the initial Q (§4: "the grid centers
+  // serve as the singular patterns").
+  std::vector<CellId> alphabet;
+  if (options_.restrict_to_touched_cells) {
+    alphabet = engine_->TouchedCells(options_.touched_radius_sigmas);
+  } else {
+    alphabet.resize(engine_->space().grid.num_cells());
+    for (int c = 0; c < engine_->space().grid.num_cells(); ++c) {
+      alphabet[c] = c;
+    }
+  }
+  stats_.alphabet_size = alphabet.size();
+  for (CellId c : alphabet) Score(Pattern(c));
+
+  // The high set H and the retained set Q.  Q is rebuilt from the global
+  // score memo every round: a low pattern pruned in an earlier round must
+  // re-enter Q as soon as its length-(m-1) prefix or suffix turns high,
+  // otherwise Lemma 1's seed pool would be incomplete.
+  std::unordered_set<Pattern, PatternHash> high;
+  std::vector<Pattern> queue;
+  auto rebuild = [&]() {
+    const double omega = top_k_.Omega();
+    high.clear();
+    for (const auto& [p, nm] : scores_) {
+      if (nm >= omega) high.insert(p);
+    }
+    queue.clear();
+    for (const auto& [p, nm] : scores_) {
+      const bool keep = high.count(p) > 0 || p.length() == 1 ||
+                        high.count(p.DropFirst()) > 0 ||
+                        high.count(p.DropLast()) > 0;
+      if (keep) queue.push_back(p);
+    }
+    std::sort(queue.begin(), queue.end());
+    stats_.peak_queue_size = std::max(stats_.peak_queue_size, queue.size());
+  };
+  rebuild();
+
+  // The H and Q snapshots that the previous round's generation ran over;
+  // see the frontier rule below.
+  std::unordered_set<Pattern, PatternHash> prev_high;
+  std::unordered_set<Pattern, PatternHash> prev_queue;
+
+  // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++stats_.iterations;
+
+    // Candidate generation: P in H extended with every P' in Q, both
+    // orders.  Because one side is always high, every candidate respects
+    // the min-max seed rule (observation 3 of §4).
+    //
+    // In beam mode the generation itself must stay bounded: with a
+    // min-length constraint the threshold omega is -inf until k eligible
+    // patterns exist, which makes everything high and |H| x |Q| explode.
+    // We then walk both sets in NM-descending order (the most promising
+    // combinations first) and stop once enough candidates are staged for
+    // the beam to rank.
+    std::vector<Pattern> high_sorted(high.begin(), high.end());
+    std::vector<Pattern> queue_sorted = queue;
+    const bool beam = options_.max_candidates_per_iteration > 0;
+    if (beam) {
+      auto by_nm_desc = [&](const Pattern& a, const Pattern& b) {
+        const double na = scores_.at(a);
+        const double nb = scores_.at(b);
+        if (na != nb) return na > nb;
+        return a < b;
+      };
+      std::sort(high_sorted.begin(), high_sorted.end(), by_nm_desc);
+      std::sort(queue_sorted.begin(), queue_sorted.end(), by_nm_desc);
+    } else {
+      std::sort(high_sorted.begin(), high_sorted.end());
+    }
+    const size_t generation_budget =
+        beam ? 4 * options_.max_candidates_per_iteration
+             : std::numeric_limits<size_t>::max();
+    std::vector<Pattern> candidates;
+    std::unordered_set<Pattern, PatternHash> cand_seen;
+    // Wildcard joiners (§5): 0..d '*' positions between the two halves.
+    std::vector<Pattern> joiners;
+    joiners.emplace_back();  // plain concatenation
+    for (int g = 1; g <= options_.max_wildcards; ++g) {
+      joiners.emplace_back(std::vector<CellId>(g, kWildcardCell));
+    }
+    // Stage the two concatenation orders of a pair; the length test runs
+    // BEFORE any pattern is materialized — with a depth cap most pairs
+    // are over-length, and allocating just to discard dominated the
+    // whole mining run.
+    auto stage_pair = [&](const Pattern& a, const Pattern& join,
+                          const Pattern& b) {
+      if (options_.max_pattern_length > 0 &&
+          a.length() + join.length() + b.length() >
+              options_.max_pattern_length) {
+        return;
+      }
+      for (Pattern cand : {a.Concat(join).Concat(b),
+                           b.Concat(join).Concat(a)}) {
+        if (scores_.count(cand) > 0 || !cand_seen.insert(cand).second) {
+          continue;
+        }
+        candidates.push_back(std::move(cand));
+      }
+    };
+    // Frontier rule: a pair whose halves were BOTH already in last
+    // round's H and Q generated its candidates last round (exact mode
+    // stages every pair, so this is lossless there; in beam mode it
+    // avoids re-walking quadratically many known pairs every round).
+    const bool first_round = prev_high.empty() && prev_queue.empty();
+    std::vector<char> q_old(queue_sorted.size());
+    for (size_t j = 0; j < queue_sorted.size(); ++j) {
+      q_old[j] = prev_queue.count(queue_sorted[j]) > 0 ? 1 : 0;
+    }
+    for (const Pattern& p : high_sorted) {
+      if (candidates.size() >= generation_budget) break;
+      const bool p_old = !first_round && prev_high.count(p) > 0;
+      for (size_t j = 0; j < queue_sorted.size(); ++j) {
+        if (candidates.size() >= generation_budget) break;
+        if (p_old && q_old[j] != 0) continue;
+        const Pattern& q = queue_sorted[j];
+        for (const Pattern& join : joiners) stage_pair(p, join, q);
+      }
+    }
+    prev_high = high;
+    prev_queue.clear();
+    prev_queue.insert(queue.begin(), queue.end());
+    stats_.candidates_generated += static_cast<int64_t>(candidates.size());
+
+    if (options_.max_candidates_per_iteration > 0 &&
+        candidates.size() > options_.max_candidates_per_iteration) {
+      // Beam fallback: keep the candidates whose worse half is best — the
+      // min-max property bounds a pattern's NM by the max of any cut, so
+      // a candidate with two strong halves is the most promising.  The
+      // beam is stratified by candidate length: ranking by bound alone
+      // would let the (always better-bounded) short candidates starve the
+      // long ones, and with a min-length constraint the threshold omega
+      // never tightens until long patterns exist at all.
+      stats_.hit_candidate_cap = true;
+      auto bound = [&](const Pattern& c) {
+        double best = kNegInf;
+        for (size_t cut = 1; cut < c.length(); ++cut) {
+          auto l = scores_.find(c.SubPattern(0, cut));
+          auto r = scores_.find(c.SubPattern(cut, c.length() - cut));
+          if (l != scores_.end() && r != scores_.end()) {
+            best = std::max(best, std::min(l->second, r->second));
+          }
+        }
+        return best;
+      };
+      std::map<size_t, std::vector<std::pair<double, Pattern>>> buckets;
+      for (Pattern& c : candidates) {
+        const size_t len = c.length();
+        buckets[len].emplace_back(bound(c), std::move(c));
+      }
+      for (auto& [len, bucket] : buckets) {
+        (void)len;
+        std::sort(bucket.begin(), bucket.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.first != b.first) return a.first > b.first;
+                    return a.second < b.second;
+                  });
+      }
+      candidates.clear();
+      // Round-robin across length buckets, best-bound first within each.
+      std::vector<size_t> cursor_keys;
+      for (const auto& [len, bucket] : buckets) {
+        (void)bucket;
+        cursor_keys.push_back(len);
+      }
+      std::vector<size_t> offsets(cursor_keys.size(), 0);
+      while (candidates.size() < options_.max_candidates_per_iteration) {
+        bool any = false;
+        for (size_t b = 0; b < cursor_keys.size() &&
+                           candidates.size() <
+                               options_.max_candidates_per_iteration;
+             ++b) {
+          auto& bucket = buckets[cursor_keys[b]];
+          if (offsets[b] < bucket.size()) {
+            candidates.push_back(std::move(bucket[offsets[b]].second));
+            ++offsets[b];
+            any = true;
+          }
+        }
+        if (!any) break;
+      }
+    }
+
+    for (const Pattern& c : candidates) Score(c);
+
+    // Re-threshold, relabel, prune (§4.1).
+    std::unordered_set<Pattern, PatternHash> high_old = std::move(high);
+    rebuild();
+
+    if (high == high_old) break;
+    if (iter + 1 == options_.max_iterations) stats_.hit_iteration_cap = true;
+  }
+
+  MiningResult result;
+  result.patterns = top_k_.Sorted();
+  stats_.seconds = timer.Seconds();
+  result.stats = stats_;
+  return result;
+}
+
+MiningResult MineTrajPatterns(const NmEngine& engine,
+                              const MinerOptions& options) {
+  TrajPatternMiner miner(&engine, options);
+  return miner.Mine();
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,119 @@
+#ifndef TRAJPATTERN_CORE_MINER_H_
+#define TRAJPATTERN_CORE_MINER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/nm_engine.h"
+#include "core/pattern.h"
+#include "core/top_k.h"
+
+namespace trajpattern {
+
+/// Knobs of the TrajPattern algorithm (§4, §5).
+struct MinerOptions {
+  /// Number of patterns to mine (the paper's k).
+  int k = 100;
+
+  /// Safety cap on growing iterations.  The paper iterates until the high
+  /// set is stable; §4.4 bounds the iteration count by the maximum length
+  /// M of a top-k pattern, so this cap only guards against pathological
+  /// configurations.  `MinerStats::hit_iteration_cap` reports a hit.
+  int max_iterations = 64;
+
+  /// §5 variant: only patterns with at least this many positions are
+  /// eligible for the answer (0 disables).  The threshold omega is then
+  /// the k-th best NM among eligible patterns, and the high set may hold
+  /// more than k patterns.
+  size_t min_length = 0;
+
+  /// Skip candidates longer than this (0 = unlimited).  Useful to mirror
+  /// the bounded-depth PB baseline in benchmark comparisons.
+  size_t max_pattern_length = 0;
+
+  /// Initialize the singular alphabet from `NmEngine::TouchedCells`
+  /// instead of all G cells.  Untouched cells score the probability floor
+  /// against every snapshot, so this is a pure optimization with the
+  /// paper's fine grids; disable to match §4 verbatim.
+  bool restrict_to_touched_cells = true;
+
+  /// Sigma multiple for `TouchedCells`.
+  double touched_radius_sigmas = 3.0;
+
+  /// Beam cap on candidates evaluated per iteration, ranked by the
+  /// min-max bound min(NM(left), NM(right)) (0 = exact, no cap).  When the
+  /// cap fires the mining is no longer guaranteed exact;
+  /// `MinerStats::hit_candidate_cap` reports it.
+  size_t max_candidates_per_iteration = 0;
+
+  /// §5 wildcards: maximum number of consecutive "don't care" positions
+  /// allowed inside a pattern (the paper's d; 0 disables).  Candidate
+  /// generation then also joins patterns with 1..d '*' positions between
+  /// them.  Wildcards never appear at pattern edges (a leading or
+  /// trailing '*' carries no information), and NM normalizes by the
+  /// specified-position count so stars cannot inflate a score.
+  int max_wildcards = 0;
+};
+
+/// Counters reported alongside a mining result.
+struct MinerStats {
+  int iterations = 0;
+  int64_t candidates_generated = 0;
+  int64_t candidates_evaluated = 0;
+  size_t peak_queue_size = 0;
+  size_t alphabet_size = 0;
+  double seconds = 0.0;
+  bool hit_iteration_cap = false;
+  bool hit_candidate_cap = false;
+};
+
+/// Output of a mining run: the k best patterns by NM, best first, plus
+/// run statistics.
+struct MiningResult {
+  std::vector<ScoredPattern> patterns;
+  MinerStats stats;
+};
+
+/// The TrajPattern algorithm (§4).
+///
+/// Maintains a pattern set Q split by the dynamic threshold omega (the
+/// k-th best NM seen) into high and low patterns; each iteration
+/// concatenates every high pattern with every retained pattern (both
+/// orders), scores the new candidates, and prunes low patterns that do
+/// not satisfy the 1-extension property (Def. 5 / Lemma 1).  Terminates
+/// when an iteration leaves the high set unchanged.
+class TrajPatternMiner {
+ public:
+  /// `engine` must outlive the miner.
+  TrajPatternMiner(const NmEngine* engine, const MinerOptions& options);
+
+  /// Runs the algorithm to fixpoint and returns the top-k patterns.
+  MiningResult Mine();
+
+ private:
+  /// Scores `p` if unseen, feeding the top-k tracker; returns its NM.
+  double Score(const Pattern& p);
+
+  /// True iff `p` counts toward the answer set.
+  bool Eligible(const Pattern& p) const {
+    return options_.min_length == 0 || p.length() >= options_.min_length;
+  }
+
+  const NmEngine* engine_;
+  MinerOptions options_;
+  /// Every pattern ever scored, with its NM (global memo).
+  std::unordered_map<Pattern, double, PatternHash> scores_;
+  /// The best k eligible patterns seen; its Omega() is the threshold.
+  TopKPatterns top_k_;
+  MinerStats stats_;
+};
+
+/// Convenience wrapper: builds an engine-backed miner and runs it.
+MiningResult MineTrajPatterns(const NmEngine& engine,
+                              const MinerOptions& options);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_CORE_MINER_H_

@@ -1,0 +1,170 @@
+#include "core/nm_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "prob/log_space.h"
+
+namespace trajpattern {
+
+NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
+    : data_(&data), space_(space) {
+  offsets_.reserve(data.size() + 1);
+  flat_points_.reserve(data.TotalPoints());
+  size_t off = 0;
+  for (const auto& t : data) {
+    offsets_.push_back(off);
+    for (const auto& p : t) flat_points_.push_back(p);
+    off += t.size();
+  }
+  offsets_.push_back(off);
+}
+
+const std::vector<double>& NmEngine::CellColumn(CellId cell) const {
+  auto it = cell_cache_.find(cell);
+  if (it != cell_cache_.end()) return it->second;
+  std::vector<double> col(flat_points_.size());
+  for (size_t g = 0; g < flat_points_.size(); ++g) {
+    col[g] = space_.LogProb(flat_points_[g], cell);
+  }
+  return cell_cache_.emplace(cell, std::move(col)).first->second;
+}
+
+bool NmEngine::MaxWindowLogSum(const Pattern& p, size_t traj_index,
+                               double* best) const {
+  const size_t m = p.length();
+  const size_t off = offsets_[traj_index];
+  const size_t len = offsets_[traj_index + 1] - off;
+  if (len < m || m == 0) return false;
+  // Resolve each position's column once; nullptr means wildcard (log 1).
+  std::vector<const double*> cols(m);
+  for (size_t j = 0; j < m; ++j) {
+    cols[j] =
+        p[j] == kWildcardCell ? nullptr : CellColumn(p[j]).data() + off;
+  }
+  double best_sum = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k + m <= len; ++k) {
+    double sum = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (cols[j] != nullptr) sum += cols[j][k + j];
+    }
+    if (sum > best_sum) best_sum = sum;
+  }
+  *best = best_sum;
+  return true;
+}
+
+double NmEngine::Nm(const Pattern& p, size_t traj_index) const {
+  double best;
+  if (!MaxWindowLogSum(p, traj_index, &best)) return LogFloor();
+  const size_t specified = p.SpecifiedCount();
+  assert(specified > 0);
+  return best / static_cast<double>(specified);
+}
+
+double NmEngine::NmTotal(const Pattern& p) const {
+  ++num_pattern_evaluations_;
+  double total = 0.0;
+  for (size_t i = 0; i < data_->size(); ++i) total += Nm(p, i);
+  return total;
+}
+
+double NmEngine::Match(const Pattern& p, size_t traj_index) const {
+  double best;
+  if (!MaxWindowLogSum(p, traj_index, &best)) return 0.0;
+  return std::exp(best);
+}
+
+double NmEngine::MatchTotal(const Pattern& p) const {
+  ++num_pattern_evaluations_;
+  double total = 0.0;
+  for (size_t i = 0; i < data_->size(); ++i) total += Match(p, i);
+  return total;
+}
+
+double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
+  assert(max_gap >= 0);
+  ++num_pattern_evaluations_;
+  const size_t m = p.length();
+  assert(m > 0);
+  std::vector<const double*> cols(m);
+  double total = 0.0;
+  for (size_t i = 0; i < data_->size(); ++i) {
+    const size_t off = offsets_[i];
+    const size_t len = offsets_[i + 1] - off;
+    if (len < m) {
+      total += LogFloor();
+      continue;
+    }
+    for (size_t j = 0; j < m; ++j) {
+      cols[j] =
+          p[j] == kWildcardCell ? nullptr : CellColumn(p[j]).data() + off;
+    }
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    // dp[s]: best log-sum of p_0..p_j with p_j matched at snapshot s.
+    std::vector<double> dp(len), prev(len);
+    for (size_t s = 0; s < len; ++s) {
+      prev[s] = cols[0] != nullptr ? cols[0][s] : 0.0;
+    }
+    for (size_t j = 1; j < m; ++j) {
+      for (size_t s = 0; s < len; ++s) {
+        double best_prev = kNegInf;
+        // Previous position matched at s-1-gap for gap in [0, max_gap].
+        const size_t lo = s >= static_cast<size_t>(max_gap) + 1
+                              ? s - static_cast<size_t>(max_gap) - 1
+                              : 0;
+        if (s >= 1) {
+          for (size_t sp = lo; sp <= s - 1; ++sp) {
+            best_prev = std::max(best_prev, prev[sp]);
+          }
+        }
+        const double here = cols[j] != nullptr ? cols[j][s] : 0.0;
+        dp[s] = best_prev == kNegInf ? kNegInf : best_prev + here;
+      }
+      std::swap(dp, prev);
+    }
+    const double best = *std::max_element(prev.begin(), prev.end());
+    total += best == kNegInf
+                 ? LogFloor()
+                 : best / static_cast<double>(p.SpecifiedCount());
+  }
+  return total;
+}
+
+std::vector<CellId> NmEngine::TouchedCells(double radius_sigmas) const {
+  std::unordered_set<CellId> seen;
+  for (const auto& pt : flat_points_) {
+    const double r = radius_sigmas * pt.sigma + space_.delta +
+                     0.5 * std::max(space_.grid.cell_width(),
+                                    space_.grid.cell_height());
+    for (CellId c : space_.grid.CellsWithin(pt.mean, r)) seen.insert(c);
+  }
+  std::vector<CellId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ScoredPattern> RerankWithGaps(const NmEngine& engine,
+                                          std::vector<ScoredPattern> patterns,
+                                          int max_gap) {
+  for (auto& sp : patterns) {
+    sp.nm = engine.NmTotalWithGaps(sp.pattern, max_gap);
+  }
+  std::sort(patterns.begin(), patterns.end(), BetterScored);
+  return patterns;
+}
+
+double WindowLogMatch(const std::vector<TrajectoryPoint>& points, size_t begin,
+                      const Pattern& p, const MiningSpace& space) {
+  assert(begin + p.length() <= points.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < p.length(); ++j) {
+    sum += space.LogProb(points[begin + j], p[j]);
+  }
+  return sum;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,44 @@
+#include "core/parameters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trajpattern {
+
+ParameterSuggestion SuggestParameters(const TrajectoryDataset& data,
+                                      int max_cells_per_side) {
+  assert(max_cells_per_side >= 1);
+  ParameterSuggestion s;
+
+  // Mean sigma over all snapshots.
+  double sigma_sum = 0.0;
+  size_t n = 0;
+  for (const auto& t : data) {
+    for (const auto& pt : t) {
+      sigma_sum += pt.sigma;
+      ++n;
+    }
+  }
+  const double mean_sigma = n > 0 ? sigma_sum / static_cast<double>(n) : 0.0;
+
+  // Bounding box inflated by 3 sigma so boundary uncertainty stays inside.
+  s.box = data.MeanBoundingBox(3.0 * mean_sigma);
+  if (s.box.empty() || s.box.width() <= 0.0 || s.box.height() <= 0.0) {
+    // Degenerate data (empty, or all points identical): fall back to a
+    // unit box around the data so the grid stays constructible.
+    const Point2 center = s.box.empty() ? Point2(0.5, 0.5) : s.box.center();
+    s.box = BoundingBox(center - Point2(0.5, 0.5), center + Point2(0.5, 0.5));
+  }
+
+  const double extent = std::max(s.box.width(), s.box.height());
+  s.delta = mean_sigma > 0.0 ? mean_sigma : extent / max_cells_per_side;
+  s.gamma = 3.0 * (mean_sigma > 0.0 ? mean_sigma : s.delta);
+
+  // Pitch ~ delta, capped at max_cells_per_side cells per axis.
+  const int by_delta = static_cast<int>(std::ceil(extent / s.delta));
+  s.cells_per_side = std::clamp(by_delta, 1, max_cells_per_side);
+  return s;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,38 @@
+#ifndef TRAJPATTERN_CORE_PARAMETERS_H_
+#define TRAJPATTERN_CORE_PARAMETERS_H_
+
+#include "core/mining_space.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Data-derived defaults for the knobs §5 discusses: the indifference
+/// distance delta, the grid pitch g_x = g_y, and the maximum similar-
+/// pattern distance gamma.
+struct ParameterSuggestion {
+  /// Grid over the data's (inflated) bounding box with pitch ~ delta.
+  /// Use `MiningSpace(suggestion.grid, suggestion.delta)` directly.
+  BoundingBox box;
+  int cells_per_side = 0;
+  double delta = 0.0;
+  double gamma = 0.0;
+
+  Grid MakeGrid() const { return Grid(box, cells_per_side, cells_per_side); }
+  MiningSpace MakeSpace() const { return MiningSpace(MakeGrid(), delta); }
+};
+
+/// Derives mining parameters from the data per §5's guidance:
+///   - delta: "a small distance unit ... ignorable by the domain experts";
+///     we default it to the mean snapshot sigma (deviations within the
+///     reporting noise are ignorable by construction);
+///   - grid pitch: "g_x and g_y can be set to delta", capped so the grid
+///     never exceeds `max_cells_per_side` per axis (finer grids cost time
+///     without adding information once the pitch is below the noise);
+///   - gamma: 3 x (mean sigma) — "due to the property of normal
+///     distribution ... we can set gamma equal to 3 sigma".
+ParameterSuggestion SuggestParameters(const TrajectoryDataset& data,
+                                      int max_cells_per_side = 128);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_CORE_PARAMETERS_H_

@@ -1,0 +1,197 @@
+#include "core/pattern_group.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace trajpattern {
+namespace {
+
+/// Distance between two patterns at one snapshot; wildcards only match
+/// wildcards.
+double PositionDistance(CellId a, CellId b, const Grid& grid) {
+  if (a == kWildcardCell || b == kWildcardCell) {
+    return a == b ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return grid.CenterDistance(a, b);
+}
+
+/// Snapshot groups for one snapshot: greedy complete-linkage threshold
+/// clustering (a pattern joins a cluster only if within gamma of every
+/// member at this snapshot), preserving the given pattern order.
+std::vector<std::vector<int>> ClusterSnapshot(
+    const std::vector<ScoredPattern>& pats, size_t snapshot, const Grid& grid,
+    double gamma) {
+  std::vector<std::vector<int>> clusters;
+  for (int i = 0; i < static_cast<int>(pats.size()); ++i) {
+    const CellId ci = pats[i].pattern[snapshot];
+    bool placed = false;
+    for (auto& cluster : clusters) {
+      bool fits = true;
+      for (int j : cluster) {
+        if (PositionDistance(ci, pats[j].pattern[snapshot], grid) > gamma) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) {
+        cluster.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) clusters.push_back({i});
+  }
+  return clusters;
+}
+
+void RemoveFromAll(std::vector<std::vector<std::vector<int>>>* snapshot_groups,
+                   int index) {
+  for (auto& groups : *snapshot_groups) {
+    for (auto& g : groups) {
+      g.erase(std::remove(g.begin(), g.end(), index), g.end());
+    }
+    groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                [](const std::vector<int>& g) {
+                                  return g.empty();
+                                }),
+                 groups.end());
+  }
+}
+
+/// True iff some group at every snapshot contains all of `set`.
+bool ExistsAtAllSnapshots(
+    const std::vector<std::vector<std::vector<int>>>& snapshot_groups,
+    const std::vector<int>& set) {
+  for (const auto& groups : snapshot_groups) {
+    bool found = false;
+    for (const auto& g : groups) {
+      if (std::includes(g.begin(), g.end(), set.begin(), set.end())) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// §4.2 procedure for one length class; `pats` are NM-descending.
+void GroupLengthClass(const std::vector<ScoredPattern>& pats, const Grid& grid,
+                      double gamma, std::vector<PatternGroup>* out) {
+  const size_t m = pats.front().pattern.length();
+  const int n = static_cast<int>(pats.size());
+
+  // Snapshot groups per snapshot, kept sorted for set algebra.
+  std::vector<std::vector<std::vector<int>>> snapshot_groups(m);
+  for (size_t s = 0; s < m; ++s) {
+    snapshot_groups[s] = ClusterSnapshot(pats, s, grid, gamma);
+    for (auto& g : snapshot_groups[s]) std::sort(g.begin(), g.end());
+  }
+
+  std::vector<bool> assigned(n, false);
+  auto emit_group = [&](const std::vector<int>& members) {
+    PatternGroup group;
+    for (int i : members) {
+      group.members.push_back(pats[i]);
+      assigned[i] = true;
+    }
+    out->push_back(std::move(group));
+    for (int i : members) RemoveFromAll(&snapshot_groups, i);
+  };
+
+  // Singleton rule: a pattern alone in some snapshot group must be a
+  // singleton pattern group.  Removals can create new singletons, so
+  // iterate to fixpoint.
+  auto sweep_singletons = [&]() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t s = 0; s < m && !changed; ++s) {
+        for (const auto& g : snapshot_groups[s]) {
+          if (g.size() == 1 && !assigned[g[0]]) {
+            emit_group(g);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  };
+  sweep_singletons();
+
+  // Main loop: smallest remaining snapshot group, intersected across
+  // snapshots until it exists everywhere.
+  while (std::find(assigned.begin(), assigned.end(), false) !=
+         assigned.end()) {
+    // Smallest group over all snapshots.
+    const std::vector<int>* smallest = nullptr;
+    for (const auto& groups : snapshot_groups) {
+      for (const auto& g : groups) {
+        if (!smallest || g.size() < smallest->size()) smallest = &g;
+      }
+    }
+    assert(smallest != nullptr);
+    std::vector<int> current = *smallest;
+
+    while (!ExistsAtAllSnapshots(snapshot_groups, current)) {
+      // Intersect with the snapshot group giving the smallest non-empty
+      // intersection.
+      std::vector<int> best;
+      size_t best_size = std::numeric_limits<size_t>::max();
+      for (const auto& groups : snapshot_groups) {
+        for (const auto& g : groups) {
+          std::vector<int> inter;
+          std::set_intersection(current.begin(), current.end(), g.begin(),
+                                g.end(), std::back_inserter(inter));
+          if (!inter.empty() && inter.size() < current.size() &&
+              inter.size() < best_size) {
+            best_size = inter.size();
+            best = std::move(inter);
+          }
+        }
+      }
+      assert(!best.empty());
+      current = std::move(best);
+    }
+    emit_group(current);
+    sweep_singletons();
+  }
+}
+
+}  // namespace
+
+bool ArePatternsSimilar(const Pattern& a, const Pattern& b, const Grid& grid,
+                        double gamma) {
+  if (a.length() != b.length()) return false;
+  for (size_t s = 0; s < a.length(); ++s) {
+    if (PositionDistance(a[s], b[s], grid) > gamma) return false;
+  }
+  return true;
+}
+
+std::vector<PatternGroup> GroupPatterns(
+    const std::vector<ScoredPattern>& patterns, const Grid& grid,
+    double gamma) {
+  // Partition by length (§4.2: "we first group these qualified patterns
+  // by their lengths"), keeping NM-descending order within a class.
+  std::vector<ScoredPattern> sorted = patterns;
+  std::sort(sorted.begin(), sorted.end(), BetterScored);
+  std::map<size_t, std::vector<ScoredPattern>> by_length;
+  for (auto& sp : sorted) by_length[sp.pattern.length()].push_back(sp);
+
+  std::vector<PatternGroup> out;
+  for (auto& [len, pats] : by_length) {
+    (void)len;
+    GroupLengthClass(pats, grid, gamma, &out);
+  }
+  // Present best groups first.
+  std::sort(out.begin(), out.end(),
+            [](const PatternGroup& a, const PatternGroup& b) {
+              return BetterScored(a.members.front(), b.members.front());
+            });
+  return out;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,45 @@
+#ifndef TRAJPATTERN_CORE_PATTERN_GROUP_H_
+#define TRAJPATTERN_CORE_PATTERN_GROUP_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "geometry/grid.h"
+
+namespace trajpattern {
+
+/// A pattern group (Def. 2): a set of same-length patterns that are
+/// pairwise similar (Def. 1: position distance <= gamma at every
+/// snapshot), used to present many near-duplicate mined patterns
+/// compactly.
+struct PatternGroup {
+  std::vector<ScoredPattern> members;
+
+  size_t size() const { return members.size(); }
+  /// Length of the member patterns (all equal).
+  size_t pattern_length() const {
+    return members.empty() ? 0 : members.front().pattern.length();
+  }
+};
+
+/// True iff `a` and `b` are similar patterns per Def. 1: same length and
+/// center distance <= gamma at every snapshot.  Wildcard positions are
+/// similar only to wildcard positions.
+bool ArePatternsSimilar(const Pattern& a, const Pattern& b, const Grid& grid,
+                        double gamma);
+
+/// Clusters mined patterns into pattern groups with the greedy snapshot-
+/// group procedure of §4.2: patterns are first grouped by length; within
+/// a length class they are clustered per snapshot (complete linkage at
+/// threshold gamma, so snapshot groups are pairwise-similar per
+/// position); then singleton snapshot groups split off, and the smallest
+/// remaining snapshot group is intersected across snapshots until a set
+/// exists at every snapshot.  Every returned group's members are pairwise
+/// similar; groups are ordered by best member NM, members best-first.
+std::vector<PatternGroup> GroupPatterns(
+    const std::vector<ScoredPattern>& patterns, const Grid& grid,
+    double gamma);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_CORE_PATTERN_GROUP_H_

@@ -1,0 +1,147 @@
+#include "datagen/bus_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+/// Closed polyline with arc-length lookup.
+class RouteLoop {
+ public:
+  explicit RouteLoop(std::vector<Point2> waypoints)
+      : points_(std::move(waypoints)) {
+    assert(points_.size() >= 3);
+    cum_.push_back(0.0);
+    for (size_t i = 0; i < points_.size(); ++i) {
+      const Point2& a = points_[i];
+      const Point2& b = points_[(i + 1) % points_.size()];
+      cum_.push_back(cum_.back() + Distance(a, b));
+    }
+  }
+
+  double length() const { return cum_.back(); }
+
+  /// Position at arc length `s` (wrapped around the loop).
+  Point2 At(double s) const {
+    s = std::fmod(s, length());
+    if (s < 0) s += length();
+    // Find the segment containing s.
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+    const size_t seg = static_cast<size_t>(it - cum_.begin()) - 1;
+    const double t = (s - cum_[seg]) / (cum_[seg + 1] - cum_[seg]);
+    const Point2& a = points_[seg];
+    const Point2& b = points_[(seg + 1) % points_.size()];
+    return a + (b - a) * t;
+  }
+
+ private:
+  std::vector<Point2> points_;
+  std::vector<double> cum_;  // cumulative arc length, size+1 entries
+};
+
+}  // namespace
+
+std::vector<std::vector<Point2>> BusRouteWaypoints(
+    const BusGeneratorOptions& opt) {
+  // Derive the route geometry from its own stream so traces and routes
+  // stay in sync for any options.
+  Rng rng(opt.seed * 7919 + 13);
+  std::vector<std::vector<Point2>> routes;
+  if (opt.waypoint_pool > 0) {
+    // Shared-intersection geometry: routes are loops over subsets of a
+    // common waypoint pool, so different routes traverse the same street
+    // segments (see the header).
+    std::vector<Point2> pool;
+    for (int i = 0; i < opt.waypoint_pool; ++i) {
+      pool.emplace_back(rng.Uniform(0.15, 0.85), rng.Uniform(0.15, 0.85));
+    }
+    for (int r = 0; r < opt.num_routes; ++r) {
+      const int n = std::min(
+          opt.waypoint_pool,
+          rng.UniformInt(opt.min_waypoints, opt.max_waypoints));
+      // Distinct pool indices.
+      std::vector<int> indices(pool.size());
+      for (size_t i = 0; i < pool.size(); ++i) indices[i] = static_cast<int>(i);
+      for (int i = 0; i < n; ++i) {
+        const int j = rng.UniformInt(i, static_cast<int>(indices.size()) - 1);
+        std::swap(indices[i], indices[j]);
+      }
+      indices.resize(n);
+      // Loop order: sort by angle around the subset centroid so the tour
+      // does not self-cross (the same geometric ordering real ring
+      // routes have); shared consecutive pairs become shared segments.
+      Point2 centroid(0.0, 0.0);
+      for (int i : indices) centroid += pool[i];
+      centroid = centroid / static_cast<double>(n);
+      std::sort(indices.begin(), indices.end(), [&](int a, int b) {
+        return std::atan2(pool[a].y - centroid.y, pool[a].x - centroid.x) <
+               std::atan2(pool[b].y - centroid.y, pool[b].x - centroid.x);
+      });
+      std::vector<Point2> wp;
+      for (int i : indices) wp.push_back(pool[i]);
+      routes.push_back(std::move(wp));
+    }
+    return routes;
+  }
+  for (int r = 0; r < opt.num_routes; ++r) {
+    const Point2 center(rng.Uniform(0.3, 0.7), rng.Uniform(0.3, 0.7));
+    const int n = rng.UniformInt(opt.min_waypoints, opt.max_waypoints);
+    const double base_radius = rng.Uniform(0.12, 0.25);
+    std::vector<Point2> wp;
+    for (int i = 0; i < n; ++i) {
+      const double angle = 2.0 * std::numbers::pi * i / n;
+      const double radius = base_radius * rng.Uniform(0.7, 1.3);
+      wp.push_back(center + Vec2(radius * std::cos(angle),
+                                 radius * std::sin(angle)));
+    }
+    routes.push_back(std::move(wp));
+  }
+  return routes;
+}
+
+TrajectoryDataset GenerateBusTraces(const BusGeneratorOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<RouteLoop> loops;
+  for (auto& wp : BusRouteWaypoints(opt)) loops.emplace_back(std::move(wp));
+
+  const int total_buses = opt.num_routes * opt.buses_per_route;
+  // Depot offset per bus: fixed across days when timetabled.
+  std::vector<double> depot(total_buses);
+  for (int b = 0; b < total_buses; ++b) depot[b] = rng.Uniform(0.0, 1.0);
+
+  TrajectoryDataset out;
+  for (int day = 0; day < opt.num_days; ++day) {
+    for (int route = 0; route < opt.num_routes; ++route) {
+      for (int bus = 0; bus < opt.buses_per_route; ++bus) {
+        const int bus_index = route * opt.buses_per_route + bus;
+        Rng local = rng.Fork();
+        const RouteLoop& loop = loops[route];
+        double s = (opt.timetabled ? depot[bus_index]
+                                   : local.Uniform(0.0, 1.0)) *
+                   loop.length();
+        Trajectory t("d" + std::to_string(day) + "_r" +
+                     std::to_string(route) + "_b" + std::to_string(bus));
+        for (int snap = 0; snap < opt.num_snapshots; ++snap) {
+          const Point2 true_pos = loop.At(s);
+          const Point2 observed =
+              true_pos + Vec2(local.Normal(0.0, opt.gps_noise),
+                              local.Normal(0.0, opt.gps_noise));
+          t.Append(observed, opt.sigma);
+          const double factor =
+              std::max(0.0, 1.0 + local.Normal(0.0, opt.speed_noise));
+          s += opt.nominal_speed * loop.length() * factor;
+        }
+        out.Add(std::move(t));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,63 @@
+#ifndef TRAJPATTERN_DATAGEN_BUS_GENERATOR_H_
+#define TRAJPATTERN_DATAGEN_BUS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Synthetic stand-in for the paper's §6.1 real bus data set: "the
+/// locations of 50 buses belonging to 5 routes ... traces of these 50
+/// buses for 10 weekdays", aligned on 100 snapshots.
+///
+/// Routes are closed waypoint loops; buses traverse their route loop at a
+/// route-nominal speed with per-snapshot speed noise and lateral GPS
+/// noise.  The essential property for the experiment — route-regular
+/// movement whose velocity patterns recur across buses and days — is
+/// preserved; see DESIGN.md §5.
+struct BusGeneratorOptions {
+  int num_routes = 5;
+  int buses_per_route = 10;
+  int num_days = 10;
+  int num_snapshots = 100;
+  /// Waypoints per route loop (uniform in [min, max]).  More waypoints
+  /// mean shorter straight segments, i.e. more direction changes per
+  /// pattern window.
+  int min_waypoints = 6;
+  int max_waypoints = 10;
+  /// When > 0, all routes draw their waypoints from one shared pool of
+  /// this many "intersections" instead of private rings — routes then
+  /// share street segments, as real bus routes do, which is what makes
+  /// cross-route movement patterns exist at all.  0 keeps the private
+  /// ring geometry.
+  int waypoint_pool = 0;
+  /// Loop traversal speed as a fraction of the route length per snapshot.
+  double nominal_speed = 0.01;
+  /// Multiplicative per-snapshot speed noise std-dev (0.1 = 10%).
+  double speed_noise = 0.1;
+  /// Lateral GPS noise std-dev (fraction of the unit square).
+  double gps_noise = 0.002;
+  /// Reported positional standard deviation per snapshot (§3.1's U/c).
+  double sigma = 0.005;
+  /// If true, each bus starts every day from the same depot offset, so
+  /// velocity patterns align across days (buses follow timetables).
+  bool timetabled = true;
+  uint64_t seed = 1;
+};
+
+/// Generates `num_routes * buses_per_route * num_days` traces, ordered
+/// day-major so `Split(total - buses)` separates the last day as a test
+/// set.  Trace ids are "d<day>_r<route>_b<bus>".
+TrajectoryDataset GenerateBusTraces(const BusGeneratorOptions& opt);
+
+/// The route loops used by `GenerateBusTraces` for the same options
+/// (exposed for visualization and tests).
+std::vector<std::vector<Point2>> BusRouteWaypoints(
+    const BusGeneratorOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_DATAGEN_BUS_GENERATOR_H_

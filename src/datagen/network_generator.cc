@@ -1,0 +1,124 @@
+#include "datagen/network_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "prob/rng.h"
+
+namespace trajpattern {
+
+RoadNetwork BuildRoadNetwork(const NetworkGeneratorOptions& opt) {
+  assert(opt.num_nodes >= 2);
+  // The network derives from its own stream so that trace generation and
+  // network construction stay in sync for any options.
+  Rng rng(opt.seed * 40487 + 7);
+  RoadNetwork net;
+  net.nodes.reserve(opt.num_nodes);
+  for (int i = 0; i < opt.num_nodes; ++i) {
+    net.nodes.emplace_back(rng.Uniform(0.05, 0.95), rng.Uniform(0.05, 0.95));
+  }
+  net.edges.assign(opt.num_nodes, {});
+  auto connected = [&](int a, int b) {
+    const auto& ea = net.edges[a];
+    return std::find(ea.begin(), ea.end(), b) != ea.end();
+  };
+  auto connect = [&](int a, int b) {
+    net.edges[a].push_back(b);
+    net.edges[b].push_back(a);
+  };
+  // Connect each node to its `degree` nearest not-yet-connected nodes.
+  for (int a = 0; a < opt.num_nodes; ++a) {
+    std::vector<int> order;
+    for (int b = 0; b < opt.num_nodes; ++b) {
+      if (b != a) order.push_back(b);
+    }
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+      return SquaredDistance(net.nodes[a], net.nodes[x]) <
+             SquaredDistance(net.nodes[a], net.nodes[y]);
+    });
+    for (int b : order) {
+      if (static_cast<int>(net.edges[a].size()) >= opt.degree) break;
+      if (!connected(a, b)) connect(a, b);
+    }
+  }
+  // Stitch disconnected components together: union-find over edges, then
+  // connect each component's first node to the nearest node outside it.
+  std::vector<int> parent(opt.num_nodes);
+  for (int i = 0; i < opt.num_nodes; ++i) parent[i] = i;
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (int a = 0; a < opt.num_nodes; ++a) {
+    for (int b : net.edges[a]) parent[find(a)] = find(b);
+  }
+  for (int a = 0; a < opt.num_nodes; ++a) {
+    if (find(a) == find(0)) continue;
+    int best = -1;
+    for (int b = 0; b < opt.num_nodes; ++b) {
+      if (find(b) != find(a) &&
+          (best == -1 || SquaredDistance(net.nodes[a], net.nodes[b]) <
+                             SquaredDistance(net.nodes[a], net.nodes[best]))) {
+        best = b;
+      }
+    }
+    if (best != -1) {
+      connect(a, best);
+      parent[find(a)] = find(best);
+    }
+  }
+  return net;
+}
+
+TrajectoryDataset GenerateNetworkObjects(const NetworkGeneratorOptions& opt) {
+  const RoadNetwork net = BuildRoadNetwork(opt);
+  Rng rng(opt.seed);
+  TrajectoryDataset out;
+  for (int o = 0; o < opt.num_objects; ++o) {
+    Rng local = rng.Fork();
+    int prev_node = -1;
+    int from = local.UniformInt(0, opt.num_nodes - 1);
+    int to = net.edges[from][local.UniformInt(
+        0, static_cast<int>(net.edges[from].size()) - 1)];
+    double progress = 0.0;  // distance traveled along (from, to)
+    const double speed = local.Uniform(opt.min_speed, opt.max_speed);
+    Trajectory t("veh" + std::to_string(o));
+    for (int s = 0; s < opt.num_snapshots; ++s) {
+      const Point2 a = net.nodes[from];
+      const Point2 b = net.nodes[to];
+      const double len = std::max(1e-9, Distance(a, b));
+      const Point2 pos = a + (b - a) * std::min(1.0, progress / len);
+      t.Append(pos + Vec2(local.Normal(0.0, opt.position_noise),
+                          local.Normal(0.0, opt.position_noise)),
+               opt.sigma);
+      // Advance; cross as many nodes as the step covers.
+      const double step = speed * std::max(0.0, 1.0 + local.Normal(0.0, 0.15));
+      progress += step;
+      double edge_len = len;
+      while (progress >= edge_len) {
+        progress -= edge_len;
+        prev_node = from;
+        from = to;
+        // Choose the next edge, avoiding a u-turn unless forced (or the
+        // occasional deliberate turnaround).
+        const auto& next = net.edges[from];
+        std::vector<int> options;
+        for (int n : next) {
+          if (n != prev_node) options.push_back(n);
+        }
+        if (options.empty() || local.Bernoulli(opt.uturn_probability)) {
+          to = prev_node;
+        } else {
+          to = options[local.UniformInt(
+              0, static_cast<int>(options.size()) - 1)];
+        }
+        edge_len = std::max(1e-9, Distance(net.nodes[from], net.nodes[to]));
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,54 @@
+#ifndef TRAJPATTERN_DATAGEN_NETWORK_GENERATOR_H_
+#define TRAJPATTERN_DATAGEN_NETWORK_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Road-network-constrained moving objects (Brinkhoff-style), the other
+/// standard synthetic workload of the moving-object literature.
+///
+/// A random near-planar graph is built by connecting every node to its
+/// nearest neighbors; objects walk the graph edge by edge (heading
+/// persistence biases them against u-turns) at per-object speeds with
+/// noise.  Because many objects traverse the same few edges, the
+/// workload is dense in shared movement patterns — the structure the
+/// TrajPattern miner is meant to find.
+struct NetworkGeneratorOptions {
+  int num_nodes = 40;
+  /// Edges per node (to the nearest unused neighbors).
+  int degree = 3;
+  int num_objects = 100;
+  int num_snapshots = 50;
+  /// Per-snapshot distance range (fraction of the unit square).
+  double min_speed = 0.01;
+  double max_speed = 0.03;
+  /// Probability of taking a u-turn when alternatives exist.
+  double uturn_probability = 0.05;
+  /// GPS-style positional noise added to every emitted location.
+  double position_noise = 0.001;
+  /// Reported positional standard deviation per snapshot (§3.1's U/c).
+  double sigma = 0.005;
+  uint64_t seed = 1;
+};
+
+/// The generated road network (exposed for tests and visualization).
+struct RoadNetwork {
+  std::vector<Point2> nodes;
+  /// Adjacency lists, symmetric; edges[i] holds neighbor node indices.
+  std::vector<std::vector<int>> edges;
+};
+
+/// Builds the network for the given options (deterministic).
+RoadNetwork BuildRoadNetwork(const NetworkGeneratorOptions& opt);
+
+/// Generates the workload; deterministic in the options (incl. seed).
+TrajectoryDataset GenerateNetworkObjects(const NetworkGeneratorOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_DATAGEN_NETWORK_GENERATOR_H_

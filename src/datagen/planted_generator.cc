@@ -1,0 +1,38 @@
+#include "datagen/planted_generator.h"
+
+#include <cassert>
+#include <string>
+
+#include "prob/rng.h"
+
+namespace trajpattern {
+
+TrajectoryDataset GeneratePlantedPatterns(const PlantedPatternOptions& opt) {
+  assert(static_cast<size_t>(opt.num_snapshots) >= opt.pattern.size());
+  Rng rng(opt.seed);
+  TrajectoryDataset out;
+  const int total = opt.num_with_pattern + opt.num_background;
+  for (int i = 0; i < total; ++i) {
+    Rng local = rng.Fork();
+    const bool carries = i < opt.num_with_pattern;
+    const int m = static_cast<int>(opt.pattern.size());
+    const int offset =
+        carries && m > 0 ? local.UniformInt(0, opt.num_snapshots - m) : 0;
+    Trajectory t((carries ? "planted" : "noise") + std::to_string(i));
+    for (int s = 0; s < opt.num_snapshots; ++s) {
+      if (carries && s >= offset && s < offset + m) {
+        const Point2& p = opt.pattern[s - offset];
+        t.Append(p + Vec2(local.Normal(0.0, opt.embed_noise),
+                          local.Normal(0.0, opt.embed_noise)),
+                 opt.sigma);
+      } else {
+        t.Append(Point2(local.Uniform(0.0, 1.0), local.Uniform(0.0, 1.0)),
+                 opt.sigma);
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace trajpattern

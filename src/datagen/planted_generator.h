@@ -1,0 +1,38 @@
+#ifndef TRAJPATTERN_DATAGEN_PLANTED_GENERATOR_H_
+#define TRAJPATTERN_DATAGEN_PLANTED_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Ground-truth workload for miner tests: a known position sequence is
+/// embedded (with jitter) at a random offset into some trajectories,
+/// while the remaining snapshots and trajectories are uniform noise.  A
+/// correct top-k NM miner must surface the grid rendering of the planted
+/// sequence.
+struct PlantedPatternOptions {
+  /// The continuous positions to embed, in order.
+  std::vector<Point2> pattern;
+  /// Trajectories carrying the pattern.
+  int num_with_pattern = 20;
+  /// Pure-noise trajectories.
+  int num_background = 10;
+  /// Snapshots per trajectory (must be >= pattern length).
+  int num_snapshots = 20;
+  /// Std-dev of the jitter applied to embedded pattern positions.
+  double embed_noise = 0.002;
+  /// Reported positional standard deviation per snapshot.
+  double sigma = 0.005;
+  uint64_t seed = 1;
+};
+
+/// Generates the workload; deterministic in the options (incl. seed).
+TrajectoryDataset GeneratePlantedPatterns(const PlantedPatternOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_DATAGEN_PLANTED_GENERATOR_H_

@@ -1,0 +1,52 @@
+#include "datagen/posture_generator.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "prob/rng.h"
+
+namespace trajpattern {
+
+std::vector<Point2> PoseAnchors(const PostureGeneratorOptions& opt) {
+  assert(opt.num_poses >= 2);
+  std::vector<Point2> anchors;
+  anchors.reserve(opt.num_poses);
+  for (int i = 0; i < opt.num_poses; ++i) {
+    const double a = 2.0 * std::numbers::pi * i / opt.num_poses;
+    anchors.emplace_back(0.5 + 0.35 * std::cos(a), 0.5 + 0.35 * std::sin(a));
+  }
+  return anchors;
+}
+
+TrajectoryDataset GeneratePostures(const PostureGeneratorOptions& opt) {
+  const std::vector<Point2> anchors = PoseAnchors(opt);
+  Rng rng(opt.seed);
+  TrajectoryDataset out;
+  for (int subj = 0; subj < opt.num_subjects; ++subj) {
+    Rng local = rng.Fork();
+    int pose = local.UniformInt(0, opt.num_poses - 1);
+    Trajectory t("subject" + std::to_string(subj));
+    for (int s = 0; s < opt.num_snapshots; ++s) {
+      const Point2& anchor = anchors[pose];
+      t.Append(anchor + Vec2(local.Normal(0.0, opt.pose_noise),
+                             local.Normal(0.0, opt.pose_noise)),
+               opt.sigma);
+      if (local.Bernoulli(opt.transition_probability)) {
+        if (local.Bernoulli(opt.cycle_fidelity)) {
+          pose = (pose + 1) % opt.num_poses;  // the canonical cycle
+        } else {
+          // Off-cycle jump to any other pose.
+          int next = local.UniformInt(0, opt.num_poses - 2);
+          if (next >= pose) ++next;
+          pose = next;
+        }
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace trajpattern

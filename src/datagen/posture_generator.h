@@ -1,0 +1,48 @@
+#ifndef TRAJPATTERN_DATAGEN_POSTURE_GENERATOR_H_
+#define TRAJPATTERN_DATAGEN_POSTURE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Stand-in for the paper's second real data set ("a human posture data
+/// set", §6.1, whose results the paper omits as "similar").
+///
+/// A posture stream is modeled as a sensor position cycling through a
+/// small set of canonical pose anchors under a Markov chain whose
+/// transitions are biased toward a canonical cycle (e.g. sit → stand →
+/// walk → stand → sit) with occasional off-cycle jumps; dwell times make
+/// poses persist for several snapshots.  The observed position is the
+/// anchor plus sensor noise, reported with uncertainty sigma — exactly
+/// the imprecise-trajectory input form, with strongly recurring
+/// anchor-sequence patterns for the miner to find.
+struct PostureGeneratorOptions {
+  /// Number of canonical pose anchors (placed on a circle).
+  int num_poses = 6;
+  int num_subjects = 50;
+  int num_snapshots = 60;
+  /// Probability of following the canonical next pose (vs. a random
+  /// other pose) when a transition happens.
+  double cycle_fidelity = 0.85;
+  /// Per-snapshot probability of leaving the current pose.
+  double transition_probability = 0.35;
+  /// Sensor noise around the pose anchor.
+  double pose_noise = 0.01;
+  /// Reported positional standard deviation per snapshot.
+  double sigma = 0.01;
+  uint64_t seed = 1;
+};
+
+/// The canonical pose anchors for the options (exposed for tests).
+std::vector<Point2> PoseAnchors(const PostureGeneratorOptions& opt);
+
+/// Generates the workload; deterministic in the options (incl. seed).
+TrajectoryDataset GeneratePostures(const PostureGeneratorOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_DATAGEN_POSTURE_GENERATOR_H_

@@ -1,0 +1,44 @@
+#include "datagen/uniform_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "geometry/bounding_box.h"
+#include "prob/rng.h"
+
+namespace trajpattern {
+
+TrajectoryDataset GenerateUniformObjects(const UniformGeneratorOptions& opt) {
+  Rng rng(opt.seed);
+  TrajectoryDataset out;
+  for (int o = 0; o < opt.num_objects; ++o) {
+    Rng local = rng.Fork();
+    Point2 pos(local.Uniform(0.0, 1.0), local.Uniform(0.0, 1.0));
+    double speed = local.Uniform(opt.min_speed, opt.max_speed);
+    double heading = local.Uniform(0.0, 2.0 * std::numbers::pi);
+    Trajectory t("obj" + std::to_string(o));
+    for (int s = 0; s < opt.num_snapshots; ++s) {
+      t.Append(pos, opt.sigma);
+      if (local.Bernoulli(opt.turn_probability)) {
+        speed = local.Uniform(opt.min_speed, opt.max_speed);
+        heading = local.Uniform(0.0, 2.0 * std::numbers::pi);
+      }
+      pos += Vec2(speed * std::cos(heading), speed * std::sin(heading));
+      // Reflect off the boundary.
+      if (pos.x < 0.0 || pos.x > 1.0) {
+        heading = std::numbers::pi - heading;
+        pos.x = std::clamp(pos.x, 0.0, 1.0);
+      }
+      if (pos.y < 0.0 || pos.y > 1.0) {
+        heading = -heading;
+        pos.y = std::clamp(pos.y, 0.0, 1.0);
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,33 @@
+#ifndef TRAJPATTERN_DATAGEN_UNIFORM_GENERATOR_H_
+#define TRAJPATTERN_DATAGEN_UNIFORM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Moving-objects workload in the style of the TPR-tree experiments [9]
+/// (the paper's first synthetic data set): objects start uniformly in the
+/// unit square with a random velocity, occasionally re-draw speed and
+/// heading, and reflect off the space boundary.  The server-side
+/// uncertainty `sigma` is attached to every snapshot (§3.1's U/c).
+struct UniformGeneratorOptions {
+  int num_objects = 100;
+  int num_snapshots = 50;
+  /// Per-snapshot speed range (fraction of the unit square per snapshot).
+  double min_speed = 0.005;
+  double max_speed = 0.02;
+  /// Probability of re-drawing speed and heading at a snapshot.
+  double turn_probability = 0.1;
+  /// Reported positional standard deviation per snapshot.
+  double sigma = 0.005;
+  uint64_t seed = 1;
+};
+
+/// Generates the workload; deterministic in the options (incl. seed).
+TrajectoryDataset GenerateUniformObjects(const UniformGeneratorOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_DATAGEN_UNIFORM_GENERATOR_H_

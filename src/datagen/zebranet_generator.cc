@@ -1,0 +1,132 @@
+#include "datagen/zebranet_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+// Synthetic stand-ins for the movement statistics the paper extracts from
+// the real ZebraNet traces: step lengths in "distance units" and heading
+// changes in radians, each with sampling weights.  Dominated by short
+// grazing steps and small turns, with a tail of long directed moves and
+// occasional sharp turns (see DESIGN.md §5).
+struct WeightedValue {
+  double value;
+  double weight;
+};
+
+constexpr WeightedValue kStepTable[] = {
+    {0.2, 0.30}, {0.5, 0.25}, {1.0, 0.20}, {1.5, 0.12},
+    {2.0, 0.08}, {3.0, 0.04}, {5.0, 0.01},
+};
+
+constexpr WeightedValue kTurnTable[] = {
+    {0.0, 0.40},  {0.2, 0.15},  {-0.2, 0.15}, {0.6, 0.08},
+    {-0.6, 0.08}, {1.2, 0.05},  {-1.2, 0.05}, {2.5, 0.02},
+    {-2.5, 0.02},
+};
+
+double SampleTable(const WeightedValue* table, size_t n, Rng* rng) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) weights[i] = table[i].weight;
+  return table[rng->PickWeighted(weights)].value;
+}
+
+Point2 ReflectIntoUnitSquare(Point2 p) {
+  // Fold coordinates back into [0, 1] by reflection so herds that reach
+  // the border turn around instead of piling up on it.
+  auto fold = [](double v) {
+    v = std::fmod(std::abs(v), 2.0);
+    return v <= 1.0 ? v : 2.0 - v;
+  };
+  return Point2(fold(p.x), fold(p.y));
+}
+
+}  // namespace
+
+TrajectoryDataset GenerateZebraNet(const ZebraNetGeneratorOptions& opt) {
+  Rng rng(opt.seed);
+  const int groups = std::max(1, opt.num_groups);
+
+  // Per-group state.
+  std::vector<Point2> group_pos(groups);
+  std::vector<double> group_heading(groups);
+  Rng group_rng = rng.Fork();
+  for (int g = 0; g < groups; ++g) {
+    group_pos[g] =
+        Point2(group_rng.Uniform(0.1, 0.9), group_rng.Uniform(0.1, 0.9));
+    group_heading[g] = group_rng.Uniform(0.0, 2.0 * std::numbers::pi);
+  }
+
+  // Per-zebra state.
+  struct Zebra {
+    int group;       // -1 once it has left
+    Point2 pos;
+    double heading;  // own heading when solitary
+    Rng rng;
+    Trajectory traj;
+  };
+  std::vector<Zebra> zebras;
+  zebras.reserve(opt.num_zebras);
+  for (int z = 0; z < opt.num_zebras; ++z) {
+    Zebra zb{z % groups, Point2(), 0.0, rng.Fork(),
+             Trajectory("zebra" + std::to_string(z))};
+    zb.pos = ReflectIntoUnitSquare(
+        group_pos[zb.group] +
+        Vec2(zb.rng.Normal(0.0, opt.individual_noise),
+             zb.rng.Normal(0.0, opt.individual_noise)));
+    zb.heading = group_heading[zb.group];
+    zebras.push_back(std::move(zb));
+  }
+
+  for (int s = 0; s < opt.num_snapshots; ++s) {
+    // Group moves: distance and heading change drawn from the tables.
+    std::vector<Vec2> group_step(groups);
+    for (int g = 0; g < groups; ++g) {
+      const double step =
+          SampleTable(kStepTable, std::size(kStepTable), &group_rng) *
+          opt.distance_scale;
+      group_heading[g] +=
+          SampleTable(kTurnTable, std::size(kTurnTable), &group_rng);
+      group_step[g] = Vec2(step * std::cos(group_heading[g]),
+                           step * std::sin(group_heading[g]));
+      group_pos[g] = ReflectIntoUnitSquare(group_pos[g] + group_step[g]);
+    }
+    for (auto& zb : zebras) {
+      zb.traj.Append(zb.pos, opt.sigma);
+      if (zb.group >= 0 && zb.rng.Bernoulli(opt.leave_probability)) {
+        zb.group = -1;
+      }
+      if (zb.group >= 0) {
+        zb.pos = ReflectIntoUnitSquare(
+            zb.pos + group_step[zb.group] +
+            Vec2(zb.rng.Normal(0.0, opt.individual_noise),
+                 zb.rng.Normal(0.0, opt.individual_noise)));
+        zb.heading = group_heading[zb.group];
+      } else {
+        // Solitary walk with the same movement statistics.
+        const double step =
+            SampleTable(kStepTable, std::size(kStepTable), &zb.rng) *
+            opt.distance_scale;
+        zb.heading += SampleTable(kTurnTable, std::size(kTurnTable), &zb.rng);
+        zb.pos = ReflectIntoUnitSquare(
+            zb.pos + Vec2(step * std::cos(zb.heading),
+                          step * std::sin(zb.heading)) +
+            Vec2(zb.rng.Normal(0.0, opt.individual_noise),
+                 zb.rng.Normal(0.0, opt.individual_noise)));
+      }
+    }
+  }
+
+  TrajectoryDataset out;
+  for (auto& zb : zebras) out.Add(std::move(zb.traj));
+  return out;
+}
+
+}  // namespace trajpattern

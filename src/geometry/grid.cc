@@ -1,0 +1,64 @@
+#include "geometry/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trajpattern {
+
+Grid::Grid(const BoundingBox& box, int nx, int ny)
+    : box_(box),
+      nx_(nx),
+      ny_(ny),
+      cell_w_(box.width() / nx),
+      cell_h_(box.height() / ny) {
+  assert(nx >= 1 && ny >= 1);
+  assert(box.width() > 0 && box.height() > 0);
+}
+
+CellId Grid::CellOf(const Point2& p) const {
+  int col = static_cast<int>(std::floor((p.x - box_.min().x) / cell_w_));
+  int row = static_cast<int>(std::floor((p.y - box_.min().y) / cell_h_));
+  col = std::clamp(col, 0, nx_ - 1);
+  row = std::clamp(row, 0, ny_ - 1);
+  return At(col, row);
+}
+
+Point2 Grid::CenterOf(CellId id) const {
+  assert(IsValid(id));
+  const int col = ColumnOf(id);
+  const int row = RowOf(id);
+  return Point2(box_.min().x + (col + 0.5) * cell_w_,
+                box_.min().y + (row + 0.5) * cell_h_);
+}
+
+double Grid::CenterDistance(CellId a, CellId b) const {
+  return Distance(CenterOf(a), CenterOf(b));
+}
+
+std::vector<CellId> Grid::CellsWithin(const Point2& p, double radius) const {
+  std::vector<CellId> out;
+  // Restrict the scan to the bounding square of the disc.
+  const int col_lo = std::clamp(
+      static_cast<int>(std::floor((p.x - radius - box_.min().x) / cell_w_)), 0,
+      nx_ - 1);
+  const int col_hi = std::clamp(
+      static_cast<int>(std::floor((p.x + radius - box_.min().x) / cell_w_)), 0,
+      nx_ - 1);
+  const int row_lo = std::clamp(
+      static_cast<int>(std::floor((p.y - radius - box_.min().y) / cell_h_)), 0,
+      ny_ - 1);
+  const int row_hi = std::clamp(
+      static_cast<int>(std::floor((p.y + radius - box_.min().y) / cell_h_)), 0,
+      ny_ - 1);
+  const double r2 = radius * radius;
+  for (int row = row_lo; row <= row_hi; ++row) {
+    for (int col = col_lo; col <= col_hi; ++col) {
+      const CellId id = At(col, row);
+      if (SquaredDistance(CenterOf(id), p) <= r2) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace trajpattern

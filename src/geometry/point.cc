@@ -1,0 +1,11 @@
+#include "geometry/point.h"
+
+#include <ostream>
+
+namespace trajpattern {
+
+std::ostream& operator<<(std::ostream& os, const Point2& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,83 @@
+#ifndef TRAJPATTERN_GEOMETRY_POINT_H_
+#define TRAJPATTERN_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <iosfwd>
+
+namespace trajpattern {
+
+/// A point (or displacement vector) in the 2-D plane.
+///
+/// The paper's trajectories live in a continuous 2-D space that is later
+/// discretized by a `Grid`.  `Point2` doubles as the velocity vector type:
+/// §3.2 of the paper derives velocity trajectories as the coordinate-wise
+/// difference of consecutive locations, so the two types are isomorphic and
+/// we deliberately keep a single struct.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point2() = default;
+  constexpr Point2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Point2 operator+(const Point2& o) const {
+    return Point2(x + o.x, y + o.y);
+  }
+  constexpr Point2 operator-(const Point2& o) const {
+    return Point2(x - o.x, y - o.y);
+  }
+  constexpr Point2 operator*(double s) const { return Point2(x * s, y * s); }
+  constexpr Point2 operator/(double s) const { return Point2(x / s, y / s); }
+  Point2& operator+=(const Point2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point2& operator-=(const Point2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Point2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  friend constexpr bool operator==(const Point2& a, const Point2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Velocity vectors share the representation of points; see `Point2`.
+using Vec2 = Point2;
+
+constexpr Point2 operator*(double s, const Point2& p) {
+  return Point2(s * p.x, s * p.y);
+}
+
+/// Squared Euclidean distance between `a` and `b`.
+inline double SquaredDistance(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between `a` and `b`.
+inline double Distance(const Point2& a, const Point2& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Chebyshev (L-infinity) distance; used by the rectangular indifference
+/// model where "within delta" means within delta on both axes.
+inline double ChebyshevDistance(const Point2& a, const Point2& b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/// Euclidean norm of a displacement vector.
+inline double Norm(const Vec2& v) { return std::hypot(v.x, v.y); }
+
+std::ostream& operator<<(std::ostream& os, const Point2& p);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_GEOMETRY_POINT_H_

@@ -1,0 +1,337 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace trajpattern {
+
+struct RTree::Node {
+  bool leaf = true;
+  BoundingBox box;
+  // Leaf payload.
+  std::vector<std::pair<EntryId, BoundingBox>> entries;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  int Count() const {
+    return leaf ? static_cast<int>(entries.size())
+                : static_cast<int>(children.size());
+  }
+};
+
+namespace {
+
+/// Area growth needed for `box` to also cover `add`.
+double Enlargement(const BoundingBox& box, const BoundingBox& add) {
+  return BoundingBox::Union(box, add).Area() - box.Area();
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries)
+    : max_entries_(max_entries),
+      min_entries_(max_entries / 2),
+      root_(std::make_unique<Node>()) {
+  assert(max_entries >= 4);
+}
+
+RTree::~RTree() = default;
+
+int RTree::height() const {
+  int h = 1;
+  for (const Node* n = root_.get(); !n->leaf; n = n->children[0].get()) ++h;
+  return h;
+}
+
+RTree::Node* RTree::ChooseSubtree(Node* node, const BoundingBox& box) const {
+  Node* best = nullptr;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const auto& child : node->children) {
+    const double grow = Enlargement(child->box, box);
+    const double area = child->box.Area();
+    if (grow < best_enlargement ||
+        (grow == best_enlargement && area < best_area)) {
+      best = child.get();
+      best_enlargement = grow;
+      best_area = area;
+    }
+  }
+  return best;
+}
+
+void RTree::RecomputeBox(Node* node) {
+  node->box = BoundingBox();
+  if (node->leaf) {
+    for (const auto& [id, b] : node->entries) {
+      (void)id;
+      node->box.ExtendBox(b);
+    }
+  } else {
+    for (const auto& child : node->children) {
+      node->box.ExtendBox(child->box);
+    }
+  }
+}
+
+std::unique_ptr<RTree::Node> RTree::SplitNode(Node* node) {
+  // Quadratic split (Guttman): seed with the pair wasting the most area,
+  // then assign each remaining item to the group whose MBR it enlarges
+  // least, forcing assignments once a group must take all the rest to
+  // reach the minimum fill.
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  // Collect item boxes uniformly for both node kinds.
+  const int n = node->Count();
+  auto item_box = [&](int i) -> const BoundingBox& {
+    return node->leaf ? node->entries[i].second : node->children[i]->box;
+  };
+
+  // Pick seeds.
+  int seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dead = BoundingBox::Union(item_box(i), item_box(j)).Area() -
+                          item_box(i).Area() - item_box(j).Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  // Distribute.
+  std::vector<int> group(n, -1);
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  BoundingBox box_a = item_box(seed_a);
+  BoundingBox box_b = item_box(seed_b);
+  int count_a = 1, count_b = 1;
+  for (int assigned = 2; assigned < n; ++assigned) {
+    // Forced assignment to honor minimum fill.
+    const int remaining = n - assigned;
+    int pick = -1;
+    int target;
+    if (count_a + remaining == min_entries_) {
+      target = 0;
+    } else if (count_b + remaining == min_entries_) {
+      target = 1;
+    } else {
+      // Next item: the one with the strongest preference.
+      double best_diff = -1.0;
+      double grow_a_pick = 0.0, grow_b_pick = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (group[i] != -1) continue;
+        const double ga = Enlargement(box_a, item_box(i));
+        const double gb = Enlargement(box_b, item_box(i));
+        const double diff = std::abs(ga - gb);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          grow_a_pick = ga;
+          grow_b_pick = gb;
+        }
+      }
+      target = grow_a_pick < grow_b_pick
+                   ? 0
+                   : grow_a_pick > grow_b_pick
+                         ? 1
+                         : (box_a.Area() <= box_b.Area() ? 0 : 1);
+    }
+    if (pick == -1) {
+      for (int i = 0; i < n; ++i) {
+        if (group[i] == -1) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    group[pick] = target;
+    if (target == 0) {
+      box_a.ExtendBox(item_box(pick));
+      ++count_a;
+    } else {
+      box_b.ExtendBox(item_box(pick));
+      ++count_b;
+    }
+  }
+
+  // Move group-1 items into the sibling.
+  if (node->leaf) {
+    std::vector<std::pair<EntryId, BoundingBox>> keep;
+    for (int i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->entries[i]));
+      } else {
+        sibling->entries.push_back(std::move(node->entries[i]));
+      }
+    }
+    node->entries = std::move(keep);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (int i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  RecomputeBox(node);
+  RecomputeBox(sibling.get());
+  return sibling;
+}
+
+void RTree::InsertRecursive(Node* node, EntryId id, const BoundingBox& box) {
+  node->box.ExtendBox(box);
+  if (node->leaf) {
+    node->entries.emplace_back(id, box);
+  } else {
+    Node* child = ChooseSubtree(node, box);
+    InsertRecursive(child, id, box);
+    if (child->Count() > max_entries_) {
+      node->children.push_back(SplitNode(child));
+    }
+  }
+}
+
+void RTree::Insert(EntryId id, const BoundingBox& box) {
+  InsertRecursive(root_.get(), id, box);
+  if (root_->Count() > max_entries_) {
+    auto sibling = SplitNode(root_.get());
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    RecomputeBox(new_root.get());
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool RTree::Remove(EntryId id, const BoundingBox& box) {
+  // Find the leaf holding the exact entry.
+  std::vector<std::pair<EntryId, BoundingBox>> orphans;
+  // Recursive lambda: returns 1 if removed, 0 otherwise; prunes underfull
+  // nodes into `orphans`.
+  auto remove_rec = [&](auto&& self, Node* node) -> bool {
+    if (node->leaf) {
+      for (auto it = node->entries.begin(); it != node->entries.end(); ++it) {
+        if (it->first == id && it->second.min() == box.min() &&
+            it->second.max() == box.max()) {
+          node->entries.erase(it);
+          RecomputeBox(node);
+          return true;
+        }
+      }
+      return false;
+    }
+    for (auto it = node->children.begin(); it != node->children.end(); ++it) {
+      if (!(*it)->box.ContainsBox(box) && !(*it)->box.Intersects(box)) {
+        continue;
+      }
+      if (self(self, it->get())) {
+        if ((*it)->Count() < min_entries_) {
+          // Condense: orphan the whole subtree's entries for reinsertion.
+          std::vector<Node*> stack = {it->get()};
+          while (!stack.empty()) {
+            Node* n = stack.back();
+            stack.pop_back();
+            if (n->leaf) {
+              for (auto& e : n->entries) orphans.push_back(std::move(e));
+            } else {
+              for (auto& c : n->children) stack.push_back(c.get());
+            }
+          }
+          node->children.erase(it);
+        }
+        RecomputeBox(node);
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!remove_rec(remove_rec, root_.get())) return false;
+  --size_;
+
+  // Shrink the root while it has a single child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+  }
+  if (!root_->leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  // Reinsert orphans (their removal already decremented nothing).
+  for (auto& [oid, obox] : orphans) {
+    InsertRecursive(root_.get(), oid, obox);
+    if (root_->Count() > max_entries_) {
+      auto sibling = SplitNode(root_.get());
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      RecomputeBox(new_root.get());
+      root_ = std::move(new_root);
+    }
+  }
+  return true;
+}
+
+std::vector<RTree::EntryId> RTree::QueryIntersects(
+    const BoundingBox& box) const {
+  std::vector<EntryId> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(box)) continue;
+    if (node->leaf) {
+      for (const auto& [id, b] : node->entries) {
+        if (b.Intersects(box)) out.push_back(id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RTree::EntryId> RTree::QueryPoint(const Point2& p) const {
+  return QueryIntersects(BoundingBox(p, p));
+}
+
+bool RTree::CheckNode(const Node* node, int depth, int leaf_depth) const {
+  if (node->leaf) {
+    if (depth != leaf_depth) return false;
+    BoundingBox box;
+    for (const auto& [id, b] : node->entries) {
+      (void)id;
+      box.ExtendBox(b);
+      if (!node->entries.empty() && !node->box.ContainsBox(b)) return false;
+    }
+    return true;
+  }
+  if (node->children.empty()) return false;
+  for (const auto& child : node->children) {
+    if (!node->box.ContainsBox(child->box)) return false;
+    // Fill bounds apply below the root.
+    if (child->Count() > max_entries_) return false;
+    if (!CheckNode(child.get(), depth + 1, leaf_depth)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckInvariants() const {
+  if (size_ == 0) return true;
+  return CheckNode(root_.get(), 1, height());
+}
+
+}  // namespace trajpattern

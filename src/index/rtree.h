@@ -1,0 +1,80 @@
+#ifndef TRAJPATTERN_INDEX_RTREE_H_
+#define TRAJPATTERN_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+#include "geometry/point.h"
+
+namespace trajpattern {
+
+/// Dynamic in-memory R-tree (Guttman, quadratic split) over rectangle
+/// entries.
+///
+/// The moving-object literature the paper builds on ([7], [9], [11])
+/// serves prediction queries from R-tree variants; this is the plain
+/// R-tree substrate used here for region queries over object beliefs and
+/// over mined-pattern footprints.  Entries are (id, box) pairs; point
+/// data uses degenerate boxes.
+class RTree {
+ public:
+  using EntryId = int64_t;
+
+  /// `max_entries` is the node fan-out M (>= 4); the minimum fill m is
+  /// M / 2.
+  explicit RTree(int max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Number of entries stored.
+  size_t size() const { return size_; }
+  /// Tree height (1 = a single leaf).
+  int height() const;
+
+  /// Inserts an entry; duplicate ids are allowed (multiset semantics).
+  void Insert(EntryId id, const BoundingBox& box);
+  /// Point-entry convenience.
+  void Insert(EntryId id, const Point2& point) {
+    Insert(id, BoundingBox(point, point));
+  }
+
+  /// Removes one entry with this exact (id, box) pair; returns false if
+  /// no such entry exists.  (R-tree deletion needs the box to find the
+  /// leaf without a full scan.)
+  bool Remove(EntryId id, const BoundingBox& box);
+
+  /// Ids of all entries whose box intersects `box`, sorted.
+  std::vector<EntryId> QueryIntersects(const BoundingBox& box) const;
+
+  /// Ids of all entries whose box contains `p`, sorted.
+  std::vector<EntryId> QueryPoint(const Point2& p) const;
+
+  /// Validates the structural invariants (MBR containment, fill bounds,
+  /// uniform leaf depth); used by the test suite.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  /// Chooses the child needing least enlargement to cover `box`.
+  Node* ChooseSubtree(Node* node, const BoundingBox& box) const;
+  /// Splits an overfull node; returns the new sibling.
+  std::unique_ptr<Node> SplitNode(Node* node);
+  /// Recomputes `node`'s MBR from its children/entries.
+  static void RecomputeBox(Node* node);
+  void InsertRecursive(Node* node, EntryId id, const BoundingBox& box);
+  bool CheckNode(const Node* node, int depth, int leaf_depth) const;
+
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_INDEX_RTREE_H_

@@ -1,0 +1,121 @@
+#include "index/tpr_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace trajpattern {
+namespace {
+
+/// Time interval during which `p0 + v t` lies inside [lo, hi] on one
+/// axis; full line when v == 0 and already inside, empty when outside.
+struct TimeInterval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool empty() const { return lo > hi; }
+};
+
+TimeInterval AxisWindow(double p0, double v, double lo, double hi) {
+  TimeInterval out;
+  if (v == 0.0) {
+    if (p0 >= lo && p0 <= hi) {
+      out.lo = -std::numeric_limits<double>::infinity();
+      out.hi = std::numeric_limits<double>::infinity();
+    }
+    return out;
+  }
+  double t1 = (lo - p0) / v;
+  double t2 = (hi - p0) / v;
+  if (t1 > t2) std::swap(t1, t2);
+  out.lo = t1;
+  out.hi = t2;
+  return out;
+}
+
+}  // namespace
+
+BoundingBox TprIndex::SweptBox(const State& s) const {
+  BoundingBox box(s.position, s.position);
+  box.Extend(s.position + s.velocity * options_.horizon);
+  return box;
+}
+
+void TprIndex::Update(ObjectId id, double t_ref, const Point2& position,
+                      const Vec2& velocity) {
+  auto it = states_.find(id);
+  if (it != states_.end()) {
+    tree_.Remove(id, it->second.swept);
+    states_.erase(it);
+  }
+  State s{t_ref, position, velocity, BoundingBox()};
+  s.swept = SweptBox(s);
+  tree_.Insert(id, s.swept);
+  states_.emplace(id, std::move(s));
+}
+
+bool TprIndex::Remove(ObjectId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) return false;
+  tree_.Remove(id, it->second.swept);
+  states_.erase(it);
+  return true;
+}
+
+Point2 TprIndex::PredictAt(ObjectId id, double t) const {
+  const State& s = states_.at(id);
+  return s.position + s.velocity * (t - s.t_ref);
+}
+
+std::vector<TprIndex::ObjectId> TprIndex::Candidates(const BoundingBox& region,
+                                                     double t_begin,
+                                                     double t_end) const {
+  (void)region;
+  // Tree pruning is valid only while the query time window lies inside
+  // every candidate's horizon; stale objects (window reaching beyond
+  // t_ref + horizon) are collected by a direct pass so results stay
+  // exact regardless of update cadence.
+  std::vector<ObjectId> out = tree_.QueryIntersects(region);
+  std::vector<ObjectId> stale;
+  for (const auto& [id, s] : states_) {
+    if (t_end > s.t_ref + options_.horizon || t_begin < s.t_ref) {
+      stale.push_back(id);
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  std::vector<ObjectId> merged;
+  std::set_union(out.begin(), out.end(), stale.begin(), stale.end(),
+                 std::back_inserter(merged));
+  return merged;
+}
+
+std::vector<TprIndex::ObjectId> TprIndex::QueryAt(const BoundingBox& region,
+                                                  double t) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : Candidates(region, t, t)) {
+    if (region.Contains(PredictAt(id, t))) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TprIndex::ObjectId> TprIndex::QueryDuring(
+    const BoundingBox& region, double t_begin, double t_end) const {
+  assert(t_begin <= t_end);
+  std::vector<ObjectId> out;
+  for (ObjectId id : Candidates(region, t_begin, t_end)) {
+    const State& s = states_.at(id);
+    // Relative time window during which the object is inside the region.
+    const TimeInterval wx = AxisWindow(s.position.x, s.velocity.x,
+                                       region.min().x, region.max().x);
+    if (wx.empty()) continue;
+    const TimeInterval wy = AxisWindow(s.position.y, s.velocity.y,
+                                       region.min().y, region.max().y);
+    if (wy.empty()) continue;
+    const double lo =
+        std::max({wx.lo, wy.lo, t_begin - s.t_ref});
+    const double hi = std::min({wx.hi, wy.hi, t_end - s.t_ref});
+    if (lo <= hi) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,25 @@
+#ifndef TRAJPATTERN_IO_ASCII_ART_H_
+#define TRAJPATTERN_IO_ASCII_ART_H_
+
+#include <string>
+
+#include "core/pattern.h"
+#include "geometry/grid.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Renders the density of snapshot means over `grid` as an ASCII heatmap
+/// (one character per cell, rows top-down, ramp " .:-=+*#%@" scaled to
+/// the densest cell).  Handy for eyeballing generated workloads in the
+/// examples and for debugging mining inputs.
+std::string RenderDensity(const TrajectoryDataset& data, const Grid& grid);
+
+/// Renders a pattern's footprint on `grid`: its positions are labeled
+/// '1'..'9' then 'a'.. in sequence order ('.' elsewhere, '*' where two
+/// positions share a cell).  Wildcard positions are skipped.
+std::string RenderPattern(const Pattern& pattern, const Grid& grid);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_IO_ASCII_ART_H_

@@ -1,0 +1,45 @@
+#ifndef TRAJPATTERN_IO_CSV_H_
+#define TRAJPATTERN_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/pattern.h"
+#include "core/pattern_group.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Writes `data` as CSV with header `traj_id,snapshot,x,y,sigma`, one row
+/// per snapshot, snapshots in order.
+void WriteTrajectoriesCsv(const TrajectoryDataset& data, std::ostream& os);
+
+/// Parses the format produced by `WriteTrajectoriesCsv`.  Rows must be
+/// grouped by trajectory (snapshot order within a group is taken as-is).
+/// Returns false and leaves `*out` unspecified on malformed input.
+bool ReadTrajectoriesCsv(std::istream& is, TrajectoryDataset* out);
+
+/// Convenience file wrappers; return false on I/O or parse failure.
+bool WriteTrajectoriesCsvFile(const TrajectoryDataset& data,
+                              const std::string& path);
+bool ReadTrajectoriesCsvFile(const std::string& path, TrajectoryDataset* out);
+
+/// Writes scored patterns as CSV `rank,nm,length,cells` where `cells` is a
+/// ;-separated cell-id list (`*` for wildcards).
+void WritePatternsCsv(const std::vector<ScoredPattern>& patterns,
+                      std::ostream& os);
+
+/// Parses the format produced by `WritePatternsCsv`.
+bool ReadPatternsCsv(std::istream& is, std::vector<ScoredPattern>* out);
+
+/// Writes pattern groups as CSV `group,member,nm,length,cells` (same
+/// cell syntax as `WritePatternsCsv`), groups and members in order.
+void WritePatternGroupsCsv(const std::vector<PatternGroup>& groups,
+                           std::ostream& os);
+
+/// Parses the format produced by `WritePatternGroupsCsv`.
+bool ReadPatternGroupsCsv(std::istream& is, std::vector<PatternGroup>* out);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_IO_CSV_H_

@@ -1,0 +1,34 @@
+#ifndef TRAJPATTERN_IO_FLAGS_H_
+#define TRAJPATTERN_IO_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace trajpattern {
+
+/// Minimal `--name=value` command-line parsing for the bench and example
+/// binaries; every figure bench runs with paper-shaped defaults and
+/// accepts overrides (e.g. `--k=200 --seed=7`).
+class Flags {
+ public:
+  /// Parses argv; unrecognized shapes (not `--name=value` / `--name`) are
+  /// ignored so binaries tolerate harness-injected arguments.
+  Flags(int argc, char** argv);
+
+  /// True iff `--name[=...]` was passed.
+  bool Has(const std::string& name) const;
+
+  /// Value of `--name=value` parsed as the default's type.
+  int GetInt(const std::string& name, int def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_IO_FLAGS_H_

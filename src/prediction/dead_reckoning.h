@@ -1,0 +1,81 @@
+#ifndef TRAJPATTERN_PREDICTION_DEAD_RECKONING_H_
+#define TRAJPATTERN_PREDICTION_DEAD_RECKONING_H_
+
+#include "prediction/motion_model.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Parameters of the §3.1 location reporting scheme.
+struct DeadReckoningOptions {
+  /// Tolerable uncertainty distance U: the object reports whenever the
+  /// server's prediction is more than U from its actual location.
+  double uncertainty = 0.01;
+  /// The constant c of §3.1; the server-side belief carries sigma = U/c.
+  double c = 2.0;
+  /// §3.1 alternative: U as a function of the elapse time — the
+  /// tolerance (and the recorded sigma) grows by this much per snapshot
+  /// since the last report.  0 reproduces the constant-U scheme the
+  /// paper assumes for its experiments.
+  double uncertainty_growth = 0.0;
+  /// §3.1: "there may be an error during the communication ... the
+  /// location information may be lost during the transmission."
+  /// Probability that a report message is dropped; the object retries at
+  /// the next snapshot (the prediction error persists meanwhile).  This
+  /// is the paper's stated reason for sizing c: a 5% loss rate pairs
+  /// with c = 2.  Requires a seed for reproducibility.
+  double report_loss_probability = 0.0;
+  /// Seed for the loss process (per-trajectory streams are derived).
+  uint64_t loss_seed = 1;
+
+  /// Tolerance in effect `elapsed` snapshots after the last report.
+  double UncertaintyAt(int elapsed) const {
+    return uncertainty + uncertainty_growth * elapsed;
+  }
+};
+
+/// Outcome of replaying one actual trajectory through the reporting loop.
+struct DeadReckoningResult {
+  /// Snapshots at which a prediction was evaluated (size - 1).
+  int predictions = 0;
+  /// Predictions that missed by more than U, forcing a report — the
+  /// paper's "mis-predictions" (§6.1).
+  int mispredictions = 0;
+  /// Report messages lost in transit (each also counts as a
+  /// misprediction; the server kept its stale belief that snapshot).
+  int lost_reports = 0;
+  /// The imprecise trajectory the server records: reported locations and
+  /// accepted predictions, each with sigma = U/c.  This is exactly the
+  /// mining input format of §3.2.
+  Trajectory server_view;
+};
+
+/// Replays `actual` (means are the object's true positions) through the
+/// dead-reckoning loop with `model` as the shared predictor.  The model
+/// is (re)initialized with the first position; reports carry the object's
+/// one-snapshot velocity estimate.
+DeadReckoningResult SimulateDeadReckoning(const Trajectory& actual,
+                                          MotionModel* model,
+                                          const DeadReckoningOptions& opt);
+
+/// Aggregate mis-prediction statistics over a test set.
+struct PredictionEvaluation {
+  int predictions = 0;
+  int mispredictions = 0;
+  /// mispredictions / predictions (0 when empty).
+  double MispredictionRate() const {
+    return predictions > 0
+               ? static_cast<double>(mispredictions) / predictions
+               : 0.0;
+  }
+};
+
+/// Runs `SimulateDeadReckoning` over every trajectory in `test` with a
+/// fresh clone of `prototype` and sums the counters.
+PredictionEvaluation EvaluatePrediction(const TrajectoryDataset& test,
+                                        const MotionModel& prototype,
+                                        const DeadReckoningOptions& opt);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PREDICTION_DEAD_RECKONING_H_

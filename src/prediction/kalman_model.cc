@@ -1,0 +1,54 @@
+#include "prediction/kalman_model.h"
+
+namespace trajpattern {
+
+void KalmanModel::Initialize(const Point2& start) {
+  ax_ = Axis{start.x, 0.0, r_ * r_, 0.0, 0.1};
+  ay_ = Axis{start.y, 0.0, r_ * r_, 0.0, 0.1};
+}
+
+void KalmanModel::TimeUpdate(Axis* a) const {
+  // F = [1 1; 0 1]; Q models white acceleration over dt = 1.
+  a->x += a->v;
+  const double pxx = a->pxx + 2.0 * a->pxv + a->pvv + q_ / 3.0;
+  const double pxv = a->pxv + a->pvv + q_ / 2.0;
+  const double pvv = a->pvv + q_;
+  a->pxx = pxx;
+  a->pxv = pxv;
+  a->pvv = pvv;
+}
+
+void KalmanModel::Measure(Axis* a, double z) const {
+  const double s = a->pxx + r_ * r_;
+  const double kx = a->pxx / s;
+  const double kv = a->pxv / s;
+  const double innovation = z - a->x;
+  a->x += kx * innovation;
+  a->v += kv * innovation;
+  const double pxx = (1.0 - kx) * a->pxx;
+  const double pxv = (1.0 - kx) * a->pxv;
+  const double pvv = a->pvv - kv * a->pxv;
+  a->pxx = pxx;
+  a->pxv = pxv;
+  a->pvv = pvv;
+}
+
+Point2 KalmanModel::PredictNext() const {
+  return Point2(ax_.x + ax_.v, ay_.x + ay_.v);
+}
+
+void KalmanModel::AdvancePredicted(const Point2& predicted) {
+  (void)predicted;  // the filter's own time update is the belief
+  TimeUpdate(&ax_);
+  TimeUpdate(&ay_);
+}
+
+void KalmanModel::AdvanceReported(const Point2& actual, const Vec2& velocity) {
+  (void)velocity;  // position-only measurement; velocity is inferred
+  TimeUpdate(&ax_);
+  TimeUpdate(&ay_);
+  Measure(&ax_, actual.x);
+  Measure(&ay_, actual.y);
+}
+
+}  // namespace trajpattern

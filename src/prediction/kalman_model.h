@@ -1,0 +1,52 @@
+#ifndef TRAJPATTERN_PREDICTION_KALMAN_MODEL_H_
+#define TRAJPATTERN_PREDICTION_KALMAN_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "prediction/motion_model.h"
+
+namespace trajpattern {
+
+/// Linear Kalman filter (LKF) after Jain et al. [2]: a constant-velocity
+/// filter per axis with process noise `q` and measurement noise `r`.
+/// Reports are position measurements; between reports the filter coasts
+/// on its time update.
+class KalmanModel final : public MotionModel {
+ public:
+  /// `q` is the white-acceleration process noise intensity, `r` the
+  /// report measurement noise standard deviation.
+  explicit KalmanModel(double q = 1e-5, double r = 0.002) : q_(q), r_(r) {}
+
+  std::string name() const override { return "LKF"; }
+  void Initialize(const Point2& start) override;
+  Point2 PredictNext() const override;
+  void AdvancePredicted(const Point2& predicted) override;
+  void AdvanceReported(const Point2& actual, const Vec2& velocity) override;
+  std::unique_ptr<MotionModel> Clone() const override {
+    return std::make_unique<KalmanModel>(q_, r_);
+  }
+
+ private:
+  /// Per-axis state [position, velocity] with covariance.
+  struct Axis {
+    double x = 0.0;
+    double v = 0.0;
+    // Covariance entries (symmetric 2x2).
+    double pxx = 0.0, pxv = 0.0, pvv = 0.0;
+  };
+
+  /// Constant-velocity time update (dt = 1).
+  void TimeUpdate(Axis* a) const;
+  /// Position measurement update.
+  void Measure(Axis* a, double z) const;
+
+  double q_;
+  double r_;
+  Axis ax_;
+  Axis ay_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PREDICTION_KALMAN_MODEL_H_

@@ -1,0 +1,77 @@
+#ifndef TRAJPATTERN_PREDICTION_MOTION_MODEL_H_
+#define TRAJPATTERN_PREDICTION_MOTION_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace trajpattern {
+
+/// Server-side location predictor driven by the dead-reckoning loop of
+/// §3.1.  Snapshots are one time unit apart.  The model sees exactly what
+/// the server sees: the initial position, its own accepted predictions,
+/// and the (location, velocity) payload of each report.
+class MotionModel {
+ public:
+  virtual ~MotionModel() = default;
+
+  /// Human-readable name ("LM", "LKF", "RMF") for result tables.
+  virtual std::string name() const = 0;
+
+  /// Resets the model with the object's known starting position.
+  virtual void Initialize(const Point2& start) = 0;
+
+  /// Predicted location one snapshot ahead of the current time.
+  virtual Point2 PredictNext() const = 0;
+
+  /// Advances one snapshot; the prediction was accepted (no report), so
+  /// the server's belief at the new snapshot is `predicted`.
+  virtual void AdvancePredicted(const Point2& predicted) = 0;
+
+  /// Advances one snapshot; the object reported.  `actual` is its true
+  /// location and `velocity` its current velocity estimate (per [12],
+  /// updates carry the motion vector).
+  virtual void AdvanceReported(const Point2& actual, const Vec2& velocity) = 0;
+
+  /// Called once per snapshot (after `AdvancePredicted` /
+  /// `AdvanceReported`) with the object's true location.  This is
+  /// object-side knowledge: §6.1's pattern check runs on the object
+  /// ("when an object needs to decide whether to report a location, it
+  /// first checks whether the previous portion of the trajectory confirms
+  /// with a discovered pattern"), so the pattern-assisted wrapper uses it
+  /// for confirmation only.  Server-side base models must ignore it, and
+  /// the provided LM / LKF / RMF implementations do.
+  virtual void ObserveActual(const Point2& actual) { (void)actual; }
+
+  /// Fresh copy with the same configuration (uninitialized state).
+  virtual std::unique_ptr<MotionModel> Clone() const = 0;
+};
+
+/// The linear model (LM) of Wolfson et al. [12]: predict_loc = last_loc +
+/// v * t (Eq. 1), with the velocity refreshed at each report.
+class LinearModel final : public MotionModel {
+ public:
+  std::string name() const override { return "LM"; }
+  void Initialize(const Point2& start) override {
+    pos_ = start;
+    vel_ = Vec2(0.0, 0.0);
+  }
+  Point2 PredictNext() const override { return pos_ + vel_; }
+  void AdvancePredicted(const Point2& predicted) override { pos_ = predicted; }
+  void AdvanceReported(const Point2& actual, const Vec2& velocity) override {
+    pos_ = actual;
+    vel_ = velocity;
+  }
+  std::unique_ptr<MotionModel> Clone() const override {
+    return std::make_unique<LinearModel>();
+  }
+
+ private:
+  Point2 pos_;
+  Vec2 vel_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PREDICTION_MOTION_MODEL_H_

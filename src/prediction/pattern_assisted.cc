@@ -1,0 +1,107 @@
+#include "prediction/pattern_assisted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/nm_engine.h"
+#include "prob/log_space.h"
+
+namespace trajpattern {
+
+PatternAssistedModel::PatternAssistedModel(std::unique_ptr<MotionModel> base,
+                                           std::vector<ScoredPattern> patterns,
+                                           const MiningSpace& velocity_space,
+                                           const PatternAssistOptions& options)
+    : base_(std::move(base)),
+      patterns_(std::move(patterns)),
+      space_(velocity_space),
+      options_(options) {
+  // Best achievable per-position probability: a velocity observation
+  // sitting exactly on a cell center.
+  log_perfect_ = SafeLog(ProbWithinDelta(Point2(0.0, 0.0), options_.velocity_sigma,
+                                         Point2(0.0, 0.0), space_.delta,
+                                         space_.model));
+}
+
+void PatternAssistedModel::Initialize(const Point2& start) {
+  base_->Initialize(start);
+  actuals_.clear();
+  actuals_.push_back(start);
+}
+
+void PatternAssistedModel::PushActual(const Point2& p) {
+  actuals_.push_back(p);
+  const size_t cap = static_cast<size_t>(options_.max_confirm_length) + 2;
+  if (actuals_.size() > cap) {
+    actuals_.erase(actuals_.begin(), actuals_.end() - cap);
+  }
+}
+
+void PatternAssistedModel::AdvancePredicted(const Point2& predicted) {
+  base_->AdvancePredicted(predicted);
+}
+
+void PatternAssistedModel::AdvanceReported(const Point2& actual,
+                                           const Vec2& velocity) {
+  base_->AdvanceReported(actual, velocity);
+}
+
+void PatternAssistedModel::ObserveActual(const Point2& actual) {
+  base_->ObserveActual(actual);
+  PushActual(actual);
+}
+
+bool PatternAssistedModel::PatternVelocity(Vec2* velocity) const {
+  if (actuals_.size() < 2) return false;
+  // Velocity history from the object's actual movement, most recent last.
+  std::vector<TrajectoryPoint> vel;
+  vel.reserve(actuals_.size() - 1);
+  for (size_t i = 1; i < actuals_.size(); ++i) {
+    vel.emplace_back(actuals_[i] - actuals_[i - 1], options_.velocity_sigma);
+  }
+  const int max_j = std::min<int>(options_.max_confirm_length,
+                                  static_cast<int>(vel.size()));
+  double best_conf = 0.0;
+  int best_j = 0;
+  CellId best_next = kInvalidCell;
+  for (const auto& sp : patterns_) {
+    const Pattern& p = sp.pattern;
+    // Segment of the last j velocities vs. the pattern's first j
+    // positions, with position j the continuation.
+    for (int j = options_.min_confirm_length; j <= max_j; ++j) {
+      if (static_cast<size_t>(j) >= p.length()) break;
+      const Pattern prefix = p.SubPattern(0, j);
+      const double log_match =
+          WindowLogMatch(vel, vel.size() - j, prefix, space_);
+      // Relative confirmation: 1.0 means every velocity sits exactly on
+      // its pattern cell.
+      const double conf =
+          std::exp((log_match - j * log_perfect_) / static_cast<double>(j));
+      if (conf >= options_.confirm_threshold &&
+          (conf > best_conf || (conf == best_conf && j > best_j))) {
+        best_conf = conf;
+        best_j = j;
+        best_next = p[j];
+      }
+    }
+  }
+  if (best_next == kInvalidCell || best_next == kWildcardCell) return false;
+  *velocity = space_.grid.CenterOf(best_next);
+  return true;
+}
+
+Point2 PatternAssistedModel::PredictNext() const {
+  Vec2 v;
+  if (PatternVelocity(&v)) {
+    ++pattern_hits_;
+    return actuals_.back() + v;
+  }
+  return base_->PredictNext();
+}
+
+std::unique_ptr<MotionModel> PatternAssistedModel::Clone() const {
+  return std::make_unique<PatternAssistedModel>(base_->Clone(), patterns_,
+                                                space_, options_);
+}
+
+}  // namespace trajpattern

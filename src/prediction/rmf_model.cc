@@ -1,0 +1,52 @@
+#include "prediction/rmf_model.h"
+
+#include <cmath>
+
+namespace trajpattern {
+
+void RmfModel::Initialize(const Point2& start) {
+  history_.clear();
+  history_.push_back(start);
+}
+
+void RmfModel::Push(const Point2& p) {
+  history_.push_back(p);
+  while (static_cast<int>(history_.size()) > window_) history_.pop_front();
+}
+
+Point2 RmfModel::PredictNext() const {
+  const size_t n = history_.size();
+  if (n < 2) return history_.back();
+  const Point2 fallback =
+      history_[n - 1] + (history_[n - 1] - history_[n - 2]);
+  if (n < 4) return fallback;
+
+  // Fit x_t = c1 x_{t-1} + c2 x_{t-2} over the window (x and y jointly,
+  // scalar coefficients), via the 2x2 ridge normal equations.
+  double a11 = ridge_, a12 = 0.0, a22 = ridge_;
+  double b1 = 0.0, b2 = 0.0;
+  for (size_t t = 2; t < n; ++t) {
+    const Point2& y = history_[t];
+    const Point2& r1 = history_[t - 1];
+    const Point2& r2 = history_[t - 2];
+    a11 += r1.x * r1.x + r1.y * r1.y;
+    a12 += r1.x * r2.x + r1.y * r2.y;
+    a22 += r2.x * r2.x + r2.y * r2.y;
+    b1 += y.x * r1.x + y.y * r1.y;
+    b2 += y.x * r2.x + y.y * r2.y;
+  }
+  const double det = a11 * a22 - a12 * a12;
+  if (std::abs(det) < 1e-12) return fallback;
+  const double c1 = (b1 * a22 - b2 * a12) / det;
+  const double c2 = (a11 * b2 - a12 * b1) / det;
+  const Point2 pred = history_[n - 1] * c1 + history_[n - 2] * c2;
+  // Guard against divergent recursions (coefficients fit on near-
+  // stationary history can explode); clamp to the fallback when the
+  // prediction jumps implausibly far.
+  const double step = Distance(pred, history_[n - 1]);
+  const double last_step = Distance(history_[n - 1], history_[n - 2]);
+  if (step > 4.0 * last_step + 1e-3) return fallback;
+  return pred;
+}
+
+}  // namespace trajpattern

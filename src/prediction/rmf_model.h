@@ -1,0 +1,46 @@
+#ifndef TRAJPATTERN_PREDICTION_RMF_MODEL_H_
+#define TRAJPATTERN_PREDICTION_RMF_MODEL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "prediction/motion_model.h"
+
+namespace trajpattern {
+
+/// Recursive motion function (RMF) after Tao et al. [11]: the next
+/// location is a learned linear recursion over the previous `f` known
+/// locations, x_t = sum_i c_i x_{t-i}, with the coefficients re-fit by
+/// ridge-regularized least squares over a sliding window of the server's
+/// belief history.  Falls back to constant-velocity extrapolation until
+/// enough history exists or when the fit is ill-conditioned.
+class RmfModel final : public MotionModel {
+ public:
+  /// `window` is the history length used for fitting (must be >= 4).
+  explicit RmfModel(int window = 12, double ridge = 1e-9)
+      : window_(window), ridge_(ridge) {}
+
+  std::string name() const override { return "RMF"; }
+  void Initialize(const Point2& start) override;
+  Point2 PredictNext() const override;
+  void AdvancePredicted(const Point2& predicted) override { Push(predicted); }
+  void AdvanceReported(const Point2& actual, const Vec2& velocity) override {
+    (void)velocity;
+    Push(actual);
+  }
+  std::unique_ptr<MotionModel> Clone() const override {
+    return std::make_unique<RmfModel>(window_, ridge_);
+  }
+
+ private:
+  void Push(const Point2& p);
+
+  int window_;
+  double ridge_;
+  std::deque<Point2> history_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PREDICTION_RMF_MODEL_H_

@@ -1,0 +1,103 @@
+#include "prob/normal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trajpattern {
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+// Integrand of the Rice CDF in the numerically stable scaled form:
+//   f(r) = (r / sigma^2) * exp(-(r - nu)^2 / (2 sigma^2)) * I0e(r nu / s^2)
+// where I0e(x) = I0(x) exp(-x).  Expanding exp(-(r^2+nu^2)/(2s^2)) I0(..)
+// this way keeps every factor in [0, inf) without overflow.
+double RicePdfScaled(double r, double nu, double sigma) {
+  const double s2 = sigma * sigma;
+  const double z = (r - nu) / sigma;
+  return (r / s2) * std::exp(-0.5 * z * z) * BesselI0Scaled(r * nu / s2);
+}
+
+}  // namespace
+
+double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double NormalIntervalProb(double mean, double sigma, double a, double b) {
+  assert(a <= b);
+  if (sigma <= 0.0) return (mean >= a && mean <= b) ? 1.0 : 0.0;
+  const double lo = (a - mean) / sigma;
+  const double hi = (b - mean) / sigma;
+  const double p = StdNormalCdf(hi) - StdNormalCdf(lo);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double BesselI0Scaled(double x) {
+  // Abramowitz & Stegun 9.8.1 / 9.8.2 polynomial approximations,
+  // rearranged to return I0(x) * exp(-x).
+  x = std::abs(x);
+  if (x < 3.75) {
+    const double t = x / 3.75;
+    const double t2 = t * t;
+    const double i0 =
+        1.0 +
+        t2 * (3.5156229 +
+              t2 * (3.0899424 +
+                    t2 * (1.2067492 +
+                          t2 * (0.2659732 +
+                                t2 * (0.0360768 + t2 * 0.0045813)))));
+    return i0 * std::exp(-x);
+  }
+  const double t = 3.75 / x;
+  const double poly =
+      0.39894228 +
+      t * (0.01328592 +
+           t * (0.00225319 +
+                t * (-0.00157565 +
+                     t * (0.00916281 +
+                          t * (-0.02057706 +
+                               t * (0.02635537 +
+                                    t * (-0.01647633 + t * 0.00392377)))))));
+  return poly / std::sqrt(x);
+}
+
+double RadialWithinProb(double center_distance, double sigma, double delta) {
+  assert(delta >= 0.0);
+  if (sigma <= 0.0) return center_distance <= delta ? 1.0 : 0.0;
+  const double nu = center_distance;
+  // The Rice density is concentrated around nu with width ~sigma; the mass
+  // inside [0, delta] is negligible once delta << nu - 12 sigma.
+  if (delta <= 0.0) return 0.0;
+  if (nu - delta > 12.0 * sigma) return 0.0;
+  // Composite Simpson quadrature over [max(0, nu-12s) .. delta] — the
+  // integrand vanishes to machine precision left of that.
+  const double lo = std::max(0.0, nu - 12.0 * sigma);
+  const double hi = delta;
+  if (hi <= lo) return 0.0;
+  // Resolution: enough intervals to resolve features of width sigma/32.
+  int n = static_cast<int>(std::ceil((hi - lo) / (sigma / 32.0)));
+  n = std::clamp(n, 64, 8192);
+  if (n % 2 == 1) ++n;
+  const double h = (hi - lo) / n;
+  double sum = RicePdfScaled(lo, nu, sigma) + RicePdfScaled(hi, nu, sigma);
+  for (int i = 1; i < n; ++i) {
+    const double r = lo + i * h;
+    sum += RicePdfScaled(r, nu, sigma) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double p = sum * h / 3.0;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double ProbWithinDelta(const Point2& l, double sigma, const Point2& p,
+                       double delta, IndifferenceModel model) {
+  switch (model) {
+    case IndifferenceModel::kRectangular:
+      return NormalIntervalProb(l.x, sigma, p.x - delta, p.x + delta) *
+             NormalIntervalProb(l.y, sigma, p.y - delta, p.y + delta);
+    case IndifferenceModel::kRadial:
+      return RadialWithinProb(Distance(l, p), sigma, delta);
+  }
+  return 0.0;
+}
+
+}  // namespace trajpattern

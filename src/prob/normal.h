@@ -1,0 +1,47 @@
+#ifndef TRAJPATTERN_PROB_NORMAL_H_
+#define TRAJPATTERN_PROB_NORMAL_H_
+
+#include "geometry/point.h"
+
+namespace trajpattern {
+
+/// CDF of the standard normal distribution.
+double StdNormalCdf(double z);
+
+/// P(a <= X <= b) for X ~ N(mean, sigma^2).  Degenerates gracefully for
+/// sigma == 0 (point mass at `mean`).
+double NormalIntervalProb(double mean, double sigma, double a, double b);
+
+/// Exponentially scaled modified Bessel function I0(x) * exp(-|x|).
+/// Needed by the radial indifference model; stable for all x >= 0.
+double BesselI0Scaled(double x);
+
+/// How to interpret "the true location is within delta of p" (Eq. 2).
+///
+/// The paper leaves the integration region implicit.  `kRectangular`
+/// treats delta per axis (product of two 1-D normal interval
+/// probabilities; exact under the diagonal covariance of §3.1 and the
+/// library default).  `kRadial` integrates the bivariate normal over the
+/// true Euclidean disc of radius delta (Rice CDF, numeric quadrature).
+enum class IndifferenceModel {
+  kRectangular,
+  kRadial,
+};
+
+/// Prob(l, sigma, p, delta) of §3.3: probability that the true location of
+/// an object — distributed N(l, sigma^2 I) — is within `delta` of `p`.
+///
+/// `sigma == 0` degenerates to an indicator of |l - p| <= delta per the
+/// chosen model.  The result is clamped into [0, 1].
+double ProbWithinDelta(const Point2& l, double sigma, const Point2& p,
+                       double delta,
+                       IndifferenceModel model = IndifferenceModel::kRectangular);
+
+/// P(|X - p| <= delta) for X ~ N(l, sigma^2 I) under the Euclidean disc
+/// model (Rice distribution CDF).  Exposed for testing; prefer
+/// `ProbWithinDelta` with `kRadial`.
+double RadialWithinProb(double center_distance, double sigma, double delta);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PROB_NORMAL_H_

@@ -1,0 +1,64 @@
+#include "server/mobile_object_server.h"
+
+#include <cassert>
+
+namespace trajpattern {
+
+MobileObjectServer::MobileObjectServer(const Options& options)
+    : options_(options),
+      index_(options.index_grid),
+      current_time_(options.sync.start_time) {}
+
+MobileObjectServer::ObjectId MobileObjectServer::Register(
+    const std::string& name) {
+  objects_.push_back(ObjectState{name, {}});
+  return static_cast<ObjectId>(objects_.size()) - 1;
+}
+
+bool MobileObjectServer::Report(ObjectId id, double time,
+                                const Point2& location) {
+  assert(id >= 0 && static_cast<size_t>(id) < objects_.size());
+  auto& reports = objects_[id].reports;
+  if (!reports.empty() && time < reports.back().time) return false;
+  reports.push_back(LocationReport{time, location});
+  return true;
+}
+
+Point2 MobileObjectServer::PredictAt(ObjectId id, double time) const {
+  assert(id >= 0 && static_cast<size_t>(id) < objects_.size());
+  const auto& reports = objects_[id].reports;
+  if (reports.empty()) return options_.index_grid.box().min();
+  // Last report at or before `time` (linear scan from the back: queries
+  // are almost always near the stream head).
+  size_t last = reports.size();
+  while (last > 0 && reports[last - 1].time > time) --last;
+  if (last == 0) return reports.front().location;
+  const LocationReport& r = reports[last - 1];
+  Vec2 v(0.0, 0.0);
+  if (last >= 2) {
+    const LocationReport& prev = reports[last - 2];
+    const double dt = r.time - prev.time;
+    if (dt > 0) v = (r.location - prev.location) / dt;
+  }
+  return r.location + v * (time - r.time);
+}
+
+void MobileObjectServer::AdvanceTo(double time) {
+  current_time_ = time;
+  for (ObjectId id = 0; id < static_cast<ObjectId>(objects_.size()); ++id) {
+    if (objects_[id].reports.empty()) continue;
+    index_.Upsert(id, PredictAt(id, time));
+  }
+}
+
+TrajectoryDataset MobileObjectServer::SynchronizeAll() const {
+  const Synchronizer sync(options_.sync);
+  TrajectoryDataset out;
+  for (const auto& obj : objects_) {
+    if (obj.reports.empty()) continue;
+    out.Add(sync.Synchronize(obj.name, obj.reports));
+  }
+  return out;
+}
+
+}  // namespace trajpattern

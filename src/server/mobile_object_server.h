@@ -1,0 +1,93 @@
+#ifndef TRAJPATTERN_SERVER_MOBILE_OBJECT_SERVER_H_
+#define TRAJPATTERN_SERVER_MOBILE_OBJECT_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "trajectory/synchronizer.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// The server side of §3's setting: "a server and a set of mobile
+/// devices [that] asynchronously report their locations".
+///
+/// The server ingests asynchronous location reports, dead-reckons every
+/// object's current position between reports (Eq. 1), keeps the current
+/// beliefs in a `GridIndex` for location queries (the e-Flyer scenario of
+/// §1), and exports the synchronized imprecise-trajectory view of the
+/// whole fleet (§3.2) — the exact input format of the mining pipeline.
+class MobileObjectServer {
+ public:
+  using ObjectId = GridIndex::ObjectId;
+
+  struct Options {
+    /// Snapshot schedule and uncertainty used by `SynchronizeAll`.
+    Synchronizer::Options sync;
+    /// Space tessellation backing the live-query index.
+    Grid index_grid = Grid::UnitSquare(32);
+  };
+
+  explicit MobileObjectServer(const Options& options);
+
+  /// Registers a device; returns its id.  Names need not be unique but
+  /// usually are.
+  ObjectId Register(const std::string& name);
+
+  size_t num_objects() const { return objects_.size(); }
+  const std::string& name(ObjectId id) const { return objects_[id].name; }
+
+  /// Ingests a report.  Reports of one object must arrive time-ordered;
+  /// out-of-order reports are rejected (returns false).
+  bool Report(ObjectId id, double time, const Point2& location);
+
+  /// Number of reports received from `id`.
+  size_t num_reports(ObjectId id) const {
+    return objects_[id].reports.size();
+  }
+
+  /// Dead-reckoned position of `id` at `time` (Eq. 1: last reported
+  /// location plus last known velocity times the elapsed time).  Objects
+  /// with no report yet sit at the origin of the index grid's box.
+  Point2 PredictAt(ObjectId id, double time) const;
+
+  /// Moves the live index to `time`: every object's indexed position
+  /// becomes its dead-reckoned position at that instant.
+  void AdvanceTo(double time);
+
+  /// The time of the last `AdvanceTo` (starts at the sync start time).
+  double current_time() const { return current_time_; }
+
+  /// Objects within `radius` of `center` at the current index time,
+  /// sorted by id.
+  std::vector<ObjectId> ObjectsNear(const Point2& center,
+                                    double radius) const {
+    return index_.QueryRadius(center, radius);
+  }
+
+  /// The `k` objects nearest to `center` at the current index time.
+  std::vector<ObjectId> NearestObjects(const Point2& center, int k) const {
+    return index_.NearestNeighbors(center, k);
+  }
+
+  /// Synchronized imprecise trajectories of every object with at least
+  /// one report (§3.2); the mining input.
+  TrajectoryDataset SynchronizeAll() const;
+
+ private:
+  struct ObjectState {
+    std::string name;
+    std::vector<LocationReport> reports;
+  };
+
+  Options options_;
+  std::vector<ObjectState> objects_;
+  GridIndex index_;
+  double current_time_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_SERVER_MOBILE_OBJECT_SERVER_H_

@@ -1,0 +1,47 @@
+#ifndef TRAJPATTERN_STATS_RUNNING_STATS_H_
+#define TRAJPATTERN_STATS_RUNNING_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace trajpattern {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Folds `x` into the running aggregate.
+  void Add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return n_ > 0 ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ > 0 ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_STATS_RUNNING_STATS_H_

@@ -1,0 +1,35 @@
+#ifndef TRAJPATTERN_STATS_TABLE_H_
+#define TRAJPATTERN_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace trajpattern {
+
+/// Fixed-width ASCII table used by the figure benches to print the same
+/// rows/series the paper reports.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a fully formatted row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table (header, rule, rows) as a string.
+  std::string ToString() const;
+
+  /// Prints `ToString()` to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_STATS_TABLE_H_

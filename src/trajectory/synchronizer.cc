@@ -1,0 +1,41 @@
+#include "trajectory/synchronizer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trajpattern {
+
+Trajectory Synchronizer::Synchronize(
+    const std::string& id, const std::vector<LocationReport>& reports) const {
+  assert(!reports.empty());
+  assert(std::is_sorted(reports.begin(), reports.end(),
+                        [](const LocationReport& a, const LocationReport& b) {
+                          return a.time < b.time;
+                        }));
+  Trajectory out(id);
+  size_t next = 0;  // first report with time > snapshot time
+  for (int s = 0; s < options_.num_snapshots; ++s) {
+    const double now = options_.start_time + s * options_.interval;
+    while (next < reports.size() && reports[next].time <= now) ++next;
+    if (next == 0) {
+      // Before the first report: best knowledge is that first position.
+      const double gap = reports[0].time - now;
+      out.Append(reports[0].location,
+                 options_.base_sigma + options_.sigma_growth * gap);
+      continue;
+    }
+    const LocationReport& last = reports[next - 1];
+    Vec2 v(0.0, 0.0);
+    if (next >= 2) {
+      const LocationReport& prev = reports[next - 2];
+      const double dt = last.time - prev.time;
+      if (dt > 0) v = (last.location - prev.location) / dt;
+    }
+    const double elapsed = now - last.time;
+    out.Append(last.location + v * elapsed,
+               options_.base_sigma + options_.sigma_growth * elapsed);
+  }
+  return out;
+}
+
+}  // namespace trajpattern

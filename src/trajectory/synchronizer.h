@@ -1,0 +1,58 @@
+#ifndef TRAJPATTERN_TRAJECTORY_SYNCHRONIZER_H_
+#define TRAJPATTERN_TRAJECTORY_SYNCHRONIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// One asynchronous location notification from a mobile object (§3.1).
+struct LocationReport {
+  double time = 0.0;
+  Point2 location;
+};
+
+/// Server-side snapshot synchronization (§3.2).
+///
+/// Mobile objects report asynchronously; to "provide a consistent view of
+/// all objects, a set of synchronous snapshots are generated on the
+/// server".  Between reports the server dead-reckons with the linear model
+/// of Eq. 1 (predict_loc = last_loc + v * t) and attaches the reporting
+/// scheme's uncertainty sigma = U / c, optionally growing with the time
+/// since the last report (U as a function of elapse time, §3.1).
+class Synchronizer {
+ public:
+  struct Options {
+    /// First snapshot time.
+    double start_time = 0.0;
+    /// Spacing between snapshots (the paper's parameter t of §5).
+    double interval = 1.0;
+    /// Number of snapshots to generate.
+    int num_snapshots = 0;
+    /// Base positional uncertainty, sigma = U / c of §3.1.
+    double base_sigma = 0.01;
+    /// Extra sigma per unit of time since the last report; 0 reproduces
+    /// the paper's constant-U assumption.
+    double sigma_growth = 0.0;
+  };
+
+  explicit Synchronizer(const Options& options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Interpolates `reports` (must be sorted by time, non-empty) at the
+  /// configured snapshot times.  Snapshots before the first report reuse
+  /// the first reported position.
+  Trajectory Synchronize(const std::string& id,
+                         const std::vector<LocationReport>& reports) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_TRAJECTORY_SYNCHRONIZER_H_

@@ -1,0 +1,39 @@
+#include "trajectory/trajectory.h"
+
+#include <cassert>
+
+namespace trajpattern {
+
+size_t TrajectoryDataset::TotalPoints() const {
+  size_t n = 0;
+  for (const auto& t : trajectories_) n += t.size();
+  return n;
+}
+
+double TrajectoryDataset::AverageLength() const {
+  if (trajectories_.empty()) return 0.0;
+  return static_cast<double>(TotalPoints()) /
+         static_cast<double>(trajectories_.size());
+}
+
+BoundingBox TrajectoryDataset::MeanBoundingBox(double margin) const {
+  BoundingBox box;
+  for (const auto& t : trajectories_) {
+    for (const auto& p : t) box.Extend(p.mean);
+  }
+  if (!box.empty() && margin > 0.0) box.Inflate(margin);
+  return box;
+}
+
+std::pair<TrajectoryDataset, TrajectoryDataset> TrajectoryDataset::Split(
+    size_t head) const {
+  assert(head <= trajectories_.size());
+  TrajectoryDataset a;
+  TrajectoryDataset b;
+  for (size_t i = 0; i < trajectories_.size(); ++i) {
+    (i < head ? a : b).Add(trajectories_[i]);
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace trajpattern

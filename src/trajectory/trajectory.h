@@ -1,0 +1,101 @@
+#ifndef TRAJPATTERN_TRAJECTORY_TRAJECTORY_H_
+#define TRAJPATTERN_TRAJECTORY_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/bounding_box.h"
+#include "geometry/point.h"
+
+namespace trajpattern {
+
+/// One snapshot of an imprecise trajectory: the server's belief about the
+/// object's position is N(mean, sigma^2 I) (§3.2: T = (l_1, σ_1), ...).
+struct TrajectoryPoint {
+  /// Expected location (or velocity, for velocity trajectories).
+  Point2 mean;
+  /// Standard deviation of the isotropic positional uncertainty.
+  double sigma = 0.0;
+
+  TrajectoryPoint() = default;
+  TrajectoryPoint(const Point2& mean_in, double sigma_in)
+      : mean(mean_in), sigma(sigma_in) {}
+  friend bool operator==(const TrajectoryPoint& a, const TrajectoryPoint& b) {
+    return a.mean == b.mean && a.sigma == b.sigma;
+  }
+};
+
+/// A synchronized imprecise trajectory: one `TrajectoryPoint` per snapshot.
+/// Both location and velocity trajectories use this form (§3.2 shows the
+/// velocity transform preserves it).
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::string id) : id_(std::move(id)) {}
+  Trajectory(std::string id, std::vector<TrajectoryPoint> points)
+      : id_(std::move(id)), points_(std::move(points)) {}
+
+  const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  /// Number of snapshots.
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const TrajectoryPoint& operator[](size_t i) const { return points_[i]; }
+  TrajectoryPoint& operator[](size_t i) { return points_[i]; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  void Append(const TrajectoryPoint& p) { points_.push_back(p); }
+  void Append(const Point2& mean, double sigma) {
+    points_.emplace_back(mean, sigma);
+  }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+
+ private:
+  std::string id_;
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// The mining input: a set of synchronized trajectories (the paper's D).
+class TrajectoryDataset {
+ public:
+  TrajectoryDataset() = default;
+  explicit TrajectoryDataset(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {}
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](size_t i) { return trajectories_[i]; }
+
+  void Add(Trajectory t) { trajectories_.push_back(std::move(t)); }
+
+  auto begin() const { return trajectories_.begin(); }
+  auto end() const { return trajectories_.end(); }
+
+  /// Total number of snapshots across all trajectories.
+  size_t TotalPoints() const;
+
+  /// Average trajectory length (the paper's L); 0 for an empty set.
+  double AverageLength() const;
+
+  /// Smallest box containing every snapshot mean, optionally inflated by
+  /// `margin` (used to build a `Grid` over velocity space, whose extent is
+  /// data-dependent).
+  BoundingBox MeanBoundingBox(double margin = 0.0) const;
+
+  /// Splits into the first `head` trajectories and the rest; used for the
+  /// paper's 450-train / 50-test prediction experiment.
+  std::pair<TrajectoryDataset, TrajectoryDataset> Split(size_t head) const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_TRAJECTORY_TRAJECTORY_H_

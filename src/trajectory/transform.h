@@ -1,0 +1,31 @@
+#ifndef TRAJPATTERN_TRAJECTORY_TRANSFORM_H_
+#define TRAJPATTERN_TRAJECTORY_TRANSFORM_H_
+
+#include "trajectory/trajectory.h"
+
+namespace trajpattern {
+
+/// Location -> velocity transform of §3.2.
+///
+/// The velocity at snapshot i is the difference of the location random
+/// variables at snapshots i+1 and i: mean l_{i+1} - l_i, standard deviation
+/// sqrt(sigma_i^2 + sigma_{i+1}^2) (independent errors).  A trajectory with
+/// n snapshots yields a velocity trajectory with n-1 snapshots; empty and
+/// single-point trajectories map to empty ones.
+Trajectory ToVelocityTrajectory(const Trajectory& t);
+
+/// Applies `ToVelocityTrajectory` to every trajectory in `d`.
+TrajectoryDataset ToVelocityTrajectories(const TrajectoryDataset& d);
+
+/// Uniformly translates and scales every snapshot mean so that `box` maps
+/// onto the unit square, scaling sigmas by the same factor (the larger of
+/// the two axis factors keeps the uncertainty conservative when the box is
+/// not square).  Velocity spaces have data-dependent extents; normalizing
+/// them lets grid sizes and deltas be expressed as fractions of the space,
+/// as in §6.1 ("g_x, g_y, and delta are set to 1/1000 of the side").
+TrajectoryDataset NormalizeToUnitSquare(const TrajectoryDataset& d,
+                                        const BoundingBox& box);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_TRAJECTORY_TRANSFORM_H_

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/brute_force.h"
+#include "baseline/match_apriori.h"
+#include "baseline/pb_miner.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/uniform_generator.h"
+
+namespace trajpattern {
+namespace {
+
+MiningSpace SmallSpace(int n = 3, double delta = 0.15) {
+  return MiningSpace(Grid::UnitSquare(n), delta);
+}
+
+TrajectoryDataset SmallData(uint64_t seed, int objects = 6,
+                            int snapshots = 10) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = objects;
+  opt.num_snapshots = snapshots;
+  opt.sigma = 0.02;
+  opt.seed = seed;
+  return GenerateUniformObjects(opt);
+}
+
+void ExpectSameScores(const std::vector<ScoredPattern>& got,
+                      const std::vector<ScoredPattern>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].nm, want[i].nm, 1e-9) << "rank " << i;
+  }
+}
+
+class BaselineSeedTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSeedTest, ::testing::Range(1, 6));
+
+TEST_P(BaselineSeedTest, PbMatchesBruteForce) {
+  const TrajectoryDataset d = SmallData(GetParam());
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  PbMinerOptions opt;
+  opt.k = 6;
+  opt.max_length = 3;
+  const PbMiningResult pb = MinePbPatterns(engine, opt);
+  const auto brute = BruteForceTopK(engine, 6, 3);
+  ExpectSameScores(pb.patterns, brute);
+  EXPECT_FALSE(pb.stats.hit_prefix_cap);
+}
+
+TEST_P(BaselineSeedTest, PbAgreesWithTrajPattern) {
+  const TrajectoryDataset d = SmallData(GetParam() + 40);
+  const MiningSpace space = SmallSpace();
+  NmEngine e1(d, space);
+  NmEngine e2(d, space);
+  PbMinerOptions pb_opt;
+  pb_opt.k = 5;
+  pb_opt.max_length = 3;
+  const PbMiningResult pb = MinePbPatterns(e1, pb_opt);
+  MinerOptions tp_opt;
+  tp_opt.k = 5;
+  tp_opt.max_pattern_length = 3;
+  const MiningResult tp = MineTrajPatterns(e2, tp_opt);
+  ExpectSameScores(pb.patterns, tp.patterns);
+}
+
+TEST_P(BaselineSeedTest, MatchAprioriMatchesBruteForce) {
+  const TrajectoryDataset d = SmallData(GetParam() + 80);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MatchMinerOptions opt;
+  opt.k = 6;
+  opt.max_length = 3;
+  const MatchMiningResult res = MineMatchPatterns(engine, opt);
+  const auto brute = BruteForceTopKByMatch(engine, 6, 3);
+  ExpectSameScores(res.patterns, brute);
+}
+
+TEST_P(BaselineSeedTest, MatchAprioriWithMinLength) {
+  const TrajectoryDataset d = SmallData(GetParam() + 120, 5, 8);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MatchMinerOptions opt;
+  opt.k = 4;
+  opt.min_length = 2;
+  opt.max_length = 3;
+  const MatchMiningResult res = MineMatchPatterns(engine, opt);
+  const auto brute = BruteForceTopKByMatch(engine, 4, 3, 2);
+  ExpectSameScores(res.patterns, brute);
+  for (const auto& sp : res.patterns) {
+    EXPECT_GE(sp.pattern.length(), 2u);
+  }
+}
+
+TEST(PbMinerTest, PrefixCapAborts) {
+  const TrajectoryDataset d = SmallData(7, 8, 12);
+  const MiningSpace space = SmallSpace(4, 0.12);
+  NmEngine engine(d, space);
+  PbMinerOptions opt;
+  opt.k = 10;
+  opt.max_length = 4;
+  opt.max_expanded_prefixes = 3;
+  const PbMiningResult res = MinePbPatterns(engine, opt);
+  EXPECT_TRUE(res.stats.hit_prefix_cap);
+  EXPECT_LE(res.stats.prefixes_expanded, 3);
+}
+
+TEST(PbMinerTest, TracksPeakLivePrefixes) {
+  const TrajectoryDataset d = SmallData(9);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  PbMinerOptions opt;
+  opt.k = 4;
+  opt.max_length = 2;
+  const PbMiningResult res = MinePbPatterns(engine, opt);
+  EXPECT_GT(res.stats.peak_live_prefixes, 0u);
+  EXPECT_GT(res.stats.evaluations, 0);
+}
+
+TEST(BruteForceTest, RespectsMinAndMaxLength) {
+  const TrajectoryDataset d = SmallData(11, 4, 6);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  const auto res = BruteForceTopK(engine, 100, 2, 2);
+  for (const auto& sp : res) {
+    EXPECT_EQ(sp.pattern.length(), 2u);
+  }
+}
+
+TEST(BruteForceTest, ScoresAreSortedDescending) {
+  const TrajectoryDataset d = SmallData(13, 4, 6);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  const auto res = BruteForceTopK(engine, 20, 2);
+  for (size_t i = 1; i < res.size(); ++i) {
+    EXPECT_GE(res[i - 1].nm, res[i].nm);
+  }
+}
+
+TEST(PbMinerTest, RespectsMaxLength) {
+  const TrajectoryDataset d = SmallData(17, 4, 8);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  PbMinerOptions opt;
+  opt.k = 20;
+  opt.max_length = 2;
+  const PbMiningResult res = MinePbPatterns(engine, opt);
+  for (const auto& sp : res.patterns) {
+    EXPECT_LE(sp.pattern.length(), 2u);
+  }
+}
+
+TEST(MatchMinerTest, MinMatchThresholdPrunesAnswer) {
+  const TrajectoryDataset d = SmallData(19, 5, 8);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MatchMinerOptions opt;
+  opt.k = 50;
+  opt.max_length = 2;
+  opt.min_match = 0.5;
+  const MatchMiningResult res = MineMatchPatterns(engine, opt);
+  for (const auto& sp : res.patterns) {
+    EXPECT_GE(sp.nm, 0.5) << sp.pattern.ToString();
+  }
+  // And the thresholded answer is a prefix of the unthresholded one.
+  opt.min_match = 0.0;
+  const MatchMiningResult full = MineMatchPatterns(engine, opt);
+  ASSERT_LE(res.patterns.size(), full.patterns.size());
+  for (size_t i = 0; i < res.patterns.size(); ++i) {
+    EXPECT_NEAR(res.patterns[i].nm, full.patterns[i].nm, 1e-12);
+  }
+}
+
+TEST(MatchMinerTest, FrontierCapIsReportedAndBoundsWork) {
+  const TrajectoryDataset d = SmallData(23, 6, 10);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MatchMinerOptions opt;
+  opt.k = 5;
+  opt.max_length = 3;
+  opt.frontier_cap = 2;
+  const MatchMiningResult capped = MineMatchPatterns(engine, opt);
+  EXPECT_TRUE(capped.stats.hit_frontier_cap);
+  opt.frontier_cap = 0;
+  const MatchMiningResult exact = MineMatchPatterns(engine, opt);
+  EXPECT_FALSE(exact.stats.hit_frontier_cap);
+  EXPECT_LT(capped.stats.candidates_evaluated,
+            exact.stats.candidates_evaluated);
+  // The capped run's answers are a subset of real patterns: each one's
+  // match value must be genuine (re-scoring agrees).
+  for (const auto& sp : capped.patterns) {
+    EXPECT_NEAR(engine.MatchTotal(sp.pattern), sp.nm, 1e-12);
+  }
+}
+
+TEST(MatchMinerTest, MatchValuesNonNegative) {
+  const TrajectoryDataset d = SmallData(15, 4, 6);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MatchMinerOptions opt;
+  opt.k = 10;
+  opt.max_length = 3;
+  const MatchMiningResult res = MineMatchPatterns(engine, opt);
+  for (const auto& sp : res.patterns) {
+    EXPECT_GE(sp.nm, 0.0);  // match is a probability sum
+    EXPECT_LE(sp.nm, static_cast<double>(d.size()) + 1e-9);
+  }
+}
+
+// §6.1's headline contrast: with the match measure long patterns are
+// penalized (match decays with length), so the average length of top-k
+// match patterns is at most that of top-k NM patterns on the same data.
+TEST(MatchVsNmTest, NmPrefersLongerPatterns) {
+  const TrajectoryDataset d = SmallData(21, 8, 12);
+  const MiningSpace space = SmallSpace(3, 0.2);
+  NmEngine engine(d, space);
+  constexpr int kK = 10;
+  MatchMinerOptions mopt;
+  mopt.k = kK;
+  mopt.max_length = 4;
+  const auto match_res = MineMatchPatterns(engine, mopt);
+  MinerOptions nopt;
+  nopt.k = kK;
+  nopt.max_pattern_length = 4;
+  const auto nm_res = MineTrajPatterns(engine, nopt);
+  auto avg_len = [](const std::vector<ScoredPattern>& ps) {
+    double sum = 0.0;
+    for (const auto& sp : ps) sum += static_cast<double>(sp.pattern.length());
+    return sum / static_cast<double>(ps.size());
+  };
+  EXPECT_LE(avg_len(match_res.patterns), avg_len(nm_res.patterns) + 1e-9);
+}
+
+}  // namespace
+}  // namespace trajpattern

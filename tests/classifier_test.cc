@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/parameters.h"
+#include "datagen/bus_generator.h"
+#include "datagen/planted_generator.h"
+#include "trajectory/transform.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(ParameterSuggestionTest, FollowsSection5Guidance) {
+  PlantedPatternOptions gen;
+  gen.pattern = {Point2(0.2, 0.2), Point2(0.8, 0.8)};
+  gen.num_with_pattern = 5;
+  gen.num_background = 0;
+  gen.num_snapshots = 10;
+  gen.sigma = 0.01;
+  const TrajectoryDataset d = GeneratePlantedPatterns(gen);
+  const ParameterSuggestion s = SuggestParameters(d, 64);
+  EXPECT_DOUBLE_EQ(s.delta, 0.01);          // delta = mean sigma
+  EXPECT_DOUBLE_EQ(s.gamma, 0.03);          // gamma = 3 sigma
+  EXPECT_GE(s.cells_per_side, 1);
+  EXPECT_LE(s.cells_per_side, 64);          // cap respected
+  // The grid must cover every snapshot.
+  const Grid grid = s.MakeGrid();
+  for (const auto& t : d) {
+    for (const auto& pt : t) {
+      EXPECT_TRUE(s.box.Contains(pt.mean));
+      EXPECT_TRUE(grid.IsValid(grid.CellOf(pt.mean)));
+    }
+  }
+}
+
+TEST(ParameterSuggestionTest, DegenerateDataFallsBack) {
+  TrajectoryDataset d;
+  Trajectory t("still");
+  for (int i = 0; i < 5; ++i) t.Append(Point2(0.3, 0.3), 0.0);
+  d.Add(std::move(t));
+  const ParameterSuggestion s = SuggestParameters(d, 32);
+  EXPECT_GT(s.delta, 0.0);
+  EXPECT_GT(s.box.width(), 0.0);
+  EXPECT_GE(s.cells_per_side, 1);
+  // Empty data must not crash either.
+  const ParameterSuggestion e = SuggestParameters(TrajectoryDataset(), 32);
+  EXPECT_GE(e.cells_per_side, 1);
+}
+
+TEST(PatternClassifierTest, SeparatesBusRoutesByLocationPatterns) {
+  // Two routes; train on the first days, classify the last day.  Route
+  // identity lives in the regions the bus traverses, so the classifier
+  // mines LOCATION patterns (velocity profiles of two loop routes are
+  // too alike to separate).
+  BusGeneratorOptions gen;
+  gen.num_routes = 2;
+  gen.buses_per_route = 6;
+  gen.num_days = 5;
+  gen.num_snapshots = 50;
+  gen.seed = 5;  // spatially disjoint routes (overlapping routes are a
+                 // genuinely hard case; see ZScoreHandlesOverlap below)
+  const TrajectoryDataset traces = GenerateBusTraces(gen);
+
+  // Split per route and day using the id format "d<day>_r<route>_...".
+  auto select = [&](int route, bool last_day) {
+    TrajectoryDataset out;
+    const std::string rtag = "_r" + std::to_string(route) + "_";
+    const std::string dtag = "d" + std::to_string(gen.num_days - 1) + "_";
+    for (const auto& t : traces) {
+      const bool is_last = t.id().rfind(dtag, 0) == 0;
+      if (t.id().find(rtag) != std::string::npos && is_last == last_day) {
+        out.Add(t);
+      }
+    }
+    return out;
+  };
+  const TrajectoryDataset train0 = select(0, false);
+  const TrajectoryDataset train1 = select(1, false);
+  const TrajectoryDataset test0 = select(0, true);
+  const TrajectoryDataset test1 = select(1, true);
+  ASSERT_EQ(test0.size(), 6u);
+  ASSERT_EQ(test1.size(), 6u);
+
+  const Grid grid = Grid::UnitSquare(16);
+  const MiningSpace space(
+      grid, std::max(grid.cell_width(), grid.cell_height()));
+
+  PatternClassifier::Options copt;
+  copt.miner.k = 15;
+  copt.miner.min_length = 2;
+  copt.miner.max_pattern_length = 4;
+  copt.miner.max_candidates_per_iteration = 3000;
+  copt.score_top_patterns = 5;
+  PatternClassifier classifier(space, copt);
+  classifier.Train({{"route0", train0}, {"route1", train1}});
+
+  EXPECT_EQ(classifier.labels().size(), 2u);
+  EXPECT_FALSE(classifier.class_patterns(0).empty());
+  EXPECT_FALSE(classifier.class_patterns(1).empty());
+
+  // Route-regular movement should classify cleanly.
+  EXPECT_GE(classifier.Accuracy(test0, "route0"), 0.9);
+  EXPECT_GE(classifier.Accuracy(test1, "route1"), 0.9);
+}
+
+TEST(PatternClassifierTest, ZScoreHandlesOverlap) {
+  // Seed 13 produces two heavily overlapping route regions — the hard
+  // case.  The z-score standardization should still beat chance clearly
+  // on the combined test day.
+  BusGeneratorOptions gen;
+  gen.num_routes = 2;
+  gen.buses_per_route = 6;
+  gen.num_days = 5;
+  gen.num_snapshots = 50;
+  gen.seed = 13;
+  const TrajectoryDataset traces = GenerateBusTraces(gen);
+  auto select = [&](int route, bool last_day) {
+    TrajectoryDataset out;
+    const std::string rtag = "_r" + std::to_string(route) + "_";
+    const std::string dtag = "d" + std::to_string(gen.num_days - 1) + "_";
+    for (const auto& t : traces) {
+      const bool is_last = t.id().rfind(dtag, 0) == 0;
+      if (t.id().find(rtag) != std::string::npos && is_last == last_day) {
+        out.Add(t);
+      }
+    }
+    return out;
+  };
+  const Grid grid = Grid::UnitSquare(16);
+  const MiningSpace space(grid,
+                          std::max(grid.cell_width(), grid.cell_height()));
+  PatternClassifier::Options copt;
+  copt.miner.k = 15;
+  copt.miner.min_length = 2;
+  copt.miner.max_pattern_length = 4;
+  copt.miner.max_candidates_per_iteration = 3000;
+  PatternClassifier classifier(space, copt);
+  classifier.Train({{"route0", select(0, false)}, {"route1", select(1, false)}});
+  const double acc = (classifier.Accuracy(select(0, true), "route0") +
+                      classifier.Accuracy(select(1, true), "route1")) /
+                     2.0;
+  EXPECT_GE(acc, 0.7);
+}
+
+TEST(PatternClassifierTest, ScoresAreCenteredPerClass) {
+  PlantedPatternOptions a;
+  a.pattern = {Point2(0.2, 0.2), Point2(0.4, 0.4), Point2(0.6, 0.6)};
+  a.num_with_pattern = 15;
+  a.num_background = 0;
+  a.num_snapshots = 10;
+  a.seed = 3;
+  PlantedPatternOptions b = a;
+  b.pattern = {Point2(0.8, 0.2), Point2(0.6, 0.4), Point2(0.4, 0.6)};
+  b.seed = 4;
+  const TrajectoryDataset da = GeneratePlantedPatterns(a);
+  const TrajectoryDataset db = GeneratePlantedPatterns(b);
+
+  const MiningSpace space(Grid::UnitSquare(10), 0.05);
+  PatternClassifier::Options copt;
+  copt.miner.k = 5;
+  copt.miner.min_length = 2;
+  copt.miner.max_pattern_length = 3;
+  PatternClassifier classifier(space, copt);
+  classifier.Train({{"A", da}, {"B", db}});
+
+  // A trajectory carrying motif A must classify as A and vice versa.
+  EXPECT_EQ(classifier.Classify(da[0]), "A");
+  EXPECT_EQ(classifier.Classify(db[0]), "B");
+  const auto scores = classifier.Scores(da[0]);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+}  // namespace
+}  // namespace trajpattern

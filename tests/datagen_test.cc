@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datagen/bus_generator.h"
+#include "datagen/planted_generator.h"
+#include "datagen/uniform_generator.h"
+#include "datagen/zebranet_generator.h"
+#include "geometry/bounding_box.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(UniformGeneratorTest, ShapeAndDeterminism) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 7;
+  opt.num_snapshots = 13;
+  opt.seed = 5;
+  const TrajectoryDataset a = GenerateUniformObjects(opt);
+  const TrajectoryDataset b = GenerateUniformObjects(opt);
+  ASSERT_EQ(a.size(), 7u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), 13u);
+    for (size_t s = 0; s < a[i].size(); ++s) {
+      EXPECT_EQ(a[i][s].mean, b[i][s].mean);
+    }
+  }
+}
+
+TEST(UniformGeneratorTest, StaysInUnitSquare) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 20;
+  opt.num_snapshots = 200;
+  opt.max_speed = 0.05;
+  opt.seed = 8;
+  const TrajectoryDataset d = GenerateUniformObjects(opt);
+  const BoundingBox unit = BoundingBox::UnitSquare();
+  for (const auto& t : d) {
+    for (const auto& p : t) {
+      EXPECT_TRUE(unit.Contains(p.mean)) << p.mean.x << "," << p.mean.y;
+    }
+  }
+}
+
+TEST(UniformGeneratorTest, DifferentSeedsDiffer) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 3;
+  opt.num_snapshots = 5;
+  opt.seed = 1;
+  const TrajectoryDataset a = GenerateUniformObjects(opt);
+  opt.seed = 2;
+  const TrajectoryDataset b = GenerateUniformObjects(opt);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t s = 0; s < a[i].size(); ++s) {
+      if (!(a[i][s].mean == b[i][s].mean)) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ZebraNetGeneratorTest, ShapeAndBounds) {
+  ZebraNetGeneratorOptions opt;
+  opt.num_zebras = 30;
+  opt.num_groups = 5;
+  opt.num_snapshots = 40;
+  opt.seed = 3;
+  const TrajectoryDataset d = GenerateZebraNet(opt);
+  ASSERT_EQ(d.size(), 30u);
+  const BoundingBox unit = BoundingBox::UnitSquare();
+  for (const auto& t : d) {
+    ASSERT_EQ(t.size(), 40u);
+    for (const auto& p : t) {
+      EXPECT_TRUE(unit.Contains(p.mean));
+      EXPECT_DOUBLE_EQ(p.sigma, opt.sigma);
+    }
+  }
+}
+
+TEST(ZebraNetGeneratorTest, GroupMembersMoveTogether) {
+  ZebraNetGeneratorOptions opt;
+  opt.num_zebras = 20;
+  opt.num_groups = 2;
+  opt.num_snapshots = 30;
+  opt.leave_probability = 0.0;  // nobody leaves
+  opt.individual_noise = 0.001;
+  opt.seed = 4;
+  const TrajectoryDataset d = GenerateZebraNet(opt);
+  // Zebras 0 and 2 are in group 0 (round-robin assignment); their paths
+  // should stay close (same group moves, small noise).
+  double max_dist = 0.0;
+  for (size_t s = 0; s < d[0].size(); ++s) {
+    max_dist = std::max(max_dist, Distance(d[0][s].mean, d[2][s].mean));
+  }
+  EXPECT_LT(max_dist, 0.1);
+}
+
+TEST(ZebraNetGeneratorTest, SolitaryZebrasDiverge) {
+  ZebraNetGeneratorOptions opt;
+  opt.num_zebras = 10;
+  opt.num_groups = 1;
+  opt.num_snapshots = 60;
+  opt.leave_probability = 0.5;  // most leave quickly
+  opt.seed = 6;
+  const TrajectoryDataset d = GenerateZebraNet(opt);
+  // With aggressive leaving, endpoints should spread out.
+  double spread = 0.0;
+  const size_t last = d[0].size() - 1;
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = i + 1; j < d.size(); ++j) {
+      spread = std::max(spread, Distance(d[i][last].mean, d[j][last].mean));
+    }
+  }
+  EXPECT_GT(spread, 0.05);
+}
+
+TEST(BusGeneratorTest, ShapeAndIds) {
+  BusGeneratorOptions opt;
+  opt.num_routes = 2;
+  opt.buses_per_route = 3;
+  opt.num_days = 2;
+  opt.num_snapshots = 25;
+  opt.seed = 5;
+  const TrajectoryDataset d = GenerateBusTraces(opt);
+  ASSERT_EQ(d.size(), 12u);  // 2 routes * 3 buses * 2 days
+  EXPECT_EQ(d[0].id(), "d0_r0_b0");
+  EXPECT_EQ(d[11].id(), "d1_r1_b2");
+  for (const auto& t : d) EXPECT_EQ(t.size(), 25u);
+}
+
+TEST(BusGeneratorTest, DayMajorOrderSupportsTrainTestSplit) {
+  BusGeneratorOptions opt;
+  opt.num_routes = 2;
+  opt.buses_per_route = 2;
+  opt.num_days = 3;
+  opt.num_snapshots = 10;
+  const TrajectoryDataset d = GenerateBusTraces(opt);
+  const auto [train, test] = d.Split(d.size() - 4);
+  EXPECT_EQ(test.size(), 4u);
+  for (size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(test[i].id().substr(0, 2), "d2");  // last day only
+  }
+}
+
+TEST(BusGeneratorTest, BusesFollowTheirRouteLoop) {
+  BusGeneratorOptions opt;
+  opt.num_routes = 2;
+  opt.buses_per_route = 2;
+  opt.num_days = 1;
+  opt.num_snapshots = 50;
+  opt.gps_noise = 0.001;
+  opt.seed = 7;
+  const TrajectoryDataset d = GenerateBusTraces(opt);
+  const auto routes = BusRouteWaypoints(opt);
+  // Every observed point must be near its route polyline: within the
+  // route's bounding box inflated generously.
+  for (size_t i = 0; i < d.size(); ++i) {
+    const int route = (static_cast<int>(i) / opt.buses_per_route) %
+                      opt.num_routes;
+    BoundingBox box;
+    for (const auto& wp : routes[route]) box.Extend(wp);
+    box.Inflate(0.02);
+    for (const auto& p : d[i]) {
+      EXPECT_TRUE(box.Contains(p.mean));
+    }
+  }
+}
+
+TEST(BusGeneratorTest, SharedPoolRoutesShareWaypoints) {
+  BusGeneratorOptions opt;
+  opt.num_routes = 4;
+  opt.waypoint_pool = 8;
+  opt.min_waypoints = 5;
+  opt.max_waypoints = 7;
+  opt.seed = 3;
+  const auto routes = BusRouteWaypoints(opt);
+  ASSERT_EQ(routes.size(), 4u);
+  // Count waypoints shared between route pairs (exact coordinate reuse
+  // is the signature of the pool geometry).
+  int shared = 0;
+  for (size_t a = 0; a < routes.size(); ++a) {
+    for (size_t b = a + 1; b < routes.size(); ++b) {
+      for (const auto& pa : routes[a]) {
+        for (const auto& pb : routes[b]) {
+          if (pa == pb) ++shared;
+        }
+      }
+    }
+  }
+  EXPECT_GT(shared, 0);
+  // Each route still respects its waypoint-count bounds.
+  for (const auto& r : routes) {
+    EXPECT_GE(r.size(), 5u);
+    EXPECT_LE(r.size(), 7u);
+  }
+  // And traces still generate fine on the shared geometry.
+  opt.buses_per_route = 2;
+  opt.num_days = 1;
+  opt.num_snapshots = 20;
+  const TrajectoryDataset d = GenerateBusTraces(opt);
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST(BusGeneratorTest, TimetabledBusesRepeatAcrossDays) {
+  BusGeneratorOptions opt;
+  opt.num_routes = 1;
+  opt.buses_per_route = 1;
+  opt.num_days = 2;
+  opt.num_snapshots = 30;
+  opt.speed_noise = 0.0;
+  opt.gps_noise = 0.0;
+  opt.timetabled = true;
+  const TrajectoryDataset d = GenerateBusTraces(opt);
+  ASSERT_EQ(d.size(), 2u);
+  // Without noise a timetabled bus repeats its day exactly.
+  for (size_t s = 0; s < d[0].size(); ++s) {
+    EXPECT_LT(Distance(d[0][s].mean, d[1][s].mean), 1e-9);
+  }
+}
+
+TEST(PlantedGeneratorTest, EmbedsPatternInCarriers) {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.2, 0.2), Point2(0.8, 0.8)};
+  opt.num_with_pattern = 5;
+  opt.num_background = 2;
+  opt.num_snapshots = 6;
+  opt.embed_noise = 0.0;
+  opt.seed = 11;
+  const TrajectoryDataset d = GeneratePlantedPatterns(opt);
+  ASSERT_EQ(d.size(), 7u);
+  // Each carrier must contain the exact two positions consecutively.
+  for (int i = 0; i < opt.num_with_pattern; ++i) {
+    bool found = false;
+    for (size_t s = 0; s + 1 < d[i].size(); ++s) {
+      if (Distance(d[i][s].mean, opt.pattern[0]) < 1e-12 &&
+          Distance(d[i][s + 1].mean, opt.pattern[1]) < 1e-12) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "carrier " << i;
+  }
+}
+
+TEST(PlantedGeneratorTest, BackgroundHasNoExactPattern) {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.2, 0.2), Point2(0.8, 0.8)};
+  opt.num_with_pattern = 1;
+  opt.num_background = 5;
+  opt.num_snapshots = 6;
+  opt.seed = 12;
+  const TrajectoryDataset d = GeneratePlantedPatterns(opt);
+  for (size_t i = 1; i < d.size(); ++i) {
+    for (const auto& p : d[i]) {
+      EXPECT_GT(Distance(p.mean, opt.pattern[0]) +
+                    Distance(p.mean, opt.pattern[1]),
+                1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trajpattern

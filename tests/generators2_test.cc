@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/network_generator.h"
+#include "datagen/posture_generator.h"
+#include "geometry/bounding_box.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(RoadNetworkTest, StructureIsSoundAndConnected) {
+  NetworkGeneratorOptions opt;
+  opt.num_nodes = 30;
+  opt.degree = 3;
+  opt.seed = 3;
+  const RoadNetwork net = BuildRoadNetwork(opt);
+  ASSERT_EQ(net.nodes.size(), 30u);
+  ASSERT_EQ(net.edges.size(), 30u);
+  // Symmetry and no self loops.
+  for (int a = 0; a < 30; ++a) {
+    for (int b : net.edges[a]) {
+      EXPECT_NE(a, b);
+      EXPECT_NE(std::find(net.edges[b].begin(), net.edges[b].end(), a),
+                net.edges[b].end());
+    }
+    EXPECT_GE(net.edges[a].size(), 1u);
+  }
+  // Connectivity: BFS from node 0 reaches everything.
+  std::vector<bool> seen(30, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 0;
+  while (!stack.empty()) {
+    const int n = stack.back();
+    stack.pop_back();
+    ++count;
+    for (int m : net.edges[n]) {
+      if (!seen[m]) {
+        seen[m] = true;
+        stack.push_back(m);
+      }
+    }
+  }
+  EXPECT_EQ(count, 30);
+}
+
+TEST(NetworkGeneratorTest, ObjectsStayNearTheNetwork) {
+  NetworkGeneratorOptions opt;
+  opt.num_objects = 20;
+  opt.num_snapshots = 40;
+  opt.position_noise = 0.0005;
+  opt.seed = 5;
+  const RoadNetwork net = BuildRoadNetwork(opt);
+  const TrajectoryDataset d = GenerateNetworkObjects(opt);
+  ASSERT_EQ(d.size(), 20u);
+  // Every emitted point lies close to some edge segment.
+  auto dist_to_segment = [](const Point2& p, const Point2& a,
+                            const Point2& b) {
+    const Vec2 ab = b - a;
+    const double len2 = ab.x * ab.x + ab.y * ab.y;
+    double t = len2 > 0 ? ((p.x - a.x) * ab.x + (p.y - a.y) * ab.y) / len2
+                        : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    return Distance(p, a + ab * t);
+  };
+  for (const auto& t : d) {
+    ASSERT_EQ(t.size(), 40u);
+    for (const auto& pt : t) {
+      double best = 1e9;
+      for (size_t a = 0; a < net.nodes.size(); ++a) {
+        for (int b : net.edges[a]) {
+          best = std::min(best, dist_to_segment(pt.mean, net.nodes[a],
+                                                net.nodes[b]));
+        }
+      }
+      EXPECT_LT(best, 0.01);
+    }
+  }
+}
+
+TEST(NetworkGeneratorTest, DeterministicPerSeed) {
+  NetworkGeneratorOptions opt;
+  opt.num_objects = 5;
+  opt.num_snapshots = 10;
+  opt.seed = 7;
+  const TrajectoryDataset a = GenerateNetworkObjects(opt);
+  const TrajectoryDataset b = GenerateNetworkObjects(opt);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t s = 0; s < a[i].size(); ++s) {
+      EXPECT_EQ(a[i][s].mean, b[i][s].mean);
+    }
+  }
+}
+
+TEST(PostureGeneratorTest, AnchorsOnCircleAndShape) {
+  PostureGeneratorOptions opt;
+  opt.num_poses = 5;
+  opt.num_subjects = 8;
+  opt.num_snapshots = 30;
+  const auto anchors = PoseAnchors(opt);
+  ASSERT_EQ(anchors.size(), 5u);
+  for (const auto& a : anchors) {
+    EXPECT_NEAR(Distance(a, Point2(0.5, 0.5)), 0.35, 1e-12);
+  }
+  const TrajectoryDataset d = GeneratePostures(opt);
+  ASSERT_EQ(d.size(), 8u);
+  for (const auto& t : d) EXPECT_EQ(t.size(), 30u);
+}
+
+TEST(PostureGeneratorTest, SnapshotsSitNearSomeAnchor) {
+  PostureGeneratorOptions opt;
+  opt.pose_noise = 0.005;
+  opt.seed = 9;
+  const auto anchors = PoseAnchors(opt);
+  const TrajectoryDataset d = GeneratePostures(opt);
+  for (const auto& t : d) {
+    for (const auto& pt : t) {
+      double best = 1e9;
+      for (const auto& a : anchors) best = std::min(best, Distance(pt.mean, a));
+      EXPECT_LT(best, 0.05);
+    }
+  }
+}
+
+TEST(PostureGeneratorTest, CanonicalCycleIsMineable) {
+  // With high fidelity the pose cycle dominates; the top length-2 pattern
+  // should be a consecutive anchor pair of the cycle.
+  PostureGeneratorOptions opt;
+  opt.num_poses = 4;
+  opt.num_subjects = 30;
+  opt.num_snapshots = 40;
+  opt.cycle_fidelity = 0.95;
+  opt.transition_probability = 0.5;
+  opt.pose_noise = 0.005;
+  opt.seed = 21;
+  const TrajectoryDataset d = GeneratePostures(opt);
+  const Grid grid = Grid::UnitSquare(8);
+  const MiningSpace space(grid, 0.07);
+  NmEngine engine(d, space);
+  MinerOptions mopt;
+  mopt.k = 6;
+  mopt.min_length = 2;
+  mopt.max_pattern_length = 2;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+  ASSERT_FALSE(mined.patterns.empty());
+  const auto anchors = PoseAnchors(opt);
+  std::set<std::pair<CellId, CellId>> valid;
+  for (int i = 0; i < opt.num_poses; ++i) {
+    const CellId a = grid.CellOf(anchors[i]);
+    const CellId b = grid.CellOf(anchors[(i + 1) % opt.num_poses]);
+    valid.insert({a, b});
+    valid.insert({a, a});  // dwell: the pose persists across snapshots
+    valid.insert({b, b});
+  }
+  const Pattern& best = mined.patterns[0].pattern;
+  ASSERT_EQ(best.length(), 2u);
+  EXPECT_TRUE(valid.count({best[0], best[1]}) > 0)
+      << best.ToString();
+}
+
+}  // namespace
+}  // namespace trajpattern

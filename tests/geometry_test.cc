@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/bounding_box.h"
+#include "geometry/grid.h"
+#include "geometry/point.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(Point2Test, Arithmetic) {
+  const Point2 a(1.0, 2.0);
+  const Point2 b(0.5, -1.0);
+  EXPECT_EQ(a + b, Point2(1.5, 1.0));
+  EXPECT_EQ(a - b, Point2(0.5, 3.0));
+  EXPECT_EQ(a * 2.0, Point2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Point2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Point2(0.5, 1.0));
+}
+
+TEST(Point2Test, CompoundAssignment) {
+  Point2 p(1.0, 1.0);
+  p += Point2(2.0, 3.0);
+  EXPECT_EQ(p, Point2(3.0, 4.0));
+  p -= Point2(1.0, 1.0);
+  EXPECT_EQ(p, Point2(2.0, 3.0));
+  p *= 2.0;
+  EXPECT_EQ(p, Point2(4.0, 6.0));
+}
+
+TEST(Point2Test, Distances) {
+  const Point2 a(0.0, 0.0);
+  const Point2 b(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ChebyshevDistance(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(Norm(b), 5.0);
+}
+
+TEST(Point2Test, DistanceIsSymmetric) {
+  const Point2 a(0.7, -0.3);
+  const Point2 b(-1.2, 2.5);
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  EXPECT_DOUBLE_EQ(ChebyshevDistance(a, b), ChebyshevDistance(b, a));
+}
+
+TEST(BoundingBoxTest, EmptyAndExtend) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  box.Extend(Point2(1.0, 2.0));
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.min(), Point2(1.0, 2.0));
+  EXPECT_EQ(box.max(), Point2(1.0, 2.0));
+  box.Extend(Point2(-1.0, 5.0));
+  EXPECT_EQ(box.min(), Point2(-1.0, 2.0));
+  EXPECT_EQ(box.max(), Point2(1.0, 5.0));
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 3.0);
+}
+
+TEST(BoundingBoxTest, ContainsAndClamp) {
+  const BoundingBox box(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  EXPECT_TRUE(box.Contains(Point2(0.5, 0.5)));
+  EXPECT_TRUE(box.Contains(Point2(0.0, 1.0)));  // boundary
+  EXPECT_FALSE(box.Contains(Point2(1.1, 0.5)));
+  EXPECT_EQ(box.Clamp(Point2(2.0, -1.0)), Point2(1.0, 0.0));
+  EXPECT_EQ(box.Clamp(Point2(0.3, 0.4)), Point2(0.3, 0.4));
+}
+
+TEST(BoundingBoxTest, InflateAndCenter) {
+  BoundingBox box(Point2(0.0, 0.0), Point2(2.0, 2.0));
+  EXPECT_EQ(box.center(), Point2(1.0, 1.0));
+  box.Inflate(0.5);
+  EXPECT_EQ(box.min(), Point2(-0.5, -0.5));
+  EXPECT_EQ(box.max(), Point2(2.5, 2.5));
+}
+
+TEST(GridTest, BasicLayout) {
+  const Grid grid = Grid::UnitSquare(4);
+  EXPECT_EQ(grid.num_cells(), 16);
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 0.25);
+  EXPECT_DOUBLE_EQ(grid.cell_height(), 0.25);
+  EXPECT_EQ(grid.At(0, 0), 0);
+  EXPECT_EQ(grid.At(3, 3), 15);
+  EXPECT_EQ(grid.ColumnOf(5), 1);
+  EXPECT_EQ(grid.RowOf(5), 1);
+}
+
+TEST(GridTest, CellOfRoundTrip) {
+  const Grid grid = Grid::UnitSquare(8);
+  for (CellId id = 0; id < grid.num_cells(); ++id) {
+    EXPECT_EQ(grid.CellOf(grid.CenterOf(id)), id);
+  }
+}
+
+TEST(GridTest, CellOfClampsOutside) {
+  const Grid grid = Grid::UnitSquare(4);
+  EXPECT_EQ(grid.CellOf(Point2(-0.3, -0.3)), grid.At(0, 0));
+  EXPECT_EQ(grid.CellOf(Point2(1.7, 1.7)), grid.At(3, 3));
+  EXPECT_EQ(grid.CellOf(Point2(-0.3, 1.7)), grid.At(0, 3));
+}
+
+TEST(GridTest, NonSquareGrid) {
+  const Grid grid(BoundingBox(Point2(0.0, 0.0), Point2(2.0, 1.0)), 4, 2);
+  EXPECT_EQ(grid.num_cells(), 8);
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 0.5);
+  EXPECT_DOUBLE_EQ(grid.cell_height(), 0.5);
+  EXPECT_EQ(grid.CellOf(Point2(1.9, 0.9)), grid.At(3, 1));
+}
+
+TEST(GridTest, CenterDistance) {
+  const Grid grid = Grid::UnitSquare(4);
+  EXPECT_DOUBLE_EQ(grid.CenterDistance(grid.At(0, 0), grid.At(1, 0)), 0.25);
+  EXPECT_DOUBLE_EQ(grid.CenterDistance(grid.At(0, 0), grid.At(0, 2)), 0.5);
+  EXPECT_NEAR(grid.CenterDistance(grid.At(0, 0), grid.At(1, 1)),
+              0.25 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(GridTest, CellsWithinRadius) {
+  const Grid grid = Grid::UnitSquare(8);
+  const Point2 center = grid.CenterOf(grid.At(4, 4));
+  // Radius between the axis-neighbor pitch (0.125) and the diagonal
+  // pitch (0.125 * sqrt(2) ~ 0.177): the cell itself plus the four axis
+  // neighbors.
+  const auto cells = grid.CellsWithin(center, 0.13);
+  EXPECT_EQ(cells.size(), 5u);
+  for (CellId c : cells) {
+    EXPECT_LE(Distance(grid.CenterOf(c), center), 0.13);
+  }
+}
+
+TEST(GridTest, CellsWithinCoversWholeGrid) {
+  const Grid grid = Grid::UnitSquare(4);
+  const auto cells = grid.CellsWithin(Point2(0.5, 0.5), 10.0);
+  EXPECT_EQ(static_cast<int>(cells.size()), grid.num_cells());
+}
+
+TEST(GridTest, CellsWithinEmptyForFarPoint) {
+  const Grid grid = Grid::UnitSquare(4);
+  const auto cells = grid.CellsWithin(Point2(5.0, 5.0), 0.1);
+  EXPECT_TRUE(cells.empty());
+}
+
+}  // namespace
+}  // namespace trajpattern

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "index/rtree.h"
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(GridIndexTest, UpsertLookupRemove) {
+  GridIndex index(Grid::UnitSquare(8));
+  index.Upsert(1, Point2(0.1, 0.1));
+  index.Upsert(2, Point2(0.9, 0.9));
+  EXPECT_EQ(index.size(), 2u);
+  Point2 p;
+  ASSERT_TRUE(index.Lookup(1, &p));
+  EXPECT_EQ(p, Point2(0.1, 0.1));
+  // Move object 1 across cells.
+  index.Upsert(1, Point2(0.8, 0.8));
+  ASSERT_TRUE(index.Lookup(1, &p));
+  EXPECT_EQ(p, Point2(0.8, 0.8));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_FALSE(index.Lookup(1, &p));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(GridIndexTest, QueryBoxMatchesLinearScan) {
+  Rng rng(5);
+  GridIndex index(Grid::UnitSquare(10));
+  std::vector<Point2> points;
+  for (int i = 0; i < 200; ++i) {
+    points.emplace_back(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    index.Upsert(i, points.back());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    Point2 a(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    Point2 b(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    const BoundingBox box(Point2(std::min(a.x, b.x), std::min(a.y, b.y)),
+                          Point2(std::max(a.x, b.x), std::max(a.y, b.y)));
+    std::vector<GridIndex::ObjectId> expected;
+    for (int i = 0; i < 200; ++i) {
+      if (box.Contains(points[i])) expected.push_back(i);
+    }
+    EXPECT_EQ(index.QueryBox(box), expected);
+  }
+}
+
+TEST(GridIndexTest, QueryRadiusMatchesLinearScan) {
+  Rng rng(7);
+  GridIndex index(Grid::UnitSquare(10));
+  std::vector<Point2> points;
+  for (int i = 0; i < 150; ++i) {
+    points.emplace_back(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    index.Upsert(i, points.back());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point2 c(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    const double r = rng.Uniform(0.02, 0.4);
+    std::vector<GridIndex::ObjectId> expected;
+    for (int i = 0; i < 150; ++i) {
+      if (Distance(points[i], c) <= r) expected.push_back(i);
+    }
+    EXPECT_EQ(index.QueryRadius(c, r), expected);
+  }
+}
+
+TEST(GridIndexTest, NearestNeighborsExact) {
+  Rng rng(9);
+  GridIndex index(Grid::UnitSquare(10));
+  std::vector<Point2> points;
+  for (int i = 0; i < 100; ++i) {
+    points.emplace_back(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    index.Upsert(i, points.back());
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point2 c(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    const int k = rng.UniformInt(1, 12);
+    std::vector<int> expected(100);
+    for (int i = 0; i < 100; ++i) expected[i] = i;
+    std::sort(expected.begin(), expected.end(), [&](int a, int b) {
+      const double da = SquaredDistance(points[a], c);
+      const double db = SquaredDistance(points[b], c);
+      if (da != db) return da < db;
+      return a < b;
+    });
+    expected.resize(k);
+    const auto got = index.NearestNeighbors(c, k);
+    ASSERT_EQ(got.size(), static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(GridIndexTest, NearestNeighborsMoreThanStored) {
+  GridIndex index(Grid::UnitSquare(4));
+  index.Upsert(1, Point2(0.2, 0.2));
+  index.Upsert(2, Point2(0.8, 0.8));
+  const auto got = index.NearestNeighbors(Point2(0.0, 0.0), 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+}
+
+TEST(RTreeTest, InsertAndQueryPoint) {
+  RTree tree(4);
+  tree.Insert(1, Point2(0.5, 0.5));
+  tree.Insert(2, Point2(0.1, 0.9));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.QueryPoint(Point2(0.5, 0.5)),
+            std::vector<RTree::EntryId>{1});
+  EXPECT_TRUE(tree.QueryPoint(Point2(0.3, 0.3)).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SplitsKeepInvariants) {
+  RTree tree(4);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    tree.Insert(i, Point2(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)));
+    if (i % 50 == 0) {
+      EXPECT_TRUE(tree.CheckInvariants()) << "after " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 300u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, QueryIntersectsMatchesLinearScan) {
+  RTree tree(6);
+  Rng rng(13);
+  std::vector<BoundingBox> boxes;
+  for (int i = 0; i < 200; ++i) {
+    const Point2 min(rng.Uniform(0.0, 0.9), rng.Uniform(0.0, 0.9));
+    const BoundingBox box(
+        min, min + Point2(rng.Uniform(0.0, 0.1), rng.Uniform(0.0, 0.1)));
+    boxes.push_back(box);
+    tree.Insert(i, box);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point2 min(rng.Uniform(0.0, 0.8), rng.Uniform(0.0, 0.8));
+    const BoundingBox query(
+        min, min + Point2(rng.Uniform(0.05, 0.3), rng.Uniform(0.05, 0.3)));
+    std::vector<RTree::EntryId> expected;
+    for (int i = 0; i < 200; ++i) {
+      if (boxes[i].Intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(tree.QueryIntersects(query), expected) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, RemoveMaintainsCorrectness) {
+  RTree tree(4);
+  Rng rng(17);
+  std::vector<Point2> points;
+  for (int i = 0; i < 120; ++i) {
+    points.emplace_back(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0));
+    tree.Insert(i, points.back());
+  }
+  // Remove every third entry.
+  std::set<int> removed;
+  for (int i = 0; i < 120; i += 3) {
+    EXPECT_TRUE(tree.Remove(i, BoundingBox(points[i], points[i])));
+    removed.insert(i);
+  }
+  EXPECT_EQ(tree.size(), 80u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Removed entries are gone; kept entries still found.
+  for (int i = 0; i < 120; ++i) {
+    const auto hits = tree.QueryPoint(points[i]);
+    const bool found = std::find(hits.begin(), hits.end(), i) != hits.end();
+    EXPECT_EQ(found, removed.count(i) == 0) << i;
+  }
+  // Removing a non-existent entry fails.
+  EXPECT_FALSE(tree.Remove(0, BoundingBox(points[0], points[0])));
+}
+
+TEST(RTreeTest, RemoveAllThenReinsert) {
+  RTree tree(4);
+  for (int i = 0; i < 30; ++i) {
+    tree.Insert(i, Point2(0.03 * i, 0.03 * i));
+  }
+  for (int i = 0; i < 30; ++i) {
+    const Point2 p(0.03 * i, 0.03 * i);
+    EXPECT_TRUE(tree.Remove(i, BoundingBox(p, p)));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  tree.Insert(99, Point2(0.5, 0.5));
+  EXPECT_EQ(tree.QueryPoint(Point2(0.5, 0.5)),
+            std::vector<RTree::EntryId>{99});
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BoundingBoxSetOpsTest, IntersectsUnionArea) {
+  const BoundingBox a(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  const BoundingBox b(Point2(0.5, 0.5), Point2(2.0, 2.0));
+  const BoundingBox c(Point2(1.5, 1.5), Point2(1.8, 1.8));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_TRUE(b.ContainsBox(c));
+  EXPECT_FALSE(a.ContainsBox(b));
+  const BoundingBox u = BoundingBox::Union(a, c);
+  EXPECT_EQ(u.min(), Point2(0.0, 0.0));
+  EXPECT_EQ(u.max(), Point2(1.8, 1.8));
+  EXPECT_DOUBLE_EQ(a.Area(), 1.0);
+  EXPECT_DOUBLE_EQ(BoundingBox().Area(), 0.0);
+}
+
+}  // namespace
+}  // namespace trajpattern

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "core/pattern_group.h"
+#include "datagen/bus_generator.h"
+#include "datagen/planted_generator.h"
+#include "datagen/zebranet_generator.h"
+#include "prediction/dead_reckoning.h"
+#include "prediction/motion_model.h"
+#include "prediction/pattern_assisted.h"
+#include "trajectory/transform.h"
+
+namespace trajpattern {
+namespace {
+
+/// End-to-end pipeline of the paper on a small bus workload: location
+/// traces -> velocity trajectories -> TrajPattern mining -> pattern
+/// groups -> pattern-assisted dead reckoning, checking the Fig. 3 effect
+/// (fewer mis-predictions with patterns than without).
+TEST(IntegrationTest, BusPipelineReducesMispredictions) {
+  BusGeneratorOptions bopt;
+  bopt.num_routes = 2;
+  bopt.buses_per_route = 5;
+  bopt.num_days = 4;
+  bopt.num_snapshots = 60;
+  bopt.speed_noise = 0.05;
+  bopt.gps_noise = 0.001;
+  bopt.sigma = 0.004;
+  bopt.seed = 42;
+  const TrajectoryDataset traces = GenerateBusTraces(bopt);
+  const size_t test_count = static_cast<size_t>(bopt.num_routes) *
+                            bopt.buses_per_route;  // last day
+  const auto [train, test] = traces.Split(traces.size() - test_count);
+
+  // Velocity trajectories over a shared velocity grid.
+  const TrajectoryDataset train_vel = ToVelocityTrajectories(train);
+  BoundingBox vbox = train_vel.MeanBoundingBox(0.01);
+  const Grid vgrid(vbox, 16, 16);
+  const double delta =
+      std::max(vgrid.cell_width(), vgrid.cell_height());
+  const MiningSpace vspace(vgrid, delta);
+  NmEngine engine(train_vel, vspace);
+
+  MinerOptions mopt;
+  mopt.k = 40;
+  mopt.min_length = 3;
+  mopt.max_pattern_length = 5;
+  mopt.max_candidates_per_iteration = 4000;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+  ASSERT_FALSE(mined.patterns.empty());
+
+  // Pattern groups compress the output; every mined pattern must appear
+  // in exactly one group.
+  const auto groups =
+      GroupPatterns(mined.patterns, vgrid, 3.0 * bopt.sigma);
+  size_t grouped = 0;
+  for (const auto& g : groups) grouped += g.size();
+  EXPECT_EQ(grouped, mined.patterns.size());
+  EXPECT_LE(groups.size(), mined.patterns.size());
+
+  // Prediction: base linear model vs. pattern-assisted.
+  DeadReckoningOptions dopt;
+  dopt.uncertainty = 0.012;
+  dopt.c = 2.0;
+  const PredictionEvaluation base =
+      EvaluatePrediction(test, LinearModel(), dopt);
+
+  PatternAssistOptions popt;
+  popt.confirm_threshold = 0.6;
+  popt.min_confirm_length = 2;
+  // Velocity observation noise: GPS noise on two consecutive fixes.
+  popt.velocity_sigma = bopt.gps_noise * std::sqrt(2.0);
+  const PatternAssistedModel assisted(std::make_unique<LinearModel>(),
+                                      mined.patterns, vspace, popt);
+  const PredictionEvaluation with_patterns =
+      EvaluatePrediction(test, assisted, dopt);
+
+  EXPECT_GT(base.mispredictions, 0);
+  // The paper's Fig. 3 effect: patterns reduce mis-predictions.
+  EXPECT_LT(with_patterns.mispredictions, base.mispredictions);
+}
+
+/// Full §3.1 -> §3.2 loop: the server's dead-reckoned view of reporting
+/// objects (reports + accepted predictions, sigma = U/c) is itself the
+/// mining input format, and mining it recovers the planted motif that
+/// mining the raw traces recovers.
+TEST(IntegrationTest, ServerViewIsMineable) {
+  PlantedPatternOptions popt;
+  popt.pattern = {Point2(0.125, 0.125), Point2(0.375, 0.375),
+                  Point2(0.625, 0.625)};
+  popt.num_with_pattern = 20;
+  popt.num_background = 5;
+  popt.num_snapshots = 12;
+  popt.embed_noise = 0.002;
+  popt.sigma = 0.0;  // the generator output is the ACTUAL movement here
+  popt.seed = 77;
+  const TrajectoryDataset actual = GeneratePlantedPatterns(popt);
+
+  // Replay every trajectory through the reporting scheme; collect the
+  // imprecise server views.
+  DeadReckoningOptions dopt;
+  dopt.uncertainty = 0.02;
+  dopt.c = 2.0;
+  TrajectoryDataset server_views;
+  int total_reports = 0;
+  for (const auto& t : actual) {
+    LinearModel lm;
+    DeadReckoningResult r = SimulateDeadReckoning(t, &lm, dopt);
+    total_reports += r.mispredictions;
+    server_views.Add(std::move(r.server_view));
+  }
+  EXPECT_GT(total_reports, 0);  // random motion cannot be dead-reckoned
+
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  NmEngine engine(server_views, space);
+  MinerOptions mopt;
+  mopt.k = 10;
+  mopt.min_length = 3;
+  mopt.max_pattern_length = 3;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+  ASSERT_FALSE(mined.patterns.empty());
+  std::vector<CellId> expected;
+  for (const auto& p : popt.pattern) {
+    expected.push_back(space.grid.CellOf(p));
+  }
+  EXPECT_EQ(mined.patterns[0].pattern, Pattern(expected));
+}
+
+/// ZebraNet pipeline: group movement produces mineable patterns, and the
+/// miner output is stable and well-formed end to end.
+TEST(IntegrationTest, ZebraPipelineProducesGroupedPatterns) {
+  ZebraNetGeneratorOptions zopt;
+  zopt.num_zebras = 30;
+  zopt.num_groups = 3;
+  zopt.num_snapshots = 40;
+  zopt.seed = 7;
+  const TrajectoryDataset traces = GenerateZebraNet(zopt);
+  const TrajectoryDataset vel = ToVelocityTrajectories(traces);
+  const BoundingBox vbox = vel.MeanBoundingBox(0.005);
+  const Grid vgrid(vbox, 16, 16);
+  const MiningSpace vspace(
+      vgrid, std::max(vgrid.cell_width(), vgrid.cell_height()));
+  NmEngine engine(vel, vspace);
+
+  MinerOptions mopt;
+  mopt.k = 20;
+  mopt.max_pattern_length = 4;
+  mopt.max_candidates_per_iteration = 3000;
+  const MiningResult mined = MineTrajPatterns(engine, mopt);
+  ASSERT_EQ(mined.patterns.size(), 20u);
+  for (size_t i = 1; i < mined.patterns.size(); ++i) {
+    EXPECT_GE(mined.patterns[i - 1].nm, mined.patterns[i].nm);
+  }
+
+  const auto groups = GroupPatterns(
+      mined.patterns, vgrid,
+      2.0 * std::max(vgrid.cell_width(), vgrid.cell_height()));
+  size_t grouped = 0;
+  for (const auto& g : groups) grouped += g.size();
+  EXPECT_EQ(grouped, mined.patterns.size());
+}
+
+}  // namespace
+}  // namespace trajpattern

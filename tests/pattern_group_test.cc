@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pattern_group.h"
+
+namespace trajpattern {
+namespace {
+
+Pattern P2(const Grid& grid, int c0, int r0, int c1, int r1) {
+  return Pattern(std::vector<CellId>{grid.At(c0, r0), grid.At(c1, r1)});
+}
+
+TEST(SimilarityTest, Definition1) {
+  const Grid grid = Grid::UnitSquare(10);
+  const double gamma = 0.15;
+  // Adjacent cells (0.1 apart) similar; two cells apart (0.2) not.
+  EXPECT_TRUE(ArePatternsSimilar(P2(grid, 1, 1, 5, 5), P2(grid, 2, 1, 5, 6),
+                                 grid, gamma));
+  EXPECT_FALSE(ArePatternsSimilar(P2(grid, 1, 1, 5, 5), P2(grid, 3, 1, 5, 5),
+                                  grid, gamma));
+  // Similarity must hold at EVERY snapshot.
+  EXPECT_FALSE(ArePatternsSimilar(P2(grid, 1, 1, 5, 5), P2(grid, 1, 1, 8, 8),
+                                  grid, gamma));
+}
+
+TEST(SimilarityTest, DifferentLengthsNeverSimilar) {
+  const Grid grid = Grid::UnitSquare(10);
+  const Pattern a(std::vector<CellId>{grid.At(1, 1)});
+  const Pattern b(std::vector<CellId>{grid.At(1, 1), grid.At(1, 1)});
+  EXPECT_FALSE(ArePatternsSimilar(a, b, grid, 1.0));
+}
+
+TEST(SimilarityTest, WildcardOnlyMatchesWildcard) {
+  const Grid grid = Grid::UnitSquare(10);
+  const Pattern a(std::vector<CellId>{grid.At(1, 1), kWildcardCell});
+  const Pattern b(std::vector<CellId>{grid.At(1, 1), kWildcardCell});
+  const Pattern c(std::vector<CellId>{grid.At(1, 1), grid.At(1, 1)});
+  EXPECT_TRUE(ArePatternsSimilar(a, b, grid, 0.15));
+  EXPECT_FALSE(ArePatternsSimilar(a, c, grid, 0.15));
+}
+
+// The worked example of §4.2: six length-2 patterns whose snapshot groups
+// are {p1,p3,p4,p5},{p2,p6} at snapshot 1 and {p1',p3',p6'},{p2',p4'},
+// {p5'} at snapshot 2 must yield the pattern groups (P2),(P4),(P5),(P6),
+// and (P1,P3).
+TEST(PatternGroupTest, PaperWorkedExample) {
+  const Grid grid = Grid::UnitSquare(10);
+  const double gamma = 0.15;  // adjacent (incl. diagonal) cells cluster
+  std::vector<ScoredPattern> pats;
+  // Snapshot-1 positions.
+  const std::pair<int, int> s1[6] = {{1, 1}, {8, 8}, {2, 1},
+                                     {1, 2}, {2, 2}, {8, 7}};
+  // Snapshot-2 positions.
+  const std::pair<int, int> s2[6] = {{1, 8}, {8, 1}, {2, 8},
+                                     {8, 2}, {5, 5}, {1, 7}};
+  for (int i = 0; i < 6; ++i) {
+    pats.push_back({P2(grid, s1[i].first, s1[i].second, s2[i].first,
+                       s2[i].second),
+                    -1.0 * i});  // NM descending P1..P6
+  }
+
+  const auto groups = GroupPatterns(pats, grid, gamma);
+  // Render groups as sets of original indices for comparison.
+  std::set<std::set<int>> got;
+  for (const auto& g : groups) {
+    std::set<int> ids;
+    for (const auto& sp : g.members) {
+      for (int i = 0; i < 6; ++i) {
+        if (sp.pattern == pats[i].pattern) ids.insert(i + 1);
+      }
+    }
+    got.insert(ids);
+  }
+  const std::set<std::set<int>> want = {{2}, {4}, {5}, {6}, {1, 3}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(PatternGroupTest, AllMembersPairwiseSimilar) {
+  // Whatever the grouping, Def. 2 requires pairwise similarity inside
+  // every group.
+  const Grid grid = Grid::UnitSquare(10);
+  const double gamma = 0.15;
+  std::vector<ScoredPattern> pats;
+  int rank = 0;
+  for (int c = 1; c < 9; c += 2) {
+    for (int r = 1; r < 9; r += 3) {
+      pats.push_back({P2(grid, c, r, r, c), -0.1 * rank++});
+    }
+  }
+  const auto groups = GroupPatterns(pats, grid, gamma);
+  size_t total = 0;
+  for (const auto& g : groups) {
+    total += g.size();
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      for (size_t j = i + 1; j < g.members.size(); ++j) {
+        EXPECT_TRUE(ArePatternsSimilar(g.members[i].pattern,
+                                       g.members[j].pattern, grid, gamma));
+      }
+    }
+  }
+  EXPECT_EQ(total, pats.size());  // every pattern grouped exactly once
+}
+
+TEST(PatternGroupTest, DifferentLengthsSplit) {
+  const Grid grid = Grid::UnitSquare(10);
+  std::vector<ScoredPattern> pats;
+  pats.push_back({Pattern(std::vector<CellId>{grid.At(1, 1)}), -0.1});
+  pats.push_back(
+      {Pattern(std::vector<CellId>{grid.At(1, 1), grid.At(1, 1)}), -0.2});
+  const auto groups = GroupPatterns(pats, grid, 1.0);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(PatternGroupTest, IdenticalPatternsShareOneGroup) {
+  const Grid grid = Grid::UnitSquare(10);
+  std::vector<ScoredPattern> pats = {
+      {P2(grid, 3, 3, 4, 4), -0.1},
+      {P2(grid, 3, 3, 4, 4), -0.2},
+      {P2(grid, 3, 4, 4, 3), -0.3},
+  };
+  const auto groups = GroupPatterns(pats, grid, 0.15);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(PatternGroupTest, GammaZeroSeparatesDistinctPatterns) {
+  const Grid grid = Grid::UnitSquare(10);
+  std::vector<ScoredPattern> pats = {
+      {P2(grid, 3, 3, 4, 4), -0.1},
+      {P2(grid, 3, 4, 4, 3), -0.2},
+      {P2(grid, 3, 3, 4, 4), -0.3},  // duplicate of the first
+  };
+  const auto groups = GroupPatterns(pats, grid, 0.0);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(PatternGroupTest, LargeGammaMergesEverything) {
+  const Grid grid = Grid::UnitSquare(10);
+  std::vector<ScoredPattern> pats;
+  for (int i = 0; i < 5; ++i) {
+    pats.push_back({P2(grid, i, i, 9 - i, i), -0.1 * i});
+  }
+  const auto groups = GroupPatterns(pats, grid, 10.0);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 5u);
+}
+
+TEST(PatternGroupTest, GroupsOrderedByBestNm) {
+  const Grid grid = Grid::UnitSquare(10);
+  std::vector<ScoredPattern> pats = {
+      {P2(grid, 1, 1, 1, 1), -5.0},
+      {P2(grid, 8, 8, 8, 8), -1.0},
+  };
+  const auto groups = GroupPatterns(pats, grid, 0.15);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_DOUBLE_EQ(groups[0].members.front().nm, -1.0);
+}
+
+TEST(PatternGroupTest, EmptyInputYieldsNoGroups) {
+  const Grid grid = Grid::UnitSquare(10);
+  EXPECT_TRUE(GroupPatterns({}, grid, 0.15).empty());
+}
+
+}  // namespace
+}  // namespace trajpattern

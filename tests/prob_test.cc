@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/log_space.h"
+#include "prob/normal.h"
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(StdNormalCdfTest, KnownValues) {
+  EXPECT_NEAR(StdNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(3.0), 0.9986501019683699, 1e-9);
+  EXPECT_NEAR(StdNormalCdf(-8.0), 0.0, 1e-12);
+  EXPECT_NEAR(StdNormalCdf(8.0), 1.0, 1e-12);
+}
+
+TEST(NormalIntervalProbTest, SymmetricInterval) {
+  // One-sigma interval: ~68.27%.
+  EXPECT_NEAR(NormalIntervalProb(0.0, 1.0, -1.0, 1.0), 0.6826894921,
+              1e-8);
+  // Two-sigma: ~95.45%.
+  EXPECT_NEAR(NormalIntervalProb(0.0, 1.0, -2.0, 2.0), 0.9544997361,
+              1e-8);
+}
+
+TEST(NormalIntervalProbTest, ShiftAndScaleInvariance) {
+  const double p1 = NormalIntervalProb(0.0, 1.0, -0.5, 0.5);
+  const double p2 = NormalIntervalProb(10.0, 2.0, 9.0, 11.0);
+  EXPECT_NEAR(p1, p2, 1e-12);
+}
+
+TEST(NormalIntervalProbTest, DegenerateSigma) {
+  EXPECT_DOUBLE_EQ(NormalIntervalProb(0.5, 0.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(NormalIntervalProb(2.0, 0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(BesselI0ScaledTest, MatchesSeriesForSmallX) {
+  // I0(x) = sum_k (x/2)^{2k} / (k!)^2.
+  for (double x : {0.0, 0.1, 0.5, 1.0, 2.0, 3.0}) {
+    double i0 = 0.0;
+    double term = 1.0;
+    for (int k = 0; k < 40; ++k) {
+      i0 += term;
+      term *= (x / 2.0) * (x / 2.0) / ((k + 1.0) * (k + 1.0));
+    }
+    EXPECT_NEAR(BesselI0Scaled(x), i0 * std::exp(-x), 2e-7) << "x=" << x;
+  }
+}
+
+TEST(BesselI0ScaledTest, LargeArgumentAsymptotics) {
+  // I0e(x) ~ (1 + 1/(8x) + 9/(128x^2) + 75/(1024x^3)) / sqrt(2 pi x) for
+  // large x; the next term (~0.11/x^4) bounds the comparison error.
+  for (double x : {10.0, 100.0, 1000.0}) {
+    const double asymptotic =
+        (1.0 + 1.0 / (8.0 * x) + 9.0 / (128.0 * x * x) +
+         75.0 / (1024.0 * x * x * x)) /
+        std::sqrt(2.0 * M_PI * x);
+    const double tol = (0.2 / (x * x * x * x) + 1e-6) * asymptotic;
+    EXPECT_NEAR(BesselI0Scaled(x), asymptotic, tol) << "x=" << x;
+  }
+}
+
+TEST(RadialWithinProbTest, CenteredDiscMatchesRayleigh) {
+  // With nu = 0 the distance is Rayleigh: P(d <= delta) =
+  // 1 - exp(-delta^2 / (2 sigma^2)).
+  const double sigma = 0.3;
+  for (double delta : {0.1, 0.3, 0.6, 1.2}) {
+    const double expected = 1.0 - std::exp(-delta * delta / (2 * sigma * sigma));
+    EXPECT_NEAR(RadialWithinProb(0.0, sigma, delta), expected, 1e-6)
+        << "delta=" << delta;
+  }
+}
+
+TEST(RadialWithinProbTest, FarCenterIsZeroNearCenterIsOne) {
+  EXPECT_NEAR(RadialWithinProb(100.0, 1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(RadialWithinProb(0.0, 0.01, 5.0), 1.0, 1e-9);
+}
+
+TEST(RadialWithinProbTest, MonotoneInDelta) {
+  double prev = 0.0;
+  for (double delta = 0.05; delta <= 2.0; delta += 0.05) {
+    const double p = RadialWithinProb(0.5, 0.25, delta);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(RadialWithinProbTest, DegenerateSigmaIsIndicator) {
+  EXPECT_DOUBLE_EQ(RadialWithinProb(0.5, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(RadialWithinProb(1.5, 0.0, 1.0), 0.0);
+}
+
+TEST(ProbWithinDeltaTest, RectangularFactorizes) {
+  const Point2 l(0.2, 0.7);
+  const Point2 p(0.25, 0.65);
+  const double sigma = 0.05;
+  const double delta = 0.03;
+  const double expected =
+      NormalIntervalProb(l.x, sigma, p.x - delta, p.x + delta) *
+      NormalIntervalProb(l.y, sigma, p.y - delta, p.y + delta);
+  EXPECT_DOUBLE_EQ(
+      ProbWithinDelta(l, sigma, p, delta, IndifferenceModel::kRectangular),
+      expected);
+}
+
+TEST(ProbWithinDeltaTest, ModelsAgreeQualitatively) {
+  // Both models must rank a near cell above a far cell.
+  const Point2 l(0.5, 0.5);
+  const double sigma = 0.05;
+  const double delta = 0.05;
+  for (auto model :
+       {IndifferenceModel::kRectangular, IndifferenceModel::kRadial}) {
+    const double near = ProbWithinDelta(l, sigma, Point2(0.52, 0.5), delta, model);
+    const double far = ProbWithinDelta(l, sigma, Point2(0.8, 0.8), delta, model);
+    EXPECT_GT(near, far);
+    EXPECT_GE(near, 0.0);
+    EXPECT_LE(near, 1.0);
+  }
+}
+
+TEST(ProbWithinDeltaTest, RadialInsideRectangular) {
+  // The delta-disc is contained in the delta-square, so the radial
+  // probability can never exceed the rectangular one.
+  const double sigma = 0.04;
+  const double delta = 0.05;
+  for (double dx = 0.0; dx <= 0.2; dx += 0.02) {
+    const Point2 l(0.5, 0.5);
+    const Point2 p(0.5 + dx, 0.5);
+    const double rect =
+        ProbWithinDelta(l, sigma, p, delta, IndifferenceModel::kRectangular);
+    const double rad =
+        ProbWithinDelta(l, sigma, p, delta, IndifferenceModel::kRadial);
+    EXPECT_LE(rad, rect + 1e-9) << "dx=" << dx;
+  }
+}
+
+TEST(LogSpaceTest, SafeLogClampsAtFloor) {
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeLog(0.0), LogFloor());
+  EXPECT_DOUBLE_EQ(SafeLog(-1.0), LogFloor());
+  EXPECT_LT(LogFloor(), -600.0);
+  EXPECT_TRUE(std::isfinite(LogFloor()));
+}
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 0.5);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeight) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.PickWeighted({0.0, 1.0, 0.0}), 1);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(3);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Distinct forks should (with overwhelming probability) differ.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child1.Uniform(0.0, 1.0) != child2.Uniform(0.0, 1.0)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace trajpattern

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "server/mobile_object_server.h"
+
+namespace trajpattern {
+namespace {
+
+MobileObjectServer::Options MakeOptions(int snapshots = 10) {
+  MobileObjectServer::Options opt;
+  opt.sync.start_time = 0.0;
+  opt.sync.interval = 1.0;
+  opt.sync.num_snapshots = snapshots;
+  opt.sync.base_sigma = 0.01;
+  opt.index_grid = Grid::UnitSquare(16);
+  return opt;
+}
+
+TEST(MobileObjectServerTest, RegisterAndReport) {
+  MobileObjectServer server(MakeOptions());
+  const auto id = server.Register("bus1");
+  EXPECT_EQ(server.num_objects(), 1u);
+  EXPECT_EQ(server.name(id), "bus1");
+  EXPECT_TRUE(server.Report(id, 0.0, Point2(0.1, 0.1)));
+  EXPECT_TRUE(server.Report(id, 2.0, Point2(0.3, 0.1)));
+  EXPECT_EQ(server.num_reports(id), 2u);
+  // Out-of-order reports rejected.
+  EXPECT_FALSE(server.Report(id, 1.0, Point2(0.2, 0.1)));
+  EXPECT_EQ(server.num_reports(id), 2u);
+}
+
+TEST(MobileObjectServerTest, DeadReckonsBetweenReports) {
+  MobileObjectServer server(MakeOptions());
+  const auto id = server.Register("obj");
+  server.Report(id, 0.0, Point2(0.1, 0.1));
+  server.Report(id, 1.0, Point2(0.2, 0.1));  // velocity (0.1, 0) per unit
+  // Eq. 1 extrapolation.
+  EXPECT_LT(Distance(server.PredictAt(id, 3.0), Point2(0.4, 0.1)), 1e-12);
+  // Before the first report: the first position.
+  EXPECT_EQ(server.PredictAt(id, -1.0), Point2(0.1, 0.1));
+}
+
+TEST(MobileObjectServerTest, LiveIndexQueries) {
+  MobileObjectServer server(MakeOptions());
+  const auto a = server.Register("a");
+  const auto b = server.Register("b");
+  const auto c = server.Register("c");
+  server.Report(a, 0.0, Point2(0.10, 0.10));
+  server.Report(b, 0.0, Point2(0.12, 0.10));
+  server.Report(c, 0.0, Point2(0.90, 0.90));
+  server.AdvanceTo(0.0);
+  EXPECT_EQ(server.current_time(), 0.0);
+  const auto near = server.ObjectsNear(Point2(0.11, 0.10), 0.05);
+  EXPECT_EQ(near, (std::vector<MobileObjectServer::ObjectId>{a, b}));
+  const auto nn = server.NearestObjects(Point2(0.95, 0.95), 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], c);
+}
+
+TEST(MobileObjectServerTest, IndexFollowsMovement) {
+  MobileObjectServer server(MakeOptions());
+  const auto id = server.Register("mover");
+  server.Report(id, 0.0, Point2(0.1, 0.5));
+  server.Report(id, 1.0, Point2(0.2, 0.5));
+  server.AdvanceTo(1.0);
+  EXPECT_EQ(server.ObjectsNear(Point2(0.2, 0.5), 0.05),
+            (std::vector<MobileObjectServer::ObjectId>{id}));
+  // Dead-reckoned drift: at t=6 the object should be near (0.7, 0.5).
+  server.AdvanceTo(6.0);
+  EXPECT_TRUE(server.ObjectsNear(Point2(0.2, 0.5), 0.05).empty());
+  EXPECT_EQ(server.ObjectsNear(Point2(0.7, 0.5), 0.05),
+            (std::vector<MobileObjectServer::ObjectId>{id}));
+}
+
+TEST(MobileObjectServerTest, SynchronizeAllProducesMiningInput) {
+  MobileObjectServer server(MakeOptions(5));
+  const auto a = server.Register("a");
+  server.Register("silent");  // never reports; excluded
+  const auto b = server.Register("b");
+  server.Report(a, 0.0, Point2(0.1, 0.1));
+  server.Report(a, 2.0, Point2(0.3, 0.1));
+  server.Report(b, 0.0, Point2(0.5, 0.5));
+  const TrajectoryDataset data = server.SynchronizeAll();
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].id(), "a");
+  EXPECT_EQ(data[1].id(), "b");
+  for (const auto& t : data) {
+    EXPECT_EQ(t.size(), 5u);
+    for (const auto& p : t) EXPECT_DOUBLE_EQ(p.sigma, 0.01);
+  }
+  // Object b never moves: every snapshot sits at its report.
+  for (const auto& p : data[1]) EXPECT_EQ(p.mean, Point2(0.5, 0.5));
+}
+
+}  // namespace
+}  // namespace trajpattern

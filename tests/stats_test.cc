@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "stats/running_stats.h"
+#include "stats/table.h"
+#include "stats/timer.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, ShiftInvarianceOfVariance) {
+  RunningStats a, b;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    a.Add(v);
+    b.Add(v + 1000.0);
+  }
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.Millis(), 15.0);
+  t.Reset();
+  EXPECT_LT(t.Millis(), 15.0);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("| 12345 "), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  // All lines share the same width.
+  size_t first_len = s.find('\n');
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace trajpattern

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/tpr_index.h"
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+TEST(TprIndexTest, PredictsLinearMotion) {
+  TprIndex index(TprIndex::Options{});
+  index.Update(1, 0.0, Point2(0.1, 0.2), Vec2(0.05, 0.0));
+  EXPECT_LT(Distance(index.PredictAt(1, 4.0), Point2(0.3, 0.2)), 1e-12);
+  // Re-update replaces the state.
+  index.Update(1, 4.0, Point2(0.3, 0.2), Vec2(0.0, 0.1));
+  EXPECT_LT(Distance(index.PredictAt(1, 6.0), Point2(0.3, 0.4)), 1e-12);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(TprIndexTest, QueryAtFindsFutureOccupants) {
+  TprIndex index(TprIndex::Options{});
+  // Object 1 heads into the region, object 2 sits outside, object 3
+  // passes through earlier.
+  index.Update(1, 0.0, Point2(0.0, 0.5), Vec2(0.1, 0.0));
+  index.Update(2, 0.0, Point2(0.9, 0.9), Vec2(0.0, 0.0));
+  index.Update(3, 0.0, Point2(0.4, 0.5), Vec2(0.1, 0.0));
+  const BoundingBox region(Point2(0.45, 0.4), Point2(0.55, 0.6));
+  EXPECT_EQ(index.QueryAt(region, 5.0), (std::vector<TprIndex::ObjectId>{1}));
+  EXPECT_EQ(index.QueryAt(region, 1.0), (std::vector<TprIndex::ObjectId>{3}));
+  EXPECT_TRUE(index.QueryAt(region, 9.0).empty());
+}
+
+TEST(TprIndexTest, QueryDuringCatchesPassThrough) {
+  TprIndex index(TprIndex::Options{});
+  // Fast object crosses the region between snapshots.
+  index.Update(7, 0.0, Point2(0.0, 0.5), Vec2(0.5, 0.0));
+  const BoundingBox region(Point2(0.2, 0.4), Point2(0.3, 0.6));
+  // Inside only during t in [0.4, 0.6].
+  EXPECT_EQ(index.QueryDuring(region, 0.0, 1.0),
+            (std::vector<TprIndex::ObjectId>{7}));
+  EXPECT_TRUE(index.QueryDuring(region, 0.7, 1.0).empty());
+  EXPECT_TRUE(index.QueryAt(region, 0.0).empty());
+}
+
+TEST(TprIndexTest, ExactBeyondHorizon) {
+  TprIndex::Options opt;
+  opt.horizon = 1.0;  // tiny horizon: tree pruning is useless far out
+  TprIndex index(opt);
+  index.Update(1, 0.0, Point2(0.0, 0.0), Vec2(0.01, 0.01));
+  const BoundingBox region(Point2(0.95, 0.95), Point2(1.05, 1.05));
+  // Reaches the region around t = 100, far beyond the horizon.
+  EXPECT_EQ(index.QueryAt(region, 100.0),
+            (std::vector<TprIndex::ObjectId>{1}));
+}
+
+TEST(TprIndexTest, RemoveWorks) {
+  TprIndex index(TprIndex::Options{});
+  index.Update(1, 0.0, Point2(0.5, 0.5), Vec2(0.0, 0.0));
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_TRUE(
+      index.QueryAt(BoundingBox(Point2(0.0, 0.0), Point2(1.0, 1.0)), 0.0)
+          .empty());
+}
+
+TEST(TprIndexTest, AgreesWithLinearScanOnRandomFleet) {
+  TprIndex index(TprIndex::Options{.horizon = 5.0, .max_node_entries = 6});
+  Rng rng(23);
+  struct Obj {
+    double t_ref;
+    Point2 p;
+    Vec2 v;
+  };
+  std::vector<Obj> objs;
+  for (int i = 0; i < 120; ++i) {
+    Obj o{rng.Uniform(0.0, 2.0),
+          Point2(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)),
+          Vec2(rng.Uniform(-0.05, 0.05), rng.Uniform(-0.05, 0.05))};
+    index.Update(i, o.t_ref, o.p, o.v);
+    objs.push_back(o);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point2 min(rng.Uniform(0.0, 0.8), rng.Uniform(0.0, 0.8));
+    const BoundingBox region(
+        min, min + Point2(rng.Uniform(0.05, 0.3), rng.Uniform(0.05, 0.3)));
+    const double t = rng.Uniform(0.0, 12.0);  // often beyond horizons
+    std::vector<TprIndex::ObjectId> expected;
+    for (int i = 0; i < 120; ++i) {
+      const Point2 at = objs[i].p + objs[i].v * (t - objs[i].t_ref);
+      if (region.Contains(at)) expected.push_back(i);
+    }
+    EXPECT_EQ(index.QueryAt(region, t), expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace trajpattern
