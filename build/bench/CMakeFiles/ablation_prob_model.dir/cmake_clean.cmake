@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prob_model.dir/ablation_prob_model.cc.o"
+  "CMakeFiles/ablation_prob_model.dir/ablation_prob_model.cc.o.d"
+  "ablation_prob_model"
+  "ablation_prob_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prob_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_prediction.dir/fig3_prediction.cc.o"
+  "CMakeFiles/fig3_prediction.dir/fig3_prediction.cc.o.d"
+  "fig3_prediction"
+  "fig3_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

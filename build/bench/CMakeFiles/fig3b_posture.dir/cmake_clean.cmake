@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_posture.dir/fig3b_posture.cc.o"
+  "CMakeFiles/fig3b_posture.dir/fig3b_posture.cc.o.d"
+  "fig3b_posture"
+  "fig3b_posture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_posture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

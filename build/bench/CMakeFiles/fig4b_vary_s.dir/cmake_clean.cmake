@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_vary_s.dir/fig4b_vary_s.cc.o"
+  "CMakeFiles/fig4b_vary_s.dir/fig4b_vary_s.cc.o.d"
+  "fig4b_vary_s"
+  "fig4b_vary_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_vary_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

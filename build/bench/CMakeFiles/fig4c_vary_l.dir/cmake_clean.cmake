@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_vary_l.dir/fig4c_vary_l.cc.o"
+  "CMakeFiles/fig4c_vary_l.dir/fig4c_vary_l.cc.o.d"
+  "fig4c_vary_l"
+  "fig4c_vary_l.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_vary_l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

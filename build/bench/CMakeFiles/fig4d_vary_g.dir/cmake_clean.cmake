@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_vary_g.dir/fig4d_vary_g.cc.o"
+  "CMakeFiles/fig4d_vary_g.dir/fig4d_vary_g.cc.o.d"
+  "fig4d_vary_g"
+  "fig4d_vary_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_vary_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_vary_delta.dir/fig4e_vary_delta.cc.o"
+  "CMakeFiles/fig4e_vary_delta.dir/fig4e_vary_delta.cc.o.d"
+  "fig4e_vary_delta"
+  "fig4e_vary_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_vary_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

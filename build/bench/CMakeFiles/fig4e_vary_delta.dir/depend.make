@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4e_vary_delta.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_pattern_length.dir/fig_pattern_length.cc.o"
+  "CMakeFiles/fig_pattern_length.dir/fig_pattern_length.cc.o.d"
+  "fig_pattern_length"
+  "fig_pattern_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_pattern_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_prediction.dir/bus_prediction.cpp.o"
+  "CMakeFiles/bus_prediction.dir/bus_prediction.cpp.o.d"
+  "bus_prediction"
+  "bus_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flyer_targeting.dir/flyer_targeting.cpp.o"
+  "CMakeFiles/flyer_targeting.dir/flyer_targeting.cpp.o.d"
+  "flyer_targeting"
+  "flyer_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flyer_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

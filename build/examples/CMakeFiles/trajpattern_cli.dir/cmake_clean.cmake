@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajpattern_cli.dir/trajpattern_cli.cpp.o"
+  "CMakeFiles/trajpattern_cli.dir/trajpattern_cli.cpp.o.d"
+  "trajpattern_cli"
+  "trajpattern_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajpattern_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zebra_migration.dir/zebra_migration.cpp.o"
+  "CMakeFiles/zebra_migration.dir/zebra_migration.cpp.o.d"
+  "zebra_migration"
+  "zebra_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zebra_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geometry")
+subdirs("prob")
+subdirs("stats")
+subdirs("trajectory")
+subdirs("index")
+subdirs("server")
+subdirs("io")
+subdirs("datagen")
+subdirs("prediction")
+subdirs("core")
+subdirs("baseline")

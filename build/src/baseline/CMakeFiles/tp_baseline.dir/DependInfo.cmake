@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cc" "src/baseline/CMakeFiles/tp_baseline.dir/brute_force.cc.o" "gcc" "src/baseline/CMakeFiles/tp_baseline.dir/brute_force.cc.o.d"
+  "/root/repo/src/baseline/match_apriori.cc" "src/baseline/CMakeFiles/tp_baseline.dir/match_apriori.cc.o" "gcc" "src/baseline/CMakeFiles/tp_baseline.dir/match_apriori.cc.o.d"
+  "/root/repo/src/baseline/pb_miner.cc" "src/baseline/CMakeFiles/tp_baseline.dir/pb_miner.cc.o" "gcc" "src/baseline/CMakeFiles/tp_baseline.dir/pb_miner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

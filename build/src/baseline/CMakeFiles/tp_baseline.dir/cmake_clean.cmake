@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/tp_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/tp_baseline.dir/match_apriori.cc.o"
+  "CMakeFiles/tp_baseline.dir/match_apriori.cc.o.d"
+  "CMakeFiles/tp_baseline.dir/pb_miner.cc.o"
+  "CMakeFiles/tp_baseline.dir/pb_miner.cc.o.d"
+  "libtp_baseline.a"
+  "libtp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/tp_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/tp_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/nm_engine.cc" "src/core/CMakeFiles/tp_core.dir/nm_engine.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/nm_engine.cc.o.d"
+  "/root/repo/src/core/parameters.cc" "src/core/CMakeFiles/tp_core.dir/parameters.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/parameters.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/tp_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/pattern_group.cc" "src/core/CMakeFiles/tp_core.dir/pattern_group.cc.o" "gcc" "src/core/CMakeFiles/tp_core.dir/pattern_group.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_core.dir/classifier.cc.o"
+  "CMakeFiles/tp_core.dir/classifier.cc.o.d"
+  "CMakeFiles/tp_core.dir/miner.cc.o"
+  "CMakeFiles/tp_core.dir/miner.cc.o.d"
+  "CMakeFiles/tp_core.dir/nm_engine.cc.o"
+  "CMakeFiles/tp_core.dir/nm_engine.cc.o.d"
+  "CMakeFiles/tp_core.dir/parameters.cc.o"
+  "CMakeFiles/tp_core.dir/parameters.cc.o.d"
+  "CMakeFiles/tp_core.dir/pattern.cc.o"
+  "CMakeFiles/tp_core.dir/pattern.cc.o.d"
+  "CMakeFiles/tp_core.dir/pattern_group.cc.o"
+  "CMakeFiles/tp_core.dir/pattern_group.cc.o.d"
+  "libtp_core.a"
+  "libtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/bus_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/bus_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/bus_generator.cc.o.d"
+  "/root/repo/src/datagen/network_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/network_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/network_generator.cc.o.d"
+  "/root/repo/src/datagen/planted_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/planted_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/planted_generator.cc.o.d"
+  "/root/repo/src/datagen/posture_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/posture_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/posture_generator.cc.o.d"
+  "/root/repo/src/datagen/uniform_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/uniform_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/uniform_generator.cc.o.d"
+  "/root/repo/src/datagen/zebranet_generator.cc" "src/datagen/CMakeFiles/tp_datagen.dir/zebranet_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tp_datagen.dir/zebranet_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_datagen.dir/bus_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/bus_generator.cc.o.d"
+  "CMakeFiles/tp_datagen.dir/network_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/network_generator.cc.o.d"
+  "CMakeFiles/tp_datagen.dir/planted_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/planted_generator.cc.o.d"
+  "CMakeFiles/tp_datagen.dir/posture_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/posture_generator.cc.o.d"
+  "CMakeFiles/tp_datagen.dir/uniform_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/uniform_generator.cc.o.d"
+  "CMakeFiles/tp_datagen.dir/zebranet_generator.cc.o"
+  "CMakeFiles/tp_datagen.dir/zebranet_generator.cc.o.d"
+  "libtp_datagen.a"
+  "libtp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_geometry.dir/grid.cc.o"
+  "CMakeFiles/tp_geometry.dir/grid.cc.o.d"
+  "CMakeFiles/tp_geometry.dir/point.cc.o"
+  "CMakeFiles/tp_geometry.dir/point.cc.o.d"
+  "libtp_geometry.a"
+  "libtp_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

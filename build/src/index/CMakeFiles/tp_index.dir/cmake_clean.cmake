@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_index.dir/grid_index.cc.o"
+  "CMakeFiles/tp_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/tp_index.dir/rtree.cc.o"
+  "CMakeFiles/tp_index.dir/rtree.cc.o.d"
+  "CMakeFiles/tp_index.dir/tpr_index.cc.o"
+  "CMakeFiles/tp_index.dir/tpr_index.cc.o.d"
+  "libtp_index.a"
+  "libtp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

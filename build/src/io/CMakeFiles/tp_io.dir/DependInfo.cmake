@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_art.cc" "src/io/CMakeFiles/tp_io.dir/ascii_art.cc.o" "gcc" "src/io/CMakeFiles/tp_io.dir/ascii_art.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/tp_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/tp_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/flags.cc" "src/io/CMakeFiles/tp_io.dir/flags.cc.o" "gcc" "src/io/CMakeFiles/tp_io.dir/flags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_io.dir/ascii_art.cc.o"
+  "CMakeFiles/tp_io.dir/ascii_art.cc.o.d"
+  "CMakeFiles/tp_io.dir/csv.cc.o"
+  "CMakeFiles/tp_io.dir/csv.cc.o.d"
+  "CMakeFiles/tp_io.dir/flags.cc.o"
+  "CMakeFiles/tp_io.dir/flags.cc.o.d"
+  "libtp_io.a"
+  "libtp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prediction/dead_reckoning.cc" "src/prediction/CMakeFiles/tp_prediction.dir/dead_reckoning.cc.o" "gcc" "src/prediction/CMakeFiles/tp_prediction.dir/dead_reckoning.cc.o.d"
+  "/root/repo/src/prediction/kalman_model.cc" "src/prediction/CMakeFiles/tp_prediction.dir/kalman_model.cc.o" "gcc" "src/prediction/CMakeFiles/tp_prediction.dir/kalman_model.cc.o.d"
+  "/root/repo/src/prediction/pattern_assisted.cc" "src/prediction/CMakeFiles/tp_prediction.dir/pattern_assisted.cc.o" "gcc" "src/prediction/CMakeFiles/tp_prediction.dir/pattern_assisted.cc.o.d"
+  "/root/repo/src/prediction/rmf_model.cc" "src/prediction/CMakeFiles/tp_prediction.dir/rmf_model.cc.o" "gcc" "src/prediction/CMakeFiles/tp_prediction.dir/rmf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_prediction.dir/dead_reckoning.cc.o"
+  "CMakeFiles/tp_prediction.dir/dead_reckoning.cc.o.d"
+  "CMakeFiles/tp_prediction.dir/kalman_model.cc.o"
+  "CMakeFiles/tp_prediction.dir/kalman_model.cc.o.d"
+  "CMakeFiles/tp_prediction.dir/pattern_assisted.cc.o"
+  "CMakeFiles/tp_prediction.dir/pattern_assisted.cc.o.d"
+  "CMakeFiles/tp_prediction.dir/rmf_model.cc.o"
+  "CMakeFiles/tp_prediction.dir/rmf_model.cc.o.d"
+  "libtp_prediction.a"
+  "libtp_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

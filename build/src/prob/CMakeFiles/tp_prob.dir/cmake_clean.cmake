@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_prob.dir/normal.cc.o"
+  "CMakeFiles/tp_prob.dir/normal.cc.o.d"
+  "libtp_prob.a"
+  "libtp_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/mobile_object_server.cc" "src/server/CMakeFiles/tp_server.dir/mobile_object_server.cc.o" "gcc" "src/server/CMakeFiles/tp_server.dir/mobile_object_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

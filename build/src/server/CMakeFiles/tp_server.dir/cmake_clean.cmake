@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_server.dir/mobile_object_server.cc.o"
+  "CMakeFiles/tp_server.dir/mobile_object_server.cc.o.d"
+  "libtp_server.a"
+  "libtp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_stats.dir/table.cc.o"
+  "CMakeFiles/tp_stats.dir/table.cc.o.d"
+  "libtp_stats.a"
+  "libtp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

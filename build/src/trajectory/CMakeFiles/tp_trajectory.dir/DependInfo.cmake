@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajectory/synchronizer.cc" "src/trajectory/CMakeFiles/tp_trajectory.dir/synchronizer.cc.o" "gcc" "src/trajectory/CMakeFiles/tp_trajectory.dir/synchronizer.cc.o.d"
+  "/root/repo/src/trajectory/trajectory.cc" "src/trajectory/CMakeFiles/tp_trajectory.dir/trajectory.cc.o" "gcc" "src/trajectory/CMakeFiles/tp_trajectory.dir/trajectory.cc.o.d"
+  "/root/repo/src/trajectory/transform.cc" "src/trajectory/CMakeFiles/tp_trajectory.dir/transform.cc.o" "gcc" "src/trajectory/CMakeFiles/tp_trajectory.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_trajectory.dir/synchronizer.cc.o"
+  "CMakeFiles/tp_trajectory.dir/synchronizer.cc.o.d"
+  "CMakeFiles/tp_trajectory.dir/trajectory.cc.o"
+  "CMakeFiles/tp_trajectory.dir/trajectory.cc.o.d"
+  "CMakeFiles/tp_trajectory.dir/transform.cc.o"
+  "CMakeFiles/tp_trajectory.dir/transform.cc.o.d"
+  "libtp_trajectory.a"
+  "libtp_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

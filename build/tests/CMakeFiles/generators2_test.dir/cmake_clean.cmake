@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators2_test.dir/generators2_test.cc.o"
+  "CMakeFiles/generators2_test.dir/generators2_test.cc.o.d"
+  "generators2_test"
+  "generators2_test.pdb"
+  "generators2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

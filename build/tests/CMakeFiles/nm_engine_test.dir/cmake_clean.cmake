@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_engine_test.dir/nm_engine_test.cc.o"
+  "CMakeFiles/nm_engine_test.dir/nm_engine_test.cc.o.d"
+  "nm_engine_test"
+  "nm_engine_test.pdb"
+  "nm_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_group_test.dir/pattern_group_test.cc.o"
+  "CMakeFiles/pattern_group_test.dir/pattern_group_test.cc.o.d"
+  "pattern_group_test"
+  "pattern_group_test.pdb"
+  "pattern_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

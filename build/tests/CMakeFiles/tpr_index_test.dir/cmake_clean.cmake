@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_index_test.dir/tpr_index_test.cc.o"
+  "CMakeFiles/tpr_index_test.dir/tpr_index_test.cc.o.d"
+  "tpr_index_test"
+  "tpr_index_test.pdb"
+  "tpr_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
