@@ -1,0 +1,214 @@
+// Serial-vs-parallel batch candidate scoring on a Fig. 4a-sized ZebraNet
+// workload (§4.4's hot path: candidates x trajectories x windows).  Times
+// NmEngine::NmTotal one-at-a-time against NmTotalBatch at 1/2/4/8 worker
+// threads, verifies the batch results are bit-identical to serial, and
+// also compares an end-to-end mining run at num_threads 1 vs hardware.
+// Writes a machine-readable summary to BENCH_parallel_scoring.json
+// (override with --json=PATH; --threads_list=1,2,4,8 --candidates=N to
+// reshape).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel/thread_pool.h"
+#include "stats/table.h"
+
+namespace tb = trajpattern::bench;
+using trajpattern::BatchScoreStats;
+using trajpattern::CellId;
+using trajpattern::Flags;
+using trajpattern::MineTrajPatterns;
+using trajpattern::MinerOptions;
+using trajpattern::MiningResult;
+using trajpattern::NmEngine;
+using trajpattern::Pattern;
+using trajpattern::ResolveThreadCount;
+using trajpattern::Table;
+using trajpattern::WallTimer;
+
+namespace {
+
+/// A candidate set shaped like a mining iteration's: all singulars plus
+/// length-2 and length-3 concatenations over the touched alphabet, in
+/// deterministic order, capped at `limit`.
+std::vector<Pattern> MakeCandidates(const NmEngine& engine, size_t limit) {
+  const std::vector<CellId> cells = engine.TouchedCells();
+  std::vector<Pattern> out;
+  for (CellId c : cells) {
+    if (out.size() >= limit) return out;
+    out.push_back(Pattern(c));
+  }
+  for (CellId a : cells) {
+    for (CellId b : cells) {
+      if (out.size() >= limit) return out;
+      out.push_back(Pattern(std::vector<CellId>{a, b}));
+    }
+  }
+  for (CellId a : cells) {
+    for (CellId b : cells) {
+      if (out.size() >= limit) return out;
+      out.push_back(Pattern(std::vector<CellId>{a, b, a}));
+    }
+  }
+  return out;
+}
+
+std::vector<int> ParseThreadsList(const std::string& csv) {
+  std::vector<int> out;
+  int value = 0;
+  bool have = false;
+  for (char ch : csv) {
+    if (ch >= '0' && ch <= '9') {
+      value = value * 10 + (ch - '0');
+      have = true;
+    } else if (have) {
+      out.push_back(value);
+      value = 0;
+      have = false;
+    }
+  }
+  if (have) out.push_back(value);
+  return out.empty() ? std::vector<int>{1, 2, 4, 8} : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  tb::Fig4Config cfg = tb::ParseFig4Config(flags);
+  const size_t num_candidates =
+      static_cast<size_t>(flags.GetInt("candidates", 4000));
+  const std::vector<int> threads_list =
+      ParseThreadsList(flags.GetString("threads_list", "1,2,4,8"));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_parallel_scoring.json");
+
+  const auto data = tb::MakeZebraData(cfg);
+  const auto space = tb::MakeSpace(cfg);
+
+  std::printf(
+      "Parallel batch scoring  (S=%d, L=%d, G=%d, candidates<=%zu, "
+      "hardware=%d)\n",
+      cfg.num_trajectories, cfg.avg_length, cfg.grid_side * cfg.grid_side,
+      num_candidates, ResolveThreadCount(0));
+
+  // ---- serial reference: one NmTotal call per candidate.
+  NmEngine serial_engine(data, space);
+  const std::vector<Pattern> candidates =
+      MakeCandidates(serial_engine, num_candidates);
+  std::vector<double> serial_scores;
+  serial_scores.reserve(candidates.size());
+  WallTimer timer;
+  for (const Pattern& p : candidates) {
+    serial_scores.push_back(serial_engine.NmTotal(p));
+  }
+  const double serial_seconds = timer.Seconds();
+
+  // ---- batch runs at each thread count, fresh engine each (cold cache
+  // so the warm-up split is visible).
+  struct Row {
+    int threads;
+    BatchScoreStats stats;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  for (int threads : threads_list) {
+    NmEngine engine(data, space);
+    WallTimer t;
+    BatchScoreStats stats;
+    const std::vector<double> scores =
+        engine.NmTotalBatch(candidates, threads, &stats);
+    const double seconds = t.Seconds();
+    bool identical = scores.size() == serial_scores.size();
+    for (size_t i = 0; identical && i < scores.size(); ++i) {
+      identical = std::memcmp(&scores[i], &serial_scores[i],
+                              sizeof(double)) == 0;
+    }
+    rows.push_back({threads, stats, seconds, identical});
+  }
+
+  Table table({"threads", "batch (s)", "warmup (s)", "scoring (s)",
+               "speedup", "cells", "identical"});
+  for (const Row& r : rows) {
+    table.AddRow({std::to_string(r.threads), Table::Num(r.seconds),
+                  Table::Num(r.stats.warmup_seconds),
+                  Table::Num(r.stats.scoring_seconds),
+                  Table::Num(serial_seconds / r.seconds),
+                  std::to_string(r.stats.cells_warmed),
+                  r.identical ? "yes" : "NO"});
+  }
+  std::printf("serial reference: %.4f s over %zu candidates\n", serial_seconds,
+              candidates.size());
+  table.Print();
+
+  // ---- end-to-end mining, serial vs hardware threads.
+  MinerOptions mopt = tb::MakeMinerOptions(cfg);
+  mopt.num_threads = 1;
+  NmEngine mine_serial_engine(data, space);
+  const MiningResult mine_serial = MineTrajPatterns(mine_serial_engine, mopt);
+  mopt.num_threads = 0;
+  NmEngine mine_parallel_engine(data, space);
+  const MiningResult mine_parallel =
+      MineTrajPatterns(mine_parallel_engine, mopt);
+  bool mine_identical =
+      mine_serial.patterns.size() == mine_parallel.patterns.size();
+  for (size_t i = 0; mine_identical && i < mine_serial.patterns.size(); ++i) {
+    mine_identical =
+        mine_serial.patterns[i].pattern == mine_parallel.patterns[i].pattern &&
+        std::memcmp(&mine_serial.patterns[i].nm, &mine_parallel.patterns[i].nm,
+                    sizeof(double)) == 0;
+  }
+  std::printf(
+      "end-to-end mine: serial %.4f s, %d threads %.4f s (speedup %.2fx, "
+      "top-k identical: %s)\n",
+      mine_serial.stats.seconds, mine_parallel.stats.threads_used,
+      mine_parallel.stats.seconds,
+      mine_serial.stats.seconds / mine_parallel.stats.seconds,
+      mine_identical ? "yes" : "NO");
+
+  // ---- JSON summary.
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": {\"trajectories\": %d, \"avg_length\": %d, "
+               "\"grid_cells\": %d, \"candidates\": %zu},\n",
+               cfg.num_trajectories, cfg.avg_length,
+               cfg.grid_side * cfg.grid_side, candidates.size());
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreadCount(0));
+  std::fprintf(f, "  \"serial_seconds\": %.6f,\n", serial_seconds);
+  std::fprintf(f, "  \"batch\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"warmup_seconds\": %.6f, \"scoring_seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"cells_warmed\": %zu, "
+                 "\"identical\": %s}%s\n",
+                 r.threads, r.seconds, r.stats.warmup_seconds,
+                 r.stats.scoring_seconds, serial_seconds / r.seconds,
+                 r.stats.cells_warmed, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"mine\": {\"serial_seconds\": %.6f, \"parallel_seconds\": "
+               "%.6f, \"parallel_threads\": %d, \"speedup\": %.3f, "
+               "\"identical\": %s}\n}\n",
+               mine_serial.stats.seconds, mine_parallel.stats.seconds,
+               mine_parallel.stats.threads_used,
+               mine_serial.stats.seconds / mine_parallel.stats.seconds,
+               mine_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  bool all_identical = mine_identical;
+  for (const Row& r : rows) all_identical = all_identical && r.identical;
+  return all_identical ? 0 : 1;
+}

@@ -26,6 +26,7 @@ struct Fig4Config {
   double delta = 0.0;          // 0 = one cell pitch
   double sigma = 0.006;
   uint64_t seed = 1;
+  int threads = 1;             // scoring workers (0 = hardware)
 };
 
 inline Fig4Config ParseFig4Config(const Flags& flags) {
@@ -39,6 +40,7 @@ inline Fig4Config ParseFig4Config(const Flags& flags) {
   c.max_pattern_length = flags.GetInt("max_len", c.max_pattern_length);
   c.delta = flags.GetDouble("delta", c.delta);
   c.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  c.threads = flags.GetInt("threads", c.threads);
   return c;
 }
 
@@ -64,6 +66,7 @@ inline MinerOptions MakeMinerOptions(const Fig4Config& c) {
   MinerOptions opt;
   opt.k = c.k;
   opt.max_pattern_length = static_cast<size_t>(c.max_pattern_length);
+  opt.num_threads = c.threads;  // batch-scoring workers; answer-invariant
   return opt;
 }
 

@@ -68,6 +68,35 @@ void BM_NmTotal(benchmark::State& state) {
 }
 BENCHMARK(BM_NmTotal)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_NmTotalBatch(benchmark::State& state) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = 64;
+  opt.num_snapshots = 50;
+  opt.seed = 3;
+  const TrajectoryDataset d = GenerateUniformObjects(opt);
+  const MiningSpace space(Grid::UnitSquare(16), 0.0625);
+  NmEngine engine(d, space);
+  const auto cells = engine.TouchedCells();
+  // A mining-iteration-shaped batch: every touched-cell pair.
+  std::vector<Pattern> batch;
+  for (CellId a : cells) {
+    for (CellId b : cells) {
+      batch.push_back(Pattern(std::vector<CellId>{a, b}));
+      if (batch.size() >= 512) break;
+    }
+    if (batch.size() >= 512) break;
+  }
+  const int threads = static_cast<int>(state.range(0));
+  engine.NmTotalBatch(batch, threads);  // warm columns + pool
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.NmTotalBatch(batch, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_NmTotalBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ZebraNetGenerate(benchmark::State& state) {
   ZebraNetGeneratorOptions opt;
   opt.num_zebras = static_cast<int>(state.range(0));

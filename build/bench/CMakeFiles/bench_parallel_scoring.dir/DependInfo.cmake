@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scoring.cc" "bench/CMakeFiles/bench_parallel_scoring.dir/bench_parallel_scoring.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_scoring.dir/bench_parallel_scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/tp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/tp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/prediction/CMakeFiles/tp_prediction.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_scoring.dir/bench_parallel_scoring.cc.o"
+  "CMakeFiles/bench_parallel_scoring.dir/bench_parallel_scoring.cc.o.d"
+  "bench_parallel_scoring"
+  "bench_parallel_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

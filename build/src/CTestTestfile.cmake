@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("geometry")
 subdirs("prob")
+subdirs("parallel")
 subdirs("stats")
 subdirs("trajectory")
 subdirs("index")

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/tp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/stats/CMakeFiles/tp_stats.dir/DependInfo.cmake"
   "/root/repo/build/src/prob/CMakeFiles/tp_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/tp_parallel.dir/DependInfo.cmake"
   "/root/repo/build/src/trajectory/CMakeFiles/tp_trajectory.dir/DependInfo.cmake"
   "/root/repo/build/src/geometry/CMakeFiles/tp_geometry.dir/DependInfo.cmake"
   )

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/tp_parallel.dir/thread_pool.cc.o.d"
+  "libtp_parallel.a"
+  "libtp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

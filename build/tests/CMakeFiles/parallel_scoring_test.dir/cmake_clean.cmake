@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scoring_test.dir/parallel_scoring_test.cc.o"
+  "CMakeFiles/parallel_scoring_test.dir/parallel_scoring_test.cc.o.d"
+  "parallel_scoring_test"
+  "parallel_scoring_test.pdb"
+  "parallel_scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

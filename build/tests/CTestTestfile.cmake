@@ -10,6 +10,7 @@ include("/root/repo/build/tests/stats_test[1]_include.cmake")
 include("/root/repo/build/tests/trajectory_test[1]_include.cmake")
 include("/root/repo/build/tests/nm_engine_test[1]_include.cmake")
 include("/root/repo/build/tests/miner_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_scoring_test[1]_include.cmake")
 include("/root/repo/build/tests/wildcard_test[1]_include.cmake")
 include("/root/repo/build/tests/classifier_test[1]_include.cmake")
 include("/root/repo/build/tests/pattern_group_test[1]_include.cmake")

@@ -32,12 +32,17 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
 
   // Level 1.
   std::vector<ScoredPattern> frontier;
-  for (CellId c : alphabet) {
-    Pattern p(c);
-    const double match = engine.MatchTotal(p);
-    ++stats.candidates_evaluated;
-    offer(p, match);
-    frontier.push_back({std::move(p), match});
+  {
+    std::vector<Pattern> singulars;
+    singulars.reserve(alphabet.size());
+    for (CellId c : alphabet) singulars.emplace_back(c);
+    const std::vector<double> matches =
+        engine.MatchTotalBatch(singulars, options.num_threads);
+    for (size_t i = 0; i < singulars.size(); ++i) {
+      ++stats.candidates_evaluated;
+      offer(singulars[i], matches[i]);
+      frontier.push_back({std::move(singulars[i]), matches[i]});
+    }
   }
   stats.levels = 1;
 
@@ -75,7 +80,7 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
       by_prefix[survivors[i].pattern.SubPattern(0, j - 1)].push_back(i);
     }
     std::unordered_set<Pattern, PatternHash> seen;
-    std::vector<ScoredPattern> next;
+    std::vector<Pattern> cands;
     for (const auto& a : survivors) {
       const auto partners = by_prefix.find(a.pattern.SubPattern(1, j - 1));
       if (partners == by_prefix.end()) continue;
@@ -87,11 +92,19 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
         // frontier survivors (prefix == a, suffix == join partner b).
         const double bound = std::min(a.nm, b.nm);
         if (bound < w) continue;
-        const double match = engine.MatchTotal(cand);
-        ++stats.candidates_evaluated;
-        offer(cand, match);
-        next.push_back({std::move(cand), match});
+        cands.push_back(std::move(cand));
       }
+    }
+    // Omega is only re-read at the next level boundary (w above), so
+    // staging the whole level and batch-scoring it is exact.
+    const std::vector<double> matches =
+        engine.MatchTotalBatch(cands, options.num_threads);
+    std::vector<ScoredPattern> next;
+    next.reserve(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      ++stats.candidates_evaluated;
+      offer(cands[i], matches[i]);
+      next.push_back({std::move(cands[i]), matches[i]});
     }
     ++stats.levels;
     frontier = std::move(next);

@@ -35,6 +35,10 @@ struct MatchMinerOptions {
   /// answer can miss a long pattern all of whose prefixes rank below the
   /// cap.
   size_t frontier_cap = 0;
+  /// Worker threads for scoring (0 = hardware concurrency, 1 = serial).
+  /// Each level's surviving candidates are scored through one
+  /// `NmEngine::MatchTotalBatch`; results are identical for any value.
+  int num_threads = 1;
 };
 
 /// Counters for a match mining run.

@@ -33,12 +33,17 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
   // together, matching the projection-based picture ("a large set of
   // prefixes need to be maintained").
   std::deque<ScoredPattern> live;
-  for (CellId c : alphabet) {
-    Pattern p(c);
-    const double nm = engine.NmTotal(p);
-    ++stats.evaluations;
-    offer(p, nm);
-    live.push_back({std::move(p), nm});
+  {
+    std::vector<Pattern> singulars;
+    singulars.reserve(alphabet.size());
+    for (CellId c : alphabet) singulars.emplace_back(c);
+    const std::vector<double> nms =
+        engine.NmTotalBatch(singulars, options.num_threads);
+    for (size_t i = 0; i < singulars.size(); ++i) {
+      ++stats.evaluations;
+      offer(singulars[i], nms[i]);
+      live.push_back({std::move(singulars[i]), nms[i]});
+    }
   }
   stats.peak_live_prefixes = live.size();
 
@@ -60,12 +65,19 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
         prefix.nm;
     if (bound < top_k.Omega()) continue;
     ++stats.prefixes_expanded;
-    for (CellId x : alphabet) {
-      Pattern ext = prefix.pattern.Concat(Pattern(x));
-      const double nm = engine.NmTotal(ext);
+    // The serial loop offered extensions in alphabet order with no reads
+    // of omega in between, so scoring the whole wave first and offering
+    // afterwards is semantics-preserving — and gives the batch API a
+    // |G|-sized unit of parallel work.
+    std::vector<Pattern> exts;
+    exts.reserve(alphabet.size());
+    for (CellId x : alphabet) exts.push_back(prefix.pattern.Concat(Pattern(x)));
+    const std::vector<double> nms =
+        engine.NmTotalBatch(exts, options.num_threads);
+    for (size_t i = 0; i < exts.size(); ++i) {
       ++stats.evaluations;
-      offer(ext, nm);
-      live.push_back({std::move(ext), nm});
+      offer(exts[i], nms[i]);
+      live.push_back({std::move(exts[i]), nms[i]});
     }
     stats.peak_live_prefixes = std::max(stats.peak_live_prefixes, live.size());
   }

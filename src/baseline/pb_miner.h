@@ -25,6 +25,10 @@ struct PbMinerOptions {
   /// Abort the run once this many prefixes were expanded (0 = unlimited);
   /// models "we need to keep G^c prefixes, which may be too large".
   int64_t max_expanded_prefixes = 0;
+  /// Worker threads for scoring (0 = hardware concurrency, 1 = serial).
+  /// Each expanded prefix's alphabet of extensions is scored as one
+  /// `NmEngine::NmTotalBatch`; results are identical for any value.
+  int num_threads = 1;
 };
 
 /// Counters for a PB run.

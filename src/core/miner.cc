@@ -21,14 +21,29 @@ TrajPatternMiner::TrajPatternMiner(const NmEngine* engine,
   assert(options.k > 0);
 }
 
-double TrajPatternMiner::Score(const Pattern& p) {
-  auto it = scores_.find(p);
-  if (it != scores_.end()) return it->second;
-  const double nm = engine_->NmTotal(p);
-  scores_.emplace(p, nm);
-  ++stats_.candidates_evaluated;
-  if (Eligible(p)) top_k_.Offer(p, nm);
-  return nm;
+void TrajPatternMiner::ScoreBatch(const std::vector<Pattern>& patterns) {
+  // Defensive re-filter against the memo: scoring a pattern twice would
+  // also offer it to the top-k twice.  Callers already dedupe, so this
+  // usually copies the whole list.
+  std::vector<Pattern> todo;
+  todo.reserve(patterns.size());
+  for (const Pattern& p : patterns) {
+    if (scores_.count(p) == 0) todo.push_back(p);
+  }
+  if (todo.empty()) return;
+  BatchScoreStats bstats;
+  const std::vector<double> nms =
+      engine_->NmTotalBatch(todo, options_.num_threads, &bstats);
+  stats_.warmup_seconds += bstats.warmup_seconds;
+  stats_.scoring_seconds += bstats.scoring_seconds;
+  stats_.threads_used = bstats.threads_used;
+  // Serial epilogue in staged order: the memo, evaluation counter, and
+  // top-k offers land exactly as the serial one-at-a-time loop would.
+  for (size_t i = 0; i < todo.size(); ++i) {
+    scores_.emplace(todo[i], nms[i]);
+    ++stats_.candidates_evaluated;
+    if (Eligible(todo[i])) top_k_.Offer(todo[i], nms[i]);
+  }
 }
 
 MiningResult TrajPatternMiner::Mine() {
@@ -46,7 +61,12 @@ MiningResult TrajPatternMiner::Mine() {
     }
   }
   stats_.alphabet_size = alphabet.size();
-  for (CellId c : alphabet) Score(Pattern(c));
+  // One batch warms every touched cell's column up front and scores the
+  // singulars across the workers.
+  std::vector<Pattern> singulars;
+  singulars.reserve(alphabet.size());
+  for (CellId c : alphabet) singulars.emplace_back(c);
+  ScoreBatch(singulars);
 
   // The high set H and the retained set Q.  Q is rebuilt from the global
   // score memo every round: a low pattern pruned in an earlier round must
@@ -219,7 +239,7 @@ MiningResult TrajPatternMiner::Mine() {
       }
     }
 
-    for (const Pattern& c : candidates) Score(c);
+    ScoreBatch(candidates);
 
     // Re-threshold, relabel, prune (§4.1).
     std::unordered_set<Pattern, PatternHash> high_old = std::move(high);
@@ -232,6 +252,7 @@ MiningResult TrajPatternMiner::Mine() {
   MiningResult result;
   result.patterns = top_k_.Sorted();
   stats_.seconds = timer.Seconds();
+  stats_.cells_cached = engine_->num_cached_cells();
   result.stats = stats_;
   return result;
 }

@@ -55,6 +55,13 @@ struct MinerOptions {
   /// trailing '*' carries no information), and NM normalizes by the
   /// specified-position count so stars cannot inflate a score.
   int max_wildcards = 0;
+
+  /// Worker threads for candidate scoring: 0 = hardware concurrency,
+  /// 1 = exact inline-serial execution (no pool).  Every iteration's
+  /// candidate set goes through `NmEngine::NmTotalBatch`, which is
+  /// bit-identical to serial scoring for any thread count, so this knob
+  /// changes wall-clock only — never the mined answer.
+  int num_threads = 1;
 };
 
 /// Counters reported alongside a mining result.
@@ -65,6 +72,14 @@ struct MinerStats {
   size_t peak_queue_size = 0;
   size_t alphabet_size = 0;
   double seconds = 0.0;
+  /// Time spent materializing cell columns (serial side of the batches).
+  double warmup_seconds = 0.0;
+  /// Time spent scoring candidates (the parallel region).
+  double scoring_seconds = 0.0;
+  /// Distinct cells with a cached column when mining finished.
+  size_t cells_cached = 0;
+  /// Worker count the batches ran with (resolved from `num_threads`).
+  int threads_used = 1;
   bool hit_iteration_cap = false;
   bool hit_candidate_cap = false;
 };
@@ -93,8 +108,11 @@ class TrajPatternMiner {
   MiningResult Mine();
 
  private:
-  /// Scores `p` if unseen, feeding the top-k tracker; returns its NM.
-  double Score(const Pattern& p);
+  /// Scores every unseen pattern in `patterns` through the engine's
+  /// batch API (parallel per `MinerOptions::num_threads`), then feeds
+  /// the memo and the top-k tracker serially in `patterns` order —
+  /// identical bookkeeping to one-at-a-time scoring.
+  void ScoreBatch(const std::vector<Pattern>& patterns);
 
   /// True iff `p` counts toward the answer set.
   bool Eligible(const Pattern& p) const {

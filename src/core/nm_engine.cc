@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "prob/log_space.h"
+#include "stats/timer.h"
 
 namespace trajpattern {
 
@@ -23,33 +24,53 @@ NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
   offsets_.push_back(off);
 }
 
-const std::vector<double>& NmEngine::CellColumn(CellId cell) const {
-  auto it = cell_cache_.find(cell);
-  if (it != cell_cache_.end()) return it->second;
+NmEngine::~NmEngine() = default;
+
+std::vector<double> NmEngine::ComputeColumn(CellId cell) const {
   std::vector<double> col(flat_points_.size());
   for (size_t g = 0; g < flat_points_.size(); ++g) {
     col[g] = space_.LogProb(flat_points_[g], cell);
   }
-  return cell_cache_.emplace(cell, std::move(col)).first->second;
+  return col;
 }
 
-bool NmEngine::MaxWindowLogSum(const Pattern& p, size_t traj_index,
-                               double* best) const {
+const std::vector<double>& NmEngine::CellColumn(CellId cell) const {
+  auto it = cell_cache_.find(cell);
+  if (it != cell_cache_.end()) return it->second;
+  return cell_cache_.emplace(cell, ComputeColumn(cell)).first->second;
+}
+
+void NmEngine::ResolveColumns(const Pattern& p, bool cached_only,
+                              ColumnScratch* cols) const {
   const size_t m = p.length();
+  if (cols->size() < m) cols->resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    if (p[j] == kWildcardCell) {
+      (*cols)[j] = nullptr;
+      continue;
+    }
+    if (cached_only) {
+      // Batch workers land here; the warm-up contract guarantees a hit,
+      // which keeps this lookup read-only and therefore race-free.
+      const auto it = cell_cache_.find(p[j]);
+      assert(it != cell_cache_.end());
+      (*cols)[j] = it->second.data();
+    } else {
+      (*cols)[j] = CellColumn(p[j]).data();
+    }
+  }
+}
+
+bool NmEngine::BestWindowSum(const ColumnScratch& cols, size_t m,
+                             size_t traj_index, double* best) const {
   const size_t off = offsets_[traj_index];
   const size_t len = offsets_[traj_index + 1] - off;
   if (len < m || m == 0) return false;
-  // Resolve each position's column once; nullptr means wildcard (log 1).
-  std::vector<const double*> cols(m);
-  for (size_t j = 0; j < m; ++j) {
-    cols[j] =
-        p[j] == kWildcardCell ? nullptr : CellColumn(p[j]).data() + off;
-  }
   double best_sum = -std::numeric_limits<double>::infinity();
   for (size_t k = 0; k + m <= len; ++k) {
     double sum = 0.0;
     for (size_t j = 0; j < m; ++j) {
-      if (cols[j] != nullptr) sum += cols[j][k + j];
+      if (cols[j] != nullptr) sum += cols[j][off + k + j];
     }
     if (sum > best_sum) best_sum = sum;
   }
@@ -58,31 +79,148 @@ bool NmEngine::MaxWindowLogSum(const Pattern& p, size_t traj_index,
 }
 
 double NmEngine::Nm(const Pattern& p, size_t traj_index) const {
+  ColumnScratch cols;
+  ResolveColumns(p, /*cached_only=*/false, &cols);
   double best;
-  if (!MaxWindowLogSum(p, traj_index, &best)) return LogFloor();
+  if (!BestWindowSum(cols, p.length(), traj_index, &best)) return LogFloor();
   const size_t specified = p.SpecifiedCount();
   assert(specified > 0);
   return best / static_cast<double>(specified);
 }
 
-double NmEngine::NmTotal(const Pattern& p) const {
-  ++num_pattern_evaluations_;
+double NmEngine::NmTotalResolved(const Pattern& p,
+                                 const ColumnScratch& cols) const {
+  const size_t m = p.length();
+  const size_t specified = p.SpecifiedCount();
+  assert(specified > 0);
   double total = 0.0;
-  for (size_t i = 0; i < data_->size(); ++i) total += Nm(p, i);
+  for (size_t i = 0; i < data_->size(); ++i) {
+    double best;
+    total += BestWindowSum(cols, m, i, &best)
+                 ? best / static_cast<double>(specified)
+                 : LogFloor();
+  }
   return total;
 }
 
+double NmEngine::NmTotalCached(const Pattern& p, ColumnScratch* cols) const {
+  // Columns are resolved once per pattern (not once per trajectory) and
+  // the scratch is caller-owned, so the loop below does zero allocation.
+  ResolveColumns(p, /*cached_only=*/true, cols);
+  return NmTotalResolved(p, *cols);
+}
+
+double NmEngine::NmTotal(const Pattern& p) const {
+  ++num_pattern_evaluations_;
+  ColumnScratch cols;
+  // Fill any missing columns while still serial, then run the read-only
+  // kernel shared with the batch path.
+  ResolveColumns(p, /*cached_only=*/false, &cols);
+  return NmTotalResolved(p, cols);
+}
+
 double NmEngine::Match(const Pattern& p, size_t traj_index) const {
+  ColumnScratch cols;
+  ResolveColumns(p, /*cached_only=*/false, &cols);
   double best;
-  if (!MaxWindowLogSum(p, traj_index, &best)) return 0.0;
+  if (!BestWindowSum(cols, p.length(), traj_index, &best)) return 0.0;
   return std::exp(best);
+}
+
+double NmEngine::MatchTotalResolved(const Pattern& p,
+                                    const ColumnScratch& cols) const {
+  const size_t m = p.length();
+  double total = 0.0;
+  for (size_t i = 0; i < data_->size(); ++i) {
+    double best;
+    if (BestWindowSum(cols, m, i, &best)) total += std::exp(best);
+  }
+  return total;
+}
+
+double NmEngine::MatchTotalCached(const Pattern& p, ColumnScratch* cols) const {
+  ResolveColumns(p, /*cached_only=*/true, cols);
+  return MatchTotalResolved(p, *cols);
 }
 
 double NmEngine::MatchTotal(const Pattern& p) const {
   ++num_pattern_evaluations_;
-  double total = 0.0;
-  for (size_t i = 0; i < data_->size(); ++i) total += Match(p, i);
-  return total;
+  ColumnScratch cols;
+  ResolveColumns(p, /*cached_only=*/false, &cols);
+  return MatchTotalResolved(p, cols);
+}
+
+ThreadPool* NmEngine::PoolFor(int threads) const {
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->size() < threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+size_t NmEngine::WarmCells(const std::vector<CellId>& cells,
+                           int num_threads) const {
+  std::vector<CellId> missing;
+  std::unordered_set<CellId> staged;
+  for (CellId c : cells) {
+    if (c == kWildcardCell || cell_cache_.count(c) > 0) continue;
+    if (staged.insert(c).second) missing.push_back(c);
+  }
+  if (missing.empty()) return 0;
+  // Column computation (the expensive erf work) fans out; the map
+  // mutation stays on the calling thread so `cell_cache_` never needs a
+  // lock and the workers never see it mid-rehash.
+  std::vector<std::vector<double>> cols(missing.size());
+  ParallelFor(PoolFor(ResolveThreadCount(num_threads)), missing.size(),
+              [&](size_t i, int) { cols[i] = ComputeColumn(missing[i]); });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    cell_cache_.emplace(missing[i], std::move(cols[i]));
+  }
+  return missing.size();
+}
+
+std::vector<double> NmEngine::ScoreBatch(
+    const std::vector<Pattern>& patterns, int num_threads,
+    BatchScoreStats* stats,
+    double (NmEngine::*kernel)(const Pattern&, ColumnScratch*) const) const {
+  const int threads = ResolveThreadCount(num_threads);
+  BatchScoreStats out_stats;
+  out_stats.threads_used = threads;
+  std::vector<double> out(patterns.size());
+  WallTimer timer;
+
+  // Warm-up: every column any candidate needs exists before a worker
+  // runs, so the scoring region below only reads the cache.
+  std::vector<CellId> needed;
+  for (const auto& p : patterns) {
+    for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
+  }
+  out_stats.cells_warmed = WarmCells(needed, threads);
+  out_stats.warmup_seconds = timer.Seconds();
+
+  timer.Reset();
+  ThreadPool* pool = PoolFor(threads);
+  const int lanes = pool == nullptr ? 1 : pool->size();
+  std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
+  ParallelFor(pool, patterns.size(), [&](size_t i, int worker) {
+    out[i] = (this->*kernel)(patterns[i], &scratch[static_cast<size_t>(worker)]);
+  });
+  num_pattern_evaluations_ += static_cast<int64_t>(patterns.size());
+  out_stats.scoring_seconds = timer.Seconds();
+  if (stats != nullptr) *stats = out_stats;
+  return out;
+}
+
+std::vector<double> NmEngine::NmTotalBatch(const std::vector<Pattern>& patterns,
+                                           int num_threads,
+                                           BatchScoreStats* stats) const {
+  return ScoreBatch(patterns, num_threads, stats, &NmEngine::NmTotalCached);
+}
+
+std::vector<double> NmEngine::MatchTotalBatch(
+    const std::vector<Pattern>& patterns, int num_threads,
+    BatchScoreStats* stats) const {
+  return ScoreBatch(patterns, num_threads, stats, &NmEngine::MatchTotalCached);
 }
 
 double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
@@ -90,7 +228,8 @@ double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
   ++num_pattern_evaluations_;
   const size_t m = p.length();
   assert(m > 0);
-  std::vector<const double*> cols(m);
+  ColumnScratch cols;
+  ResolveColumns(p, /*cached_only=*/false, &cols);
   double total = 0.0;
   for (size_t i = 0; i < data_->size(); ++i) {
     const size_t off = offsets_[i];
@@ -99,15 +238,11 @@ double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
       total += LogFloor();
       continue;
     }
-    for (size_t j = 0; j < m; ++j) {
-      cols[j] =
-          p[j] == kWildcardCell ? nullptr : CellColumn(p[j]).data() + off;
-    }
     constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     // dp[s]: best log-sum of p_0..p_j with p_j matched at snapshot s.
     std::vector<double> dp(len), prev(len);
     for (size_t s = 0; s < len; ++s) {
-      prev[s] = cols[0] != nullptr ? cols[0][s] : 0.0;
+      prev[s] = cols[0] != nullptr ? cols[0][off + s] : 0.0;
     }
     for (size_t j = 1; j < m; ++j) {
       for (size_t s = 0; s < len; ++s) {
@@ -121,7 +256,7 @@ double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
             best_prev = std::max(best_prev, prev[sp]);
           }
         }
-        const double here = cols[j] != nullptr ? cols[j][s] : 0.0;
+        const double here = cols[j] != nullptr ? cols[j][off + s] : 0.0;
         dp[s] = best_prev == kNegInf ? kNegInf : best_prev + here;
       }
       std::swap(dp, prev);

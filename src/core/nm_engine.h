@@ -2,14 +2,30 @@
 #define TRAJPATTERN_CORE_NM_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/mining_space.h"
 #include "core/pattern.h"
+#include "parallel/thread_pool.h"
 #include "trajectory/trajectory.h"
 
 namespace trajpattern {
+
+/// Timing/accounting split of one batch-scoring call (the parallel hot
+/// path of §4.4's complexity analysis): the serial-side cache warm-up
+/// versus the multi-threaded candidate scoring.
+struct BatchScoreStats {
+  /// Seconds spent materializing missing cell columns before scoring.
+  double warmup_seconds = 0.0;
+  /// Seconds spent scoring candidates (parallel region).
+  double scoring_seconds = 0.0;
+  /// Cell columns newly cached by this call's warm-up.
+  size_t cells_warmed = 0;
+  /// Worker count the call actually ran with.
+  int threads_used = 1;
+};
 
 /// Scores patterns against a trajectory dataset: the match (Eq. 2) and
 /// normalized-match (Eq. 3/4) measures and their dataset aggregates.
@@ -20,9 +36,20 @@ namespace trajpattern {
 /// patterns over the same few hundred live cells amortizes to array
 /// lookups.  Trajectories shorter than the pattern contribute the log
 /// floor to NM sums and 0 to match sums (they cannot host a window).
+///
+/// Threading contract: the per-pattern entry points (`Nm`, `NmTotal`,
+/// `Match`, ...) lazily fill `cell_cache_` and therefore must only be
+/// called from one thread at a time.  The batch entry points
+/// (`NmTotalBatch`, `MatchTotalBatch`) pre-warm every column their
+/// candidate set needs while still serial, then fan the candidates out
+/// over an internal thread pool; workers only ever *read* the cache.
+/// Batch results use the same per-pattern reduction order as the serial
+/// path (trajectory 0, 1, ...), so they are bit-identical to it
+/// regardless of the worker count.
 class NmEngine {
  public:
   NmEngine(const TrajectoryDataset& data, const MiningSpace& space);
+  ~NmEngine();
 
   NmEngine(const NmEngine&) = delete;
   NmEngine& operator=(const NmEngine&) = delete;
@@ -39,6 +66,15 @@ class NmEngine {
   /// NM(P) over the whole dataset: sum of per-trajectory NM (§3.3).
   double NmTotal(const Pattern& p) const;
 
+  /// Scores a whole candidate generation at once: out[i] == NmTotal(
+  /// patterns[i]), bit-identical to the serial calls, computed on
+  /// `num_threads` workers (0 = hardware concurrency, 1 = inline serial).
+  /// Missing cell columns are warmed before any worker starts, which is
+  /// what makes the scoring region read-only and race-free.
+  std::vector<double> NmTotalBatch(const std::vector<Pattern>& patterns,
+                                   int num_threads = 1,
+                                   BatchScoreStats* stats = nullptr) const;
+
   /// Match(P, T_i) in linear space: max over windows of the joint
   /// probability (Eq. 2, with the window max of [14]).  0 if too short.
   double Match(const Pattern& p, size_t traj_index) const;
@@ -46,11 +82,23 @@ class NmEngine {
   /// Match(P): sum of per-trajectory match values.
   double MatchTotal(const Pattern& p) const;
 
+  /// Batch counterpart of `MatchTotal`; same contract as `NmTotalBatch`.
+  std::vector<double> MatchTotalBatch(const std::vector<Pattern>& patterns,
+                                      int num_threads = 1,
+                                      BatchScoreStats* stats = nullptr) const;
+
   /// §5 gap semantics: NM where up to `max_gap` unmatched snapshots may be
   /// skipped between consecutive pattern positions (a gap behaves like a
   /// run of wildcards that does not count toward the length
   /// normalization).  Computed by dynamic programming per trajectory.
   double NmTotalWithGaps(const Pattern& p, int max_gap) const;
+
+  /// Materializes the log-prob columns of `cells` that are not cached
+  /// yet (column computation runs on `num_threads` workers; the cache
+  /// insertions stay serial).  Returns the number of columns added.
+  /// This is the batch API's warm-up step, exposed for callers that know
+  /// their working set up front.
+  size_t WarmCells(const std::vector<CellId>& cells, int num_threads = 1) const;
 
   /// Cells whose center receives non-negligible probability from at least
   /// one snapshot: within `radius_sigmas * sigma + delta` of some mean.
@@ -64,13 +112,51 @@ class NmEngine {
   size_t num_cached_cells() const { return cell_cache_.size(); }
 
  private:
-  /// Flat log-prob column for `cell`, indexed by global snapshot index.
+  /// Scratch of per-position column base pointers, reused across calls
+  /// so the hot loops never allocate (one lives on each batch lane).
+  using ColumnScratch = std::vector<const double*>;
+
+  /// The freshly computed log-prob column for `cell` (no caching).
+  std::vector<double> ComputeColumn(CellId cell) const;
+
+  /// Flat log-prob column for `cell`, indexed by global snapshot index;
+  /// computes and caches it on first use.  Serial paths only.
   const std::vector<double>& CellColumn(CellId cell) const;
 
-  /// Max window log-sum for pattern `p` in trajectory `i`, using cached
-  /// columns; returns false if the trajectory is shorter than `p`.
-  bool MaxWindowLogSum(const Pattern& p, size_t traj_index,
-                       double* best) const;
+  /// Resolves each position of `p` to its column base pointer (nullptr
+  /// for wildcards, log 1).  `cached_only` restricts the lookup to
+  /// already-warmed columns (read-only, thread-safe); otherwise missing
+  /// columns are computed and cached in place.
+  void ResolveColumns(const Pattern& p, bool cached_only,
+                      ColumnScratch* cols) const;
+
+  /// Max window log-sum for the resolved pattern columns in trajectory
+  /// `traj_index`; returns false if the trajectory is shorter than the
+  /// pattern (length `m`).
+  bool BestWindowSum(const ColumnScratch& cols, size_t m, size_t traj_index,
+                     double* best) const;
+
+  /// The allocation-free reduction loops shared by the serial totals and
+  /// the batch workers; `cols` must hold the pattern's resolved columns.
+  double NmTotalResolved(const Pattern& p, const ColumnScratch& cols) const;
+  double MatchTotalResolved(const Pattern& p, const ColumnScratch& cols) const;
+
+  /// NmTotal over pre-warmed columns using caller-provided scratch; the
+  /// read-only kernel the batch workers run.
+  double NmTotalCached(const Pattern& p, ColumnScratch* cols) const;
+  /// MatchTotal counterpart of `NmTotalCached`.
+  double MatchTotalCached(const Pattern& p, ColumnScratch* cols) const;
+
+  /// Shared fan-out of the two batch entry points; `kernel` is one of
+  /// the *Cached scorers.
+  std::vector<double> ScoreBatch(
+      const std::vector<Pattern>& patterns, int num_threads,
+      BatchScoreStats* stats,
+      double (NmEngine::*kernel)(const Pattern&, ColumnScratch*) const) const;
+
+  /// The lazily built pool reused by batch calls; grown when a call asks
+  /// for more workers than it has.  nullptr until the first parallel call.
+  ThreadPool* PoolFor(int threads) const;
 
   const TrajectoryDataset* data_;
   MiningSpace space_;
@@ -81,6 +167,7 @@ class NmEngine {
   std::vector<TrajectoryPoint> flat_points_;
   mutable std::unordered_map<CellId, std::vector<double>> cell_cache_;
   mutable int64_t num_pattern_evaluations_ = 0;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Joint log probability that the window starting at `begin` in `points`

@@ -1,0 +1,92 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace trajpattern {
+
+int ResolveThreadCount(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveThreadCount(num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t item, int worker)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  const int lanes =
+      static_cast<int>(std::min(n, static_cast<size_t>(pool->size())));
+  std::atomic<size_t> next{0};
+  // Per-call completion latch: ParallelFor must not return while a lane
+  // still holds references to the caller's stack.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int done = 0;
+  for (int w = 0; w < lanes; ++w) {
+    pool->Submit([&, w] {
+      for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        fn(i, w);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == lanes) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return done == lanes; });
+}
+
+}  // namespace trajpattern

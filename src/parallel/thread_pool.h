@@ -1,0 +1,67 @@
+#ifndef TRAJPATTERN_PARALLEL_THREAD_POOL_H_
+#define TRAJPATTERN_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace trajpattern {
+
+/// Resolves a `num_threads` knob into an actual worker count: 0 means
+/// "use the hardware" (`std::thread::hardware_concurrency`, at least 1),
+/// any positive value is taken literally.
+int ResolveThreadCount(int num_threads);
+
+/// A small fixed-size worker pool.  Tasks are plain `void()` callables
+/// executed FIFO; `Wait` blocks until every submitted task has finished.
+/// Tasks must not throw (the library is assert-based, exception-free).
+///
+/// The pool is reusable across many Submit/Wait rounds — `NmEngine`
+/// keeps one alive across batch-scoring calls so mining iterations do
+/// not pay thread start-up costs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved via `ResolveThreadCount`).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers
+  std::condition_variable idle_cv_;  // wakes Wait()
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+/// Runs `fn(item, worker)` for every `item` in [0, n), work-stealing off
+/// a shared counter.  `worker` is a dense id in [0, W) identifying which
+/// of the W parallel lanes executes the item — index per-lane scratch
+/// buffers with it.  With a null pool, a single-thread pool, or n <= 1
+/// the loop runs inline on the calling thread (worker 0), which is the
+/// exact-serial fallback path.  Blocks until all items are done.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t item, int worker)>& fn);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_PARALLEL_THREAD_POOL_H_
