@@ -1,0 +1,277 @@
+// Fault-tolerant ingestion end to end: a planted-pattern workload is
+// replayed as a report stream, once clean and once through the seeded
+// FaultInjector (default 5% drops + 1% corruption), both ingested by the
+// MobileObjectServer, validated/repaired by the TrajectoryValidator, and
+// mined for the top-k NM patterns.  The bench verifies that (a) the
+// faulted-and-repaired top-k covers the same cells as the clean top-k and
+// (b) a mining run killed at a checkpoint and resumed from the serialized
+// file is bit-identical to the uninterrupted run.  Writes
+// BENCH_fault_tolerance.json (override with --json=PATH).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/planted_generator.h"
+#include "geometry/grid.h"
+#include "io/checkpoint.h"
+#include "io/flags.h"
+#include "server/fault_injector.h"
+#include "stats/timer.h"
+#include "trajectory/validate.h"
+
+using namespace trajpattern;
+
+namespace {
+
+TrajectoryDataset MakePlantedData(uint64_t seed) {
+  // A 5-cell planted chain has exactly 10 contiguous sub-patterns of
+  // length >= 2 (4 pairs, 3 triples, 2 quads, 1 quint), each supported by
+  // every carrier — so the clean top-10 under min_length=2 is precisely
+  // the planted family, with a wide NM gap to the noise tail that small
+  // repair perturbations cannot bridge.
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.35, 0.35), Point2(0.55, 0.55),
+                 Point2(0.75, 0.75), Point2(0.95, 0.95)};
+  opt.num_with_pattern = 30;
+  opt.num_background = 0;
+  opt.num_snapshots = 10;
+  opt.sigma = 0.005;
+  opt.seed = seed;
+  return GeneratePlantedPatterns(opt);
+}
+
+// Extra sigma per snapshot of elapsed time / interpolation distance, used
+// by BOTH the synchronizer (dead-reckoned snapshots after a dropped
+// report) and the validator (teleport repairs).  This is the load-bearing
+// fault-tolerance knob: a repaired position can land in the wrong cell,
+// and only an honestly inflated sigma keeps that mistake from charging
+// the probability floor to every pattern through it.
+constexpr double kSigmaGrowth = 0.3;
+
+MinerOptions MakeMinerOptions(int k) {
+  MinerOptions opt;
+  opt.k = k;
+  opt.min_length = 2;  // singulars carry no sequence information
+  opt.max_pattern_length = 5;
+  opt.num_threads = 1;
+  return opt;
+}
+
+MobileObjectServer::Options MakeServerOptions(const TrajectoryDataset& data) {
+  MobileObjectServer::Options opt;
+  opt.sync.start_time = 0.0;
+  opt.sync.interval = 1.0;
+  opt.sync.num_snapshots = 0;
+  for (const auto& t : data) {
+    opt.sync.num_snapshots =
+        std::max(opt.sync.num_snapshots, static_cast<int>(t.size()));
+  }
+  opt.sync.base_sigma = 0.005;  // the planted workload's reported sigma
+  opt.sync.sigma_growth = kSigmaGrowth;
+  return opt;
+}
+
+MiningResult MineTopK(const TrajectoryDataset& data, const MiningSpace& space,
+                      int k) {
+  NmEngine engine(data, space);
+  return MineTrajPatterns(engine, MakeMinerOptions(k));
+}
+
+/// The set of grid cells any top-k pattern visits (wildcards excluded):
+/// the acceptance criterion compares these, not the exact rank order,
+/// because repair perturbs sigmas and may shuffle near-tied tails.
+std::set<CellId> TopKCells(const std::vector<ScoredPattern>& patterns) {
+  std::set<CellId> cells;
+  for (const auto& sp : patterns) {
+    for (size_t i = 0; i < sp.pattern.length(); ++i) {
+      if (sp.pattern[i] != kWildcardCell) cells.insert(sp.pattern[i]);
+    }
+  }
+  return cells;
+}
+
+std::set<std::string> PatternStrings(const std::vector<ScoredPattern>& ps) {
+  std::set<std::string> out;
+  for (const auto& sp : ps) out.insert(sp.pattern.ToString());
+  return out;
+}
+
+bool BitIdentical(const std::vector<ScoredPattern>& a,
+                  const std::vector<ScoredPattern>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pattern == b[i].pattern) ||
+        std::memcmp(&a[i].nm, &b[i].nm, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int k = flags.GetInt("k", 10);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string json_path =
+      flags.GetString("json", "BENCH_fault_tolerance.json");
+
+  const TrajectoryDataset original = MakePlantedData(seed);
+  const MobileObjectServer::Options server_options =
+      MakeServerOptions(original);
+  // delta = half the cell pitch: a neighbor-cell variant is then OUTSIDE
+  // the indifference region of every carrier and pays the probability
+  // floor, while the true family's positions sit well inside it.
+  const MiningSpace space(Grid::UnitSquare(10), 0.05);
+
+  // ---- clean pipeline: stream -> server -> mine (no faults, no repair).
+  const ReportStream clean_stream = DatasetToReportStream(original);
+  const TrajectoryDataset clean = IngestAndSynchronize(clean_stream,
+                                                       server_options);
+  WallTimer clean_timer;
+  const MiningResult clean_result = MineTopK(clean, space, k);
+  const double clean_seconds = clean_timer.Seconds();
+
+  // ---- faulted pipeline: stream -> injector -> server -> validator ->
+  // mine.
+  FaultInjectorOptions fault_options;
+  fault_options.drop_rate = flags.GetDouble("drop", 0.05);
+  fault_options.corrupt_rate = flags.GetDouble("corrupt", 0.01);
+  fault_options.corrupt_offset = 25.0;
+  fault_options.seed = seed;
+  FaultStats fault_stats;
+  ReportStream faulted_stream = clean_stream;
+  faulted_stream.events =
+      FaultInjector(fault_options).Inject(clean_stream.events, &fault_stats);
+
+  IngestStats ingest;
+  const TrajectoryDataset faulted =
+      IngestAndSynchronize(faulted_stream, server_options, &ingest);
+
+  ValidationPolicy policy;
+  policy.repair = flags.GetBool("repair", true);
+  policy.max_jump = flags.GetDouble("max_jump", 5.0);
+  policy.sigma_growth = kSigmaGrowth;
+  ValidationReport report;
+  const TrajectoryDataset repaired =
+      TrajectoryValidator(policy).Validate(faulted, &report);
+
+  WallTimer faulted_timer;
+  const MiningResult faulted_result = MineTopK(repaired, space, k);
+  const double faulted_seconds = faulted_timer.Seconds();
+
+  const std::set<CellId> clean_cells = TopKCells(clean_result.patterns);
+  const std::set<CellId> faulted_cells = TopKCells(faulted_result.patterns);
+  const bool cells_match = clean_cells == faulted_cells;
+  const std::set<std::string> clean_set = PatternStrings(clean_result.patterns);
+  size_t pattern_overlap = 0;
+  for (const auto& sp : faulted_result.patterns) {
+    pattern_overlap += clean_set.count(sp.pattern.ToString());
+  }
+
+  std::printf(
+      "fault injection: %zu of %zu reports dropped, %zu corrupted "
+      "(seed=%llu)\n",
+      fault_stats.dropped, fault_stats.input, fault_stats.corrupted,
+      static_cast<unsigned long long>(seed));
+  std::printf(
+      "ingest: %lld accepted, %lld rejected (non-finite %lld)\n",
+      static_cast<long long>(ingest.accepted),
+      static_cast<long long>(ingest.rejected()),
+      static_cast<long long>(ingest.non_finite));
+  std::printf(
+      "validate: %zu faults (%zu teleports), %zu snapshots repaired, "
+      "%zu quarantined, %zu dropped\n",
+      report.faults(), report.teleports, report.repaired, report.quarantined,
+      report.dropped);
+  std::printf(
+      "top-%d: clean covers %zu cells, faulted+repaired covers %zu; "
+      "cells match: %s; %zu/%zu exact pattern overlap\n",
+      k, clean_cells.size(), faulted_cells.size(), cells_match ? "yes" : "NO",
+      pattern_overlap, faulted_result.patterns.size());
+
+  // ---- kill-and-resume: stop the clean mine after its first iteration,
+  // round-trip the checkpoint through the file format, resume, and demand
+  // bit-identity with the uninterrupted run.
+  const std::string ckpt_path =
+      flags.GetString("checkpoint", "BENCH_fault_tolerance.ckpt");
+  const MinerOptions mine_options = MakeMinerOptions(k);
+  bool resume_identical = false;
+  {
+    MinerOptions interrupted = mine_options;
+    interrupted.checkpoint_sink = [&ckpt_path](const MinerCheckpoint& cp) {
+      const Status s = WriteMinerCheckpointFile(cp, ckpt_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "checkpoint write failed: %s\n",
+                     s.ToString().c_str());
+      }
+      return cp.iteration < 1;  // die after the first grow iteration
+    };
+    NmEngine engine(clean, space);
+    const MiningResult partial = MineTrajPatterns(engine, interrupted);
+    MinerCheckpoint loaded;
+    const Status s = ReadMinerCheckpointFile(ckpt_path, &loaded);
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint read failed: %s\n",
+                   s.ToString().c_str());
+    } else {
+      NmEngine resume_engine(clean, space);
+      const MiningResult resumed =
+          MineTrajPatterns(resume_engine, mine_options, &loaded);
+      resume_identical =
+          partial.stats.aborted &&
+          BitIdentical(resumed.patterns, clean_result.patterns);
+    }
+  }
+  std::remove((ckpt_path + ".tmp").c_str());
+  std::printf("kill-and-resume bit-identical to uninterrupted: %s\n",
+              resume_identical ? "yes" : "NO");
+
+  // ---- JSON summary.
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": {\"trajectories\": %zu, \"snapshots\": "
+               "%zu, \"k\": %d, \"seed\": %llu},\n",
+               original.size(), original.TotalPoints(), k,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f,
+               "  \"faults\": {\"drop_rate\": %.4f, \"corrupt_rate\": %.4f, "
+               "\"dropped\": %zu, \"corrupted\": %zu, \"input\": %zu},\n",
+               fault_options.drop_rate, fault_options.corrupt_rate,
+               fault_stats.dropped, fault_stats.corrupted, fault_stats.input);
+  std::fprintf(f,
+               "  \"ingest\": {\"accepted\": %lld, \"rejected\": %lld},\n",
+               static_cast<long long>(ingest.accepted),
+               static_cast<long long>(ingest.rejected()));
+  std::fprintf(
+      f,
+      "  \"validate\": {\"faults\": %zu, \"teleports\": %zu, \"repaired\": "
+      "%zu, \"quarantined\": %zu, \"dropped\": %zu},\n",
+      report.faults(), report.teleports, report.repaired, report.quarantined,
+      report.dropped);
+  std::fprintf(f,
+               "  \"mine\": {\"clean_seconds\": %.6f, \"faulted_seconds\": "
+               "%.6f, \"clean_cells\": %zu, \"faulted_cells\": %zu, "
+               "\"cells_match\": %s, \"pattern_overlap\": %zu},\n",
+               clean_seconds, faulted_seconds, clean_cells.size(),
+               faulted_cells.size(), cells_match ? "true" : "false",
+               pattern_overlap);
+  std::fprintf(f, "  \"resume_bit_identical\": %s\n}\n",
+               resume_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return (cells_match && resume_identical) ? 0 : 1;
+}

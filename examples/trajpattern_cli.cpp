@@ -8,12 +8,17 @@
 //   trajpattern_cli --cmd=generate --kind=zebranet --out=/tmp/z.csv
 //   trajpattern_cli --cmd=mine --in=/tmp/z.csv --k=20 --min_len=3
 //                   --out=/tmp/patterns.csv   (one line)
+//   trajpattern_cli --cmd=mine --in=/tmp/z.csv --faults=drop:0.05,corrupt:0.01
+//                   --max_jump=5 --checkpoint=/tmp/mine.ckpt   (one line)
 //   trajpattern_cli --cmd=score --in=/tmp/z.csv --patterns=/tmp/patterns.csv
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "common/status.h"
 #include "core/miner.h"
 #include "core/nm_engine.h"
 #include "core/parameters.h"
@@ -21,8 +26,11 @@
 #include "datagen/bus_generator.h"
 #include "datagen/uniform_generator.h"
 #include "datagen/zebranet_generator.h"
+#include "io/checkpoint.h"
 #include "io/csv.h"
 #include "io/flags.h"
+#include "server/fault_injector.h"
+#include "trajectory/validate.h"
 
 using namespace trajpattern;
 
@@ -72,6 +80,68 @@ int Generate(const Flags& flags) {
   return 0;
 }
 
+// Replays `data` as a report stream through the fault injector, the
+// server, and the validator — the full fault-tolerant ingestion pipeline —
+// and returns what survives for mining.
+int RunFaultPipeline(const Flags& flags, const std::string& spec,
+                     TrajectoryDataset* data) {
+  auto parsed = ParseFaultSpec(spec);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "mine: bad --faults: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  FaultInjectorOptions fault_options = *parsed;
+  fault_options.seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 1));
+
+  ReportStream stream = DatasetToReportStream(*data);
+  FaultStats fault_stats;
+  stream.events =
+      FaultInjector(fault_options).Inject(stream.events, &fault_stats);
+
+  MobileObjectServer::Options server_options;
+  server_options.sync.num_snapshots = 0;
+  double base_sigma = 0.0;
+  for (const auto& t : *data) {
+    server_options.sync.num_snapshots = std::max(
+        server_options.sync.num_snapshots, static_cast<int>(t.size()));
+    if (t.size() > 0 && base_sigma == 0.0) base_sigma = t[0].sigma;
+  }
+  server_options.sync.base_sigma =
+      flags.GetDouble("base_sigma", base_sigma > 0.0 ? base_sigma : 0.01);
+  // Honest uncertainty for dead-reckoned snapshots: after a dropped
+  // report, sigma grows with the elapsed time (§3.1's U as a function of
+  // elapse time).  The validator's repairs use the same rate.
+  const double sigma_growth = flags.GetDouble("sigma_growth", 0.0);
+  server_options.sync.sigma_growth = sigma_growth;
+  IngestStats ingest;
+  const TrajectoryDataset faulted =
+      IngestAndSynchronize(stream, server_options, &ingest);
+  std::printf(
+      "faults: %zu/%zu reports dropped/corrupted/delayed, ingest rejected "
+      "%lld of %lld\n",
+      fault_stats.dropped + fault_stats.corrupted + fault_stats.delayed,
+      fault_stats.input, static_cast<long long>(ingest.rejected()),
+      static_cast<long long>(ingest.total()));
+
+  ValidationPolicy policy;
+  policy.repair = flags.GetBool("repair", true);
+  policy.max_jump = flags.GetDouble("max_jump", 0.0);
+  if (sigma_growth > 0.0) policy.sigma_growth = sigma_growth;
+  ValidationReport report;
+  *data = TrajectoryValidator(policy).Validate(faulted, &report);
+  std::printf(
+      "validate: %zu faults in %zu snapshots; %zu repaired, %zu trajectories "
+      "quarantined, %zu dropped, %zu kept\n",
+      report.faults(), report.snapshots, report.repaired, report.quarantined,
+      report.dropped, data->size());
+  if (data->empty()) {
+    std::fprintf(stderr, "mine: no trajectories survived validation\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Mine(const Flags& flags) {
   const std::string in = flags.GetString("in", "");
   if (in.empty()) {
@@ -79,9 +149,17 @@ int Mine(const Flags& flags) {
     return 1;
   }
   TrajectoryDataset data;
-  if (!ReadTrajectoriesCsvFile(in, &data) || data.empty()) {
-    std::fprintf(stderr, "mine: cannot read %s\n", in.c_str());
+  CsvDiagnostic diag;
+  if (!ReadTrajectoriesCsvFile(in, &data, &diag) || data.empty()) {
+    std::fprintf(stderr, "mine: cannot read %s (line %zu: %s)\n", in.c_str(),
+                 diag.line, diag.message.c_str());
     return 1;
+  }
+
+  const std::string fault_spec = flags.GetString("faults", "");
+  if (!fault_spec.empty()) {
+    const int rc = RunFaultPipeline(flags, fault_spec, &data);
+    if (rc != 0) return rc;
   }
 
   // Space: either fully specified or suggested from the data (§5).
@@ -102,7 +180,40 @@ int Mine(const Flags& flags) {
   opt.max_wildcards = flags.GetInt("wildcards", 0);
   opt.max_candidates_per_iteration =
       static_cast<size_t>(flags.GetInt("beam", 10000));
-  const MiningResult result = MineTrajPatterns(engine, opt);
+
+  // --checkpoint=FILE: resume from FILE when it exists, and rewrite it
+  // after every grow iteration so a killed run loses at most one.
+  const std::string ckpt_path = flags.GetString("checkpoint", "");
+  MinerCheckpoint resume;
+  bool have_resume = false;
+  if (!ckpt_path.empty()) {
+    const Status s = ReadMinerCheckpointFile(ckpt_path, &resume);
+    if (s.ok()) {
+      if (resume.k != opt.k) {
+        std::fprintf(stderr, "mine: checkpoint %s has k=%d, run has k=%d\n",
+                     ckpt_path.c_str(), resume.k, opt.k);
+        return 1;
+      }
+      have_resume = true;
+      std::printf("resuming from %s (iteration %d, %zu scored patterns)\n",
+                  ckpt_path.c_str(), resume.iteration, resume.scores.size());
+    } else if (s.code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "mine: cannot load checkpoint %s: %s\n",
+                   ckpt_path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    opt.checkpoint_sink = [&ckpt_path](const MinerCheckpoint& cp) {
+      const Status ws = WriteMinerCheckpointFile(cp, ckpt_path);
+      if (!ws.ok()) {
+        std::fprintf(stderr, "mine: checkpoint write failed: %s\n",
+                     ws.ToString().c_str());
+      }
+      return true;
+    };
+  }
+
+  const MiningResult result =
+      MineTrajPatterns(engine, opt, have_resume ? &resume : nullptr);
   std::printf(
       "mined %zu patterns in %.2fs (%lld scored, %d iterations%s)\n",
       result.patterns.size(), result.stats.seconds,
@@ -183,6 +294,8 @@ int main(int argc, char** argv) {
       "--seed ...]\n"
       "  mine:     --in=F [--k --min_len --max_len --wildcards --grid "
       "--delta --gamma --beam --out=F]\n"
+      "            [--faults=drop:0.05,corrupt:0.01,... --fault_seed "
+      "--repair=0|1 --max_jump --sigma_growth --checkpoint=F]\n"
       "  score:    --in=F --patterns=F [--grid --delta]\n");
   return cmd == "help" ? 0 : 1;
 }

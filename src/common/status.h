@@ -1,0 +1,130 @@
+#ifndef TRAJPATTERN_COMMON_STATUS_H_
+#define TRAJPATTERN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace trajpattern {
+
+/// Error vocabulary of the ingestion/mining pipeline.  The paper's setting
+/// (§3) is a server fed by asynchronous, lossy mobile devices, so "the
+/// input is bad" is a normal runtime condition, not a programming error:
+/// layers return a `Status` (or `StatusOr<T>`) instead of asserting.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed something structurally unusable (bad rate, bad id).
+  kInvalidArgument,
+  /// An index or timestamp fell outside the valid range.
+  kOutOfRange,
+  /// A referenced entity (file, object, checkpoint) does not exist.
+  kNotFound,
+  /// The operation needs state the object is not in (e.g. resuming with
+  /// mismatched mining options).
+  kFailedPrecondition,
+  /// Stored or received data is corrupt beyond repair.
+  kDataLoss,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+  }
+  return "UNKNOWN";
+}
+
+/// A cheap, copyable success-or-error value.  OK carries no message;
+/// errors carry a code and a human-readable message for diagnostics.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "CODE: message" rendering for logs.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return options;`.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from an error: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_COMMON_STATUS_H_

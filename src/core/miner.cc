@@ -46,11 +46,53 @@ void TrajPatternMiner::ScoreBatch(const std::vector<Pattern>& patterns) {
   }
 }
 
-MiningResult TrajPatternMiner::Mine() {
+MiningResult TrajPatternMiner::Mine() { return Run(nullptr); }
+
+MiningResult TrajPatternMiner::Mine(const MinerCheckpoint& resume) {
+  return Run(&resume);
+}
+
+MinerCheckpoint TrajPatternMiner::MakeCheckpoint(
+    int completed_iterations,
+    const std::unordered_set<Pattern, PatternHash>& prev_high,
+    const std::unordered_set<Pattern, PatternHash>& prev_queue) const {
+  MinerCheckpoint cp;
+  cp.iteration = completed_iterations;
+  cp.k = options_.k;
+  cp.omega = top_k_.Omega();
+  cp.scores.reserve(scores_.size());
+  for (const auto& [p, nm] : scores_) cp.scores.push_back({p, nm});
+  std::sort(cp.scores.begin(), cp.scores.end(),
+            [](const ScoredPattern& a, const ScoredPattern& b) {
+              return a.pattern < b.pattern;
+            });
+  cp.prev_high.assign(prev_high.begin(), prev_high.end());
+  std::sort(cp.prev_high.begin(), cp.prev_high.end());
+  cp.prev_queue.assign(prev_queue.begin(), prev_queue.end());
+  std::sort(cp.prev_queue.begin(), cp.prev_queue.end());
+  return cp;
+}
+
+MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   WallTimer timer;
 
+  if (resume != nullptr) {
+    // Restore the score memo and re-derive the top-k/ω from it (the k
+    // best eligible patterns under the strict BetterScored order are
+    // unique, so the offer order cannot matter).  NM values round-trip
+    // bit-exactly through the checkpoint, which is what makes a resumed
+    // run's answer bit-identical to an uninterrupted one.
+    assert(resume->k == options_.k);
+    for (const ScoredPattern& sp : resume->scores) {
+      scores_.emplace(sp.pattern, sp.nm);
+      if (Eligible(sp.pattern)) top_k_.Offer(sp.pattern, sp.nm);
+    }
+    stats_.iterations = resume->iteration;
+  }
+
   // Step 1: singular patterns form the initial Q (§4: "the grid centers
-  // serve as the singular patterns").
+  // serve as the singular patterns").  On resume every singular is
+  // already in the memo and `ScoreBatch` skips the whole batch.
   std::vector<CellId> alphabet;
   if (options_.restrict_to_touched_cells) {
     alphabet = engine_->TouchedCells(options_.touched_radius_sigmas);
@@ -93,12 +135,18 @@ MiningResult TrajPatternMiner::Mine() {
   rebuild();
 
   // The H and Q snapshots that the previous round's generation ran over;
-  // see the frontier rule below.
+  // see the frontier rule below.  These are the only pieces of mining
+  // state not derivable from the memo, so a resume restores them.
   std::unordered_set<Pattern, PatternHash> prev_high;
   std::unordered_set<Pattern, PatternHash> prev_queue;
+  if (resume != nullptr) {
+    prev_high.insert(resume->prev_high.begin(), resume->prev_high.end());
+    prev_queue.insert(resume->prev_queue.begin(), resume->prev_queue.end());
+  }
+  const int start_iteration = resume != nullptr ? resume->iteration : 0;
 
   // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+  for (int iter = start_iteration; iter < options_.max_iterations; ++iter) {
     ++stats_.iterations;
 
     // Candidate generation: P in H extended with every P' in Q, both
@@ -245,7 +293,18 @@ MiningResult TrajPatternMiner::Mine() {
     std::unordered_set<Pattern, PatternHash> high_old = std::move(high);
     rebuild();
 
-    if (high == high_old) break;
+    const bool converged = high == high_old;
+    if (options_.checkpoint_sink) {
+      // The iteration boundary is the resumable point: the memo and the
+      // frontier snapshots fully determine everything the next iteration
+      // does.  A sink veto stops here; `Mine(checkpoint)` picks it up.
+      if (!options_.checkpoint_sink(
+              MakeCheckpoint(iter + 1, prev_high, prev_queue))) {
+        stats_.aborted = true;
+        break;
+      }
+    }
+    if (converged) break;
     if (iter + 1 == options_.max_iterations) stats_.hit_iteration_cap = true;
   }
 
@@ -258,9 +317,10 @@ MiningResult TrajPatternMiner::Mine() {
 }
 
 MiningResult MineTrajPatterns(const NmEngine& engine,
-                              const MinerOptions& options) {
+                              const MinerOptions& options,
+                              const MinerCheckpoint* resume) {
   TrajPatternMiner miner(&engine, options);
-  return miner.Mine();
+  return resume != nullptr ? miner.Mine(*resume) : miner.Mine();
 }
 
 }  // namespace trajpattern

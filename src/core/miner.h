@@ -2,6 +2,8 @@
 #define TRAJPATTERN_CORE_MINER_H_
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -11,6 +13,31 @@
 #include "core/top_k.h"
 
 namespace trajpattern {
+
+/// Resumable mining state at a grow-iteration boundary: everything
+/// `TrajPatternMiner` needs to continue *bit-identically* after a crash
+/// or deliberate stop.  The high/low split and the threshold ω are
+/// recomputed from the score memo on resume (both are pure functions of
+/// it); the frontier snapshots are not (they reflect the sets the last
+/// candidate generation ran over) and are therefore stored explicitly.
+/// Serialized by `WriteMinerCheckpoint` / `ReadMinerCheckpoint` (src/io).
+struct MinerCheckpoint {
+  /// Completed grow iterations — the current length level: after level n
+  /// the longest candidates generated have ~2^n positions.
+  int iteration = 0;
+  /// The k this run was started with; `Mine(resume)` refuses a mismatch.
+  int k = 0;
+  /// Threshold ω at checkpoint time.  Redundant with `scores` (it is the
+  /// k-th best eligible NM); stored for inspection and load-time checks.
+  double omega = -std::numeric_limits<double>::infinity();
+  /// The global score memo: every pattern ever scored, with its exact NM.
+  /// Holds both the high and the low set; the split is re-derived from ω.
+  std::vector<ScoredPattern> scores;
+  /// High/queue snapshots the last generation step ran over (the
+  /// frontier rule skips pairs that were both present last round).
+  std::vector<Pattern> prev_high;
+  std::vector<Pattern> prev_queue;
+};
 
 /// Knobs of the TrajPattern algorithm (§4, §5).
 struct MinerOptions {
@@ -62,6 +89,15 @@ struct MinerOptions {
   /// bit-identical to serial scoring for any thread count, so this knob
   /// changes wall-clock only — never the mined answer.
   int num_threads = 1;
+
+  /// Called after every grow iteration with the resumable mining state
+  /// (long runs checkpoint here; see `WriteMinerCheckpointFile`).  Return
+  /// false to stop mining at this boundary: the result so far is returned
+  /// with `MinerStats::aborted` set, and a later `Mine(checkpoint)` with
+  /// the same engine/options continues bit-identically.  Building the
+  /// checkpoint copies the score memo, so the hook costs O(|memo|) per
+  /// iteration; leave it empty when not needed.
+  std::function<bool(const MinerCheckpoint&)> checkpoint_sink;
 };
 
 /// Counters reported alongside a mining result.
@@ -82,6 +118,8 @@ struct MinerStats {
   int threads_used = 1;
   bool hit_iteration_cap = false;
   bool hit_candidate_cap = false;
+  /// The checkpoint sink asked to stop; the run can be resumed.
+  bool aborted = false;
 };
 
 /// Output of a mining run: the k best patterns by NM, best first, plus
@@ -107,7 +145,22 @@ class TrajPatternMiner {
   /// Runs the algorithm to fixpoint and returns the top-k patterns.
   MiningResult Mine();
 
+  /// Continues a run captured by `MinerOptions::checkpoint_sink`.  With
+  /// the same data, space, and options as the original run, the final
+  /// top-k is bit-identical to the uninterrupted one for any thread
+  /// count.  `resume.k` must match `MinerOptions::k`.
+  MiningResult Mine(const MinerCheckpoint& resume);
+
  private:
+  /// Shared body of the two `Mine` overloads.
+  MiningResult Run(const MinerCheckpoint* resume);
+
+  /// The resumable state after `completed_iterations` grow iterations.
+  MinerCheckpoint MakeCheckpoint(
+      int completed_iterations,
+      const std::unordered_set<Pattern, PatternHash>& prev_high,
+      const std::unordered_set<Pattern, PatternHash>& prev_queue) const;
+
   /// Scores every unseen pattern in `patterns` through the engine's
   /// batch API (parallel per `MinerOptions::num_threads`), then feeds
   /// the memo and the top-k tracker serially in `patterns` order —
@@ -128,9 +181,11 @@ class TrajPatternMiner {
   MinerStats stats_;
 };
 
-/// Convenience wrapper: builds an engine-backed miner and runs it.
+/// Convenience wrapper: builds an engine-backed miner and runs it; pass a
+/// `resume` checkpoint to continue an earlier (aborted) run.
 MiningResult MineTrajPatterns(const NmEngine& engine,
-                              const MinerOptions& options);
+                              const MinerOptions& options,
+                              const MinerCheckpoint* resume = nullptr);
 
 }  // namespace trajpattern
 

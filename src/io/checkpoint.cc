@@ -1,0 +1,215 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace trajpattern {
+namespace {
+
+constexpr const char* kMagic = "trajpattern_checkpoint,v1";
+
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool ParseHexDouble(const std::string& s, double* v) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseLong(const std::string& s, long* v) {
+  try {
+    size_t pos = 0;
+    *v = std::stol(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+void WriteCells(const Pattern& p, std::ostream& os) {
+  for (size_t j = 0; j < p.length(); ++j) {
+    if (j > 0) os << ";";
+    if (p[j] == kWildcardCell) {
+      os << "*";
+    } else {
+      os << p[j];
+    }
+  }
+}
+
+bool ParseCells(const std::string& field, std::vector<CellId>* cells) {
+  std::string cell;
+  std::istringstream cs(field);
+  while (std::getline(cs, cell, ';')) {
+    if (cell == "*") {
+      cells->push_back(kWildcardCell);
+    } else {
+      long v;
+      if (!ParseLong(cell, &v)) return false;
+      cells->push_back(static_cast<CellId>(v));
+    }
+  }
+  return !cells->empty();
+}
+
+/// "key,value" line reader that tracks line numbers for diagnostics.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  bool Next(std::string* line) {
+    if (!std::getline(is_, *line)) return false;
+    ++line_number_;
+    return true;
+  }
+
+  size_t line_number() const { return line_number_; }
+
+  Status Error(const std::string& what) const {
+    return Status::DataLoss("checkpoint line " +
+                            std::to_string(line_number_) + ": " + what);
+  }
+
+ private:
+  std::istream& is_;
+  size_t line_number_ = 0;
+};
+
+}  // namespace
+
+Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
+  os << kMagic << "\n";
+  os << "iteration," << cp.iteration << "\n";
+  os << "k," << cp.k << "\n";
+  os << "omega," << HexDouble(cp.omega) << "\n";
+  os << "scores," << cp.scores.size() << "\n";
+  for (const ScoredPattern& sp : cp.scores) {
+    os << HexDouble(sp.nm) << ",";
+    WriteCells(sp.pattern, os);
+    os << "\n";
+  }
+  os << "prev_high," << cp.prev_high.size() << "\n";
+  for (const Pattern& p : cp.prev_high) {
+    WriteCells(p, os);
+    os << "\n";
+  }
+  os << "prev_queue," << cp.prev_queue.size() << "\n";
+  for (const Pattern& p : cp.prev_queue) {
+    WriteCells(p, os);
+    os << "\n";
+  }
+  os << "end\n";
+  if (!os) return Status::DataLoss("checkpoint stream write failed");
+  return Status::Ok();
+}
+
+Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
+  *cp = MinerCheckpoint();
+  LineReader reader(is);
+  std::string line;
+  if (!reader.Next(&line) || line != kMagic) {
+    return Status::DataLoss(
+        "not a trajpattern checkpoint (bad or missing header)");
+  }
+  // Fixed "key,count-or-value" headers followed by their payload blocks.
+  auto expect_keyed_long = [&](const std::string& key, long* value) {
+    if (!reader.Next(&line)) return reader.Error("truncated before " + key);
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos || line.substr(0, comma) != key) {
+      return reader.Error("expected '" + key + ",<n>'");
+    }
+    if (!ParseLong(line.substr(comma + 1), value)) {
+      return reader.Error("malformed count for " + key);
+    }
+    return Status::Ok();
+  };
+
+  long iteration, k;
+  Status s = expect_keyed_long("iteration", &iteration);
+  if (!s.ok()) return s;
+  s = expect_keyed_long("k", &k);
+  if (!s.ok()) return s;
+  if (iteration < 0 || k <= 0) {
+    return reader.Error("iteration/k out of range");
+  }
+  cp->iteration = static_cast<int>(iteration);
+  cp->k = static_cast<int>(k);
+
+  if (!reader.Next(&line) || line.rfind("omega,", 0) != 0 ||
+      !ParseHexDouble(line.substr(6), &cp->omega)) {
+    return reader.Error("expected 'omega,<hexfloat>'");
+  }
+
+  long count;
+  s = expect_keyed_long("scores", &count);
+  if (!s.ok()) return s;
+  if (count < 0) return reader.Error("negative scores count");
+  cp->scores.reserve(static_cast<size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    if (!reader.Next(&line)) return reader.Error("truncated score block");
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) return reader.Error("score row needs nm,cells");
+    double nm;
+    std::vector<CellId> cells;
+    if (!ParseHexDouble(line.substr(0, comma), &nm) ||
+        !ParseCells(line.substr(comma + 1), &cells)) {
+      return reader.Error("malformed score row");
+    }
+    cp->scores.push_back({Pattern(std::move(cells)), nm});
+  }
+
+  for (std::vector<Pattern>* block : {&cp->prev_high, &cp->prev_queue}) {
+    const std::string key =
+        block == &cp->prev_high ? "prev_high" : "prev_queue";
+    s = expect_keyed_long(key, &count);
+    if (!s.ok()) return s;
+    if (count < 0) return reader.Error("negative " + key + " count");
+    block->reserve(static_cast<size_t>(count));
+    for (long i = 0; i < count; ++i) {
+      if (!reader.Next(&line)) return reader.Error("truncated " + key);
+      std::vector<CellId> cells;
+      if (!ParseCells(line, &cells)) return reader.Error("malformed " + key + " row");
+      block->emplace_back(std::move(cells));
+    }
+  }
+
+  if (!reader.Next(&line) || line != "end") {
+    return reader.Error("missing 'end' trailer (truncated checkpoint)");
+  }
+  return Status::Ok();
+}
+
+Status WriteMinerCheckpointFile(const MinerCheckpoint& cp,
+                                const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return Status::NotFound("cannot open " + tmp + " for writing");
+    const Status s = WriteMinerCheckpoint(cp, os);
+    if (!s.ok()) return s;
+    os.flush();
+    if (!os) return Status::DataLoss("flush failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::DataLoss("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadMinerCheckpointFile(const std::string& path, MinerCheckpoint* cp) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open " + path);
+  return ReadMinerCheckpoint(is, cp);
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,42 @@
+#ifndef TRAJPATTERN_IO_CHECKPOINT_H_
+#define TRAJPATTERN_IO_CHECKPOINT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/miner.h"
+
+namespace trajpattern {
+
+/// Versioned text serialization of a `MinerCheckpoint`:
+///
+///   trajpattern_checkpoint,v1
+///   iteration,<int>
+///   k,<int>
+///   omega,<hexfloat>
+///   scores,<count>
+///   <hexfloat NM>,<;-separated cells, '*' for wildcards>   x count
+///   prev_high,<count>
+///   <cells>                                                x count
+///   prev_queue,<count>
+///   <cells>                                                x count
+///   end
+///
+/// NM values are written as C99 hexfloats (`%a`), which round-trip IEEE
+/// doubles bit-exactly (including -inf) — the property the resumed-run
+/// bit-identity guarantee rests on.  Unknown versions and truncated files
+/// are rejected with a typed error, never half-loaded.
+Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os);
+Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp);
+
+/// File wrappers.  The writer is atomic: it writes `path + ".tmp"` and
+/// renames, so a crash mid-checkpoint leaves the previous checkpoint
+/// intact instead of a torn file.
+Status WriteMinerCheckpointFile(const MinerCheckpoint& cp,
+                                const std::string& path);
+Status ReadMinerCheckpointFile(const std::string& path, MinerCheckpoint* cp);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_IO_CHECKPOINT_H_

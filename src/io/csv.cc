@@ -1,14 +1,24 @@
 #include "io/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 namespace trajpattern {
 namespace {
+
+bool Fail(CsvDiagnostic* diag, size_t line, const std::string& message) {
+  if (diag != nullptr) {
+    diag->line = line;
+    diag->message = message;
+  }
+  return false;
+}
 
 std::vector<std::string> SplitComma(const std::string& line) {
   std::vector<std::string> out;
@@ -51,21 +61,33 @@ void WriteTrajectoriesCsv(const TrajectoryDataset& data, std::ostream& os) {
   }
 }
 
-bool ReadTrajectoriesCsv(std::istream& is, TrajectoryDataset* out) {
+bool ReadTrajectoriesCsv(std::istream& is, TrajectoryDataset* out,
+                         CsvDiagnostic* diag) {
   *out = TrajectoryDataset();
   std::string line;
-  if (!std::getline(is, line)) return false;  // header
+  if (!std::getline(is, line)) return Fail(diag, 0, "empty stream (no header)");
+  size_t line_no = 1;
   Trajectory current;
   bool have_current = false;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto fields = SplitComma(line);
-    if (fields.size() != 5) return false;
+    if (fields.size() != 5) {
+      return Fail(diag, line_no, "expected 5 fields, got " +
+                                     std::to_string(fields.size()));
+    }
     double x, y, sigma;
     long snapshot;
     if (!ParseInt(fields[1], &snapshot) || !ParseDouble(fields[2], &x) ||
         !ParseDouble(fields[3], &y) || !ParseDouble(fields[4], &sigma)) {
-      return false;
+      return Fail(diag, line_no, "malformed numeric field");
+    }
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return Fail(diag, line_no, "non-finite coordinate");
+    }
+    if (!std::isfinite(sigma) || sigma <= 0.0) {
+      return Fail(diag, line_no, "sigma must be finite and > 0");
     }
     if (!have_current || fields[0] != current.id()) {
       if (have_current) out->Add(std::move(current));
@@ -86,10 +108,11 @@ bool WriteTrajectoriesCsvFile(const TrajectoryDataset& data,
   return static_cast<bool>(os);
 }
 
-bool ReadTrajectoriesCsvFile(const std::string& path, TrajectoryDataset* out) {
+bool ReadTrajectoriesCsvFile(const std::string& path, TrajectoryDataset* out,
+                             CsvDiagnostic* diag) {
   std::ifstream is(path);
-  if (!is) return false;
-  return ReadTrajectoriesCsv(is, out);
+  if (!is) return Fail(diag, 0, "cannot open " + path);
+  return ReadTrajectoriesCsv(is, out, diag);
 }
 
 void WritePatternsCsv(const std::vector<ScoredPattern>& patterns,
@@ -156,54 +179,70 @@ void WritePatternGroupsCsv(const std::vector<PatternGroup>& groups,
   }
 }
 
-bool ReadPatternGroupsCsv(std::istream& is, std::vector<PatternGroup>* out) {
+bool ReadPatternGroupsCsv(std::istream& is, std::vector<PatternGroup>* out,
+                          CsvDiagnostic* diag) {
   out->clear();
   std::string line;
-  if (!std::getline(is, line)) return false;  // header
+  if (!std::getline(is, line)) return Fail(diag, 0, "empty stream (no header)");
+  size_t line_no = 1;
   long last_group = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto fields = SplitComma(line);
-    if (fields.size() != 5) return false;
+    if (fields.size() != 5) {
+      return Fail(diag, line_no, "expected 5 fields, got " +
+                                     std::to_string(fields.size()));
+    }
     long group;
     double nm;
     if (!ParseInt(fields[0], &group) || !ParseDouble(fields[2], &nm)) {
-      return false;
+      return Fail(diag, line_no, "malformed numeric field");
+    }
+    if (std::isnan(nm) || nm == std::numeric_limits<double>::infinity()) {
+      return Fail(diag, line_no, "non-finite nm");
     }
     // Groups must be contiguous and 1-based in order.
-    if (group != last_group && group != last_group + 1) return false;
+    if (group != last_group && group != last_group + 1) {
+      return Fail(diag, line_no, "group ids must be contiguous and 1-based");
+    }
     if (group == last_group + 1) {
       out->emplace_back();
       last_group = group;
     }
     std::vector<CellId> cells;
-    if (!ParseCells(fields[4], &cells)) return false;
+    if (!ParseCells(fields[4], &cells)) {
+      return Fail(diag, line_no, "malformed cell list");
+    }
     out->back().members.push_back({Pattern(std::move(cells)), nm});
   }
   return true;
 }
 
-bool ReadPatternsCsv(std::istream& is, std::vector<ScoredPattern>* out) {
+bool ReadPatternsCsv(std::istream& is, std::vector<ScoredPattern>* out,
+                     CsvDiagnostic* diag) {
   out->clear();
   std::string line;
-  if (!std::getline(is, line)) return false;  // header
+  if (!std::getline(is, line)) return Fail(diag, 0, "empty stream (no header)");
+  size_t line_no = 1;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     const auto fields = SplitComma(line);
-    if (fields.size() != 4) return false;
+    if (fields.size() != 4) {
+      return Fail(diag, line_no, "expected 4 fields, got " +
+                                     std::to_string(fields.size()));
+    }
     double nm;
-    if (!ParseDouble(fields[1], &nm)) return false;
+    if (!ParseDouble(fields[1], &nm)) {
+      return Fail(diag, line_no, "malformed nm field");
+    }
+    if (std::isnan(nm) || nm == std::numeric_limits<double>::infinity()) {
+      return Fail(diag, line_no, "non-finite nm");
+    }
     std::vector<CellId> cells;
-    std::string cell;
-    std::istringstream cs(fields[3]);
-    while (std::getline(cs, cell, ';')) {
-      if (cell == "*") {
-        cells.push_back(kWildcardCell);
-      } else {
-        long v;
-        if (!ParseInt(cell, &v)) return false;
-        cells.push_back(static_cast<CellId>(v));
-      }
+    if (!ParseCells(fields[3], &cells)) {
+      return Fail(diag, line_no, "malformed cell list");
     }
     out->push_back({Pattern(std::move(cells)), nm});
   }

@@ -1,8 +1,20 @@
 #include "server/mobile_object_server.h"
 
-#include <cassert>
+#include <cmath>
 
 namespace trajpattern {
+
+const char* ToString(ReportStatus status) {
+  switch (status) {
+    case ReportStatus::kAccepted: return "accepted";
+    case ReportStatus::kUnknownId: return "unknown_id";
+    case ReportStatus::kNonFiniteTime: return "non_finite_time";
+    case ReportStatus::kNonFiniteLocation: return "non_finite_location";
+    case ReportStatus::kOutOfOrder: return "out_of_order";
+    case ReportStatus::kDuplicateTimestamp: return "duplicate_timestamp";
+  }
+  return "unknown";
+}
 
 MobileObjectServer::MobileObjectServer(const Options& options)
     : options_(options),
@@ -11,21 +23,67 @@ MobileObjectServer::MobileObjectServer(const Options& options)
 
 MobileObjectServer::ObjectId MobileObjectServer::Register(
     const std::string& name) {
-  objects_.push_back(ObjectState{name, {}});
+  objects_.push_back(ObjectState{name, {}, {}});
   return static_cast<ObjectId>(objects_.size()) - 1;
 }
 
-bool MobileObjectServer::Report(ObjectId id, double time,
-                                const Point2& location) {
-  assert(id >= 0 && static_cast<size_t>(id) < objects_.size());
-  auto& reports = objects_[id].reports;
-  if (!reports.empty() && time < reports.back().time) return false;
-  reports.push_back(LocationReport{time, location});
-  return true;
+const std::string& MobileObjectServer::name(ObjectId id) const {
+  static const std::string kNoName;
+  return ValidId(id) ? objects_[id].name : kNoName;
+}
+
+size_t MobileObjectServer::num_reports(ObjectId id) const {
+  return ValidId(id) ? objects_[id].reports.size() : 0;
+}
+
+IngestStats MobileObjectServer::ingest_stats(ObjectId id) const {
+  return ValidId(id) ? objects_[id].stats : IngestStats{};
+}
+
+ReportStatus MobileObjectServer::Report(ObjectId id, double time,
+                                        const Point2& location) {
+  if (!ValidId(id)) {
+    ++totals_.unknown_id;
+    return ReportStatus::kUnknownId;
+  }
+  ObjectState& obj = objects_[id];
+  ReportStatus status = ReportStatus::kAccepted;
+  if (!std::isfinite(time)) {
+    status = ReportStatus::kNonFiniteTime;
+  } else if (!std::isfinite(location.x) || !std::isfinite(location.y)) {
+    status = ReportStatus::kNonFiniteLocation;
+  } else if (!obj.reports.empty() && time < obj.reports.back().time) {
+    status = ReportStatus::kOutOfOrder;
+  } else if (!obj.reports.empty() && time == obj.reports.back().time) {
+    status = ReportStatus::kDuplicateTimestamp;
+  }
+  switch (status) {
+    case ReportStatus::kAccepted:
+      obj.reports.push_back(LocationReport{time, location});
+      ++obj.stats.accepted;
+      ++totals_.accepted;
+      break;
+    case ReportStatus::kNonFiniteTime:
+    case ReportStatus::kNonFiniteLocation:
+      ++obj.stats.non_finite;
+      ++totals_.non_finite;
+      break;
+    case ReportStatus::kOutOfOrder:
+      ++obj.stats.out_of_order;
+      ++totals_.out_of_order;
+      break;
+    case ReportStatus::kDuplicateTimestamp:
+      ++obj.stats.duplicate_timestamp;
+      ++totals_.duplicate_timestamp;
+      break;
+    case ReportStatus::kUnknownId:
+      break;  // handled above
+  }
+  return status;
 }
 
 Point2 MobileObjectServer::PredictAt(ObjectId id, double time) const {
-  assert(id >= 0 && static_cast<size_t>(id) < objects_.size());
+  if (!ValidId(id)) return options_.index_grid.box().min();
   const auto& reports = objects_[id].reports;
   if (reports.empty()) return options_.index_grid.box().min();
   // Last report at or before `time` (linear scan from the back: queries

@@ -11,6 +11,45 @@
 
 namespace trajpattern {
 
+/// Why an ingested location report was accepted or rejected.  The paper's
+/// devices report asynchronously over a lossy channel (§3.1), so rejects
+/// are a normal runtime condition: the server classifies them instead of
+/// asserting, and keeps per-object counters (`IngestStats`) so operators
+/// can see which objects misbehave.
+enum class ReportStatus {
+  kAccepted = 0,
+  /// The object id was never issued by `Register`.
+  kUnknownId,
+  /// The timestamp is NaN or infinite.
+  kNonFiniteTime,
+  /// A coordinate is NaN or infinite.
+  kNonFiniteLocation,
+  /// The report is older than the object's newest accepted report.
+  kOutOfOrder,
+  /// The report repeats the object's newest accepted timestamp (e.g. a
+  /// retransmission); the first copy wins.
+  kDuplicateTimestamp,
+};
+
+/// Stable lowercase name for logs and JSON ("accepted", "out_of_order"...).
+const char* ToString(ReportStatus status);
+
+/// Ingestion counters, kept per object and server-wide.
+struct IngestStats {
+  int64_t accepted = 0;
+  int64_t out_of_order = 0;
+  int64_t duplicate_timestamp = 0;
+  int64_t non_finite = 0;
+  /// Reports addressed to an id `Register` never issued (server-wide
+  /// counter only; there is no object to charge them to).
+  int64_t unknown_id = 0;
+
+  int64_t rejected() const {
+    return out_of_order + duplicate_timestamp + non_finite + unknown_id;
+  }
+  int64_t total() const { return accepted + rejected(); }
+};
+
 /// The server side of §3's setting: "a server and a set of mobile
 /// devices [that] asynchronously report their locations".
 ///
@@ -37,20 +76,27 @@ class MobileObjectServer {
   ObjectId Register(const std::string& name);
 
   size_t num_objects() const { return objects_.size(); }
-  const std::string& name(ObjectId id) const { return objects_[id].name; }
+  /// Name of `id`; the empty string for ids `Register` never issued.
+  const std::string& name(ObjectId id) const;
 
-  /// Ingests a report.  Reports of one object must arrive time-ordered;
-  /// out-of-order reports are rejected (returns false).
-  bool Report(ObjectId id, double time, const Point2& location);
+  /// Ingests a report and says what happened to it.  Only `kAccepted`
+  /// reports enter the object's history; every rejection is classified
+  /// and counted (see `ingest_stats`).
+  ReportStatus Report(ObjectId id, double time, const Point2& location);
 
-  /// Number of reports received from `id`.
-  size_t num_reports(ObjectId id) const {
-    return objects_[id].reports.size();
-  }
+  /// Number of accepted reports from `id` (0 for unknown ids).
+  size_t num_reports(ObjectId id) const;
+
+  /// Ingestion counters of `id`; a zeroed struct for unknown ids.
+  IngestStats ingest_stats(ObjectId id) const;
+
+  /// Server-wide ingestion counters, including unknown-id rejects.
+  const IngestStats& total_ingest_stats() const { return totals_; }
 
   /// Dead-reckoned position of `id` at `time` (Eq. 1: last reported
   /// location plus last known velocity times the elapsed time).  Objects
-  /// with no report yet sit at the origin of the index grid's box.
+  /// with no report yet — and unknown ids — sit at the origin of the
+  /// index grid's box.
   Point2 PredictAt(ObjectId id, double time) const;
 
   /// Moves the live index to `time`: every object's indexed position
@@ -80,10 +126,16 @@ class MobileObjectServer {
   struct ObjectState {
     std::string name;
     std::vector<LocationReport> reports;
+    IngestStats stats;
   };
+
+  bool ValidId(ObjectId id) const {
+    return id >= 0 && static_cast<size_t>(id) < objects_.size();
+  }
 
   Options options_;
   std::vector<ObjectState> objects_;
+  IngestStats totals_;
   GridIndex index_;
   double current_time_;
 };

@@ -7,7 +7,9 @@ namespace trajpattern {
 
 Trajectory Synchronizer::Synchronize(
     const std::string& id, const std::vector<LocationReport>& reports) const {
-  assert(!reports.empty());
+  // A registered-but-silent object is a normal condition under lossy
+  // reporting (§3.1): return an empty trajectory instead of asserting.
+  if (reports.empty()) return Trajectory(id);
   assert(std::is_sorted(reports.begin(), reports.end(),
                         [](const LocationReport& a, const LocationReport& b) {
                           return a.time < b.time;

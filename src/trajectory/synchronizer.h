@@ -43,9 +43,12 @@ class Synchronizer {
 
   const Options& options() const { return options_; }
 
-  /// Interpolates `reports` (must be sorted by time, non-empty) at the
-  /// configured snapshot times.  Snapshots before the first report reuse
-  /// the first reported position.
+  /// Interpolates `reports` (must be sorted by time) at the configured
+  /// snapshot times.  Snapshots before the first report reuse the first
+  /// reported position.  An object that never reported yields a
+  /// well-defined *empty* trajectory (id set, zero snapshots): the server
+  /// has no belief to synchronize, and downstream consumers must not be
+  /// taken down by one silent device.
   Trajectory Synchronize(const std::string& id,
                          const std::vector<LocationReport>& reports) const;
 

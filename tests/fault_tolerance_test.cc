@@ -1,0 +1,541 @@
+// The fault-tolerant ingestion pipeline end to end: injector determinism,
+// validator classification/repair/quarantine, hardened CSV parsing, and
+// checkpoint/resume bit-identity of the miner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/planted_generator.h"
+#include "geometry/grid.h"
+#include "io/checkpoint.h"
+#include "io/csv.h"
+#include "server/fault_injector.h"
+#include "trajectory/validate.h"
+
+namespace trajpattern {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Trajectory MakeTrajectory(const std::string& id,
+                          const std::vector<Point2>& means,
+                          double sigma = 0.01) {
+  Trajectory t(id);
+  for (const Point2& m : means) t.Append(m, sigma);
+  return t;
+}
+
+std::vector<ReportEvent> MakeCleanEvents(size_t n) {
+  std::vector<ReportEvent> events;
+  for (size_t i = 0; i < n; ++i) {
+    events.push_back(ReportEvent{0, static_cast<double>(i),
+                                 Point2(0.01 * static_cast<double>(i), 0.5)});
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjectorTest, ZeroRatesAreIdentity) {
+  const auto clean = MakeCleanEvents(50);
+  FaultStats stats;
+  const auto out = FaultInjector(FaultInjectorOptions{}).Inject(clean, &stats);
+  EXPECT_EQ(out, clean);
+  EXPECT_EQ(stats.input, 50u);
+  EXPECT_EQ(stats.emitted, 50u);
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.reordered +
+                stats.delayed + stats.corrupted,
+            0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameStream) {
+  const auto clean = MakeCleanEvents(200);
+  FaultInjectorOptions opt;
+  opt.drop_rate = 0.1;
+  opt.duplicate_rate = 0.05;
+  opt.reorder_rate = 0.05;
+  opt.delay_rate = 0.1;
+  opt.corrupt_rate = 0.05;
+  opt.seed = 42;
+  const auto a = FaultInjector(opt).Inject(clean);
+  const auto b = FaultInjector(opt).Inject(clean);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    // NaN-corrupted events compare unequal through ==; compare bits.
+    EXPECT_EQ(a[i].object, b[i].object);
+    EXPECT_EQ(std::memcmp(&a[i].time, &b[i].time, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&a[i].location, &b[i].location, sizeof(Point2)), 0);
+  }
+
+  opt.seed = 43;
+  const auto c = FaultInjector(opt).Inject(clean);
+  bool different = a.size() != c.size();
+  for (size_t i = 0; !different && i < a.size(); ++i) {
+    different = std::memcmp(&a[i].location, &c[i].location,
+                            sizeof(Point2)) != 0 ||
+                a[i].time != c[i].time;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(FaultInjectorTest, DropRateOneDropsEverything) {
+  const auto clean = MakeCleanEvents(20);
+  FaultInjectorOptions opt;
+  opt.drop_rate = 1.0;
+  FaultStats stats;
+  const auto out = FaultInjector(opt).Inject(clean, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.dropped, 20u);
+}
+
+TEST(ParseFaultSpecTest, ParsesAllKeys) {
+  const auto parsed =
+      ParseFaultSpec("drop:0.05,corrupt:0.01,dup:0.02,reorder:0.03,delay:0.4");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(parsed->corrupt_rate, 0.01);
+  EXPECT_DOUBLE_EQ(parsed->duplicate_rate, 0.02);
+  EXPECT_DOUBLE_EQ(parsed->reorder_rate, 0.03);
+  EXPECT_DOUBLE_EQ(parsed->delay_rate, 0.4);
+  EXPECT_TRUE(ParseFaultSpec("").ok());
+}
+
+TEST(ParseFaultSpecTest, RejectsBadSpecs) {
+  EXPECT_EQ(ParseFaultSpec("drop:1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("drop:-0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("warp:0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("drop=0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("drop:abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("drop:nan").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- validator
+
+TEST(TrajectoryValidatorTest, ClassifiesStructuralFaults) {
+  const Trajectory t = [] {
+    Trajectory t("x");
+    t.Append(Point2(0.1, 0.1), 0.01);
+    t.Append(Point2(kNan, 0.2), 0.01);
+    t.Append(Point2(0.3, 0.3), 0.0);    // sigma <= 0
+    t.Append(Point2(0.4, 0.4), kNan);   // sigma NaN
+    t.Append(Point2(0.5, 0.5), 0.01);
+    return t;
+  }();
+  const auto faults = TrajectoryValidator(ValidationPolicy{}).Classify(t);
+  ASSERT_EQ(faults.size(), 5u);
+  EXPECT_EQ(faults[0], SnapshotFault::kOk);
+  EXPECT_EQ(faults[1], SnapshotFault::kNonFiniteCoord);
+  EXPECT_EQ(faults[2], SnapshotFault::kBadSigma);
+  EXPECT_EQ(faults[3], SnapshotFault::kBadSigma);
+  EXPECT_EQ(faults[4], SnapshotFault::kOk);
+}
+
+TEST(TrajectoryValidatorTest, FlagsTeleportsAgainstTrustedAnchor) {
+  ValidationPolicy policy;
+  policy.max_jump = 1.0;
+  const Trajectory t = MakeTrajectory(
+      "x", {Point2(0.0, 0.0), Point2(0.5, 0.0), Point2(25.0, 25.0),
+            Point2(1.0, 0.0), Point2(1.5, 0.0)});
+  const auto faults = TrajectoryValidator(policy).Classify(t);
+  EXPECT_EQ(faults[2], SnapshotFault::kTeleport);
+  EXPECT_EQ(faults[0], SnapshotFault::kOk);
+  EXPECT_EQ(faults[1], SnapshotFault::kOk);
+  EXPECT_EQ(faults[3], SnapshotFault::kOk);
+  EXPECT_EQ(faults[4], SnapshotFault::kOk);
+}
+
+TEST(TrajectoryValidatorTest, CorruptedHeadDoesNotCondemnTail) {
+  ValidationPolicy policy;
+  policy.max_jump = 1.0;
+  // The first snapshot is the corrupted one: anchoring must skip it.
+  const Trajectory t = MakeTrajectory(
+      "x", {Point2(30.0, 30.0), Point2(0.5, 0.0), Point2(1.0, 0.0),
+            Point2(1.5, 0.0)});
+  const auto faults = TrajectoryValidator(policy).Classify(t);
+  EXPECT_EQ(faults[0], SnapshotFault::kTeleport);
+  EXPECT_EQ(faults[1], SnapshotFault::kOk);
+  EXPECT_EQ(faults[2], SnapshotFault::kOk);
+  EXPECT_EQ(faults[3], SnapshotFault::kOk);
+}
+
+TEST(TrajectoryValidatorTest, RepairInterpolatesNaNRun) {
+  Trajectory t = MakeTrajectory(
+      "x", {Point2(0.0, 0.0), Point2(kNan, kNan), Point2(kNan, kNan),
+            Point2(0.3, 0.0)},
+      0.01);
+  size_t repaired = 0;
+  const Status s =
+      TrajectoryValidator(ValidationPolicy{}).Repair(&t, &repaired);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(repaired, 2u);
+  EXPECT_NEAR(t[1].mean.x, 0.1, 1e-12);
+  EXPECT_NEAR(t[2].mean.x, 0.2, 1e-12);
+  EXPECT_NEAR(t[1].mean.y, 0.0, 1e-12);
+  // Repaired sigma is inflated above the trusted base (Eq. 1 regime).
+  EXPECT_GT(t[1].sigma, 0.01);
+  EXPECT_TRUE(std::isfinite(t[1].sigma));
+}
+
+TEST(TrajectoryValidatorTest, RepairHoldsFlatPastTheEnds) {
+  Trajectory t = MakeTrajectory(
+      "x", {Point2(kNan, kNan), Point2(0.2, 0.4), Point2(0.3, 0.4)}, 0.01);
+  const Status s = TrajectoryValidator(ValidationPolicy{}).Repair(&t);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(t[0].mean, Point2(0.2, 0.4));
+}
+
+TEST(TrajectoryValidatorTest, RepairFixesBadSigmaKeepingLocation) {
+  Trajectory t = MakeTrajectory(
+      "x", {Point2(0.1, 0.1), Point2(0.2, 0.2), Point2(0.3, 0.3)}, 0.02);
+  t[1].sigma = -1.0;
+  const Status s = TrajectoryValidator(ValidationPolicy{}).Repair(&t);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(t[1].mean, Point2(0.2, 0.2));  // the reported location survives
+  EXPECT_DOUBLE_EQ(t[1].sigma, 0.02);      // nearest trusted sigma
+}
+
+TEST(TrajectoryValidatorTest, QuarantinesWhenTooFaultyOrRepairOff) {
+  ValidationPolicy policy;
+  policy.max_fault_fraction = 0.25;
+  Trajectory mostly_bad = MakeTrajectory(
+      "bad", {Point2(0.1, 0.1), Point2(kNan, kNan), Point2(kNan, kNan),
+              Point2(0.4, 0.4), Point2(0.5, 0.5), Point2(0.6, 0.6)});
+  EXPECT_EQ(TrajectoryValidator(policy).Repair(&mostly_bad).code(),
+            StatusCode::kDataLoss);
+
+  ValidationPolicy no_repair;
+  no_repair.repair = false;
+  Trajectory one_bad = MakeTrajectory(
+      "x", {Point2(0.1, 0.1), Point2(kNan, kNan), Point2(0.3, 0.3)});
+  EXPECT_EQ(TrajectoryValidator(no_repair).Repair(&one_bad).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(TrajectoryValidatorTest, DropsWhenTooFewTrustedPoints) {
+  Trajectory t = MakeTrajectory(
+      "x", {Point2(kNan, kNan), Point2(0.2, 0.2), Point2(kNan, kNan)});
+  EXPECT_EQ(TrajectoryValidator(ValidationPolicy{}).Repair(&t).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrajectoryValidatorTest, ValidateRoutesRepairQuarantineDrop) {
+  TrajectoryDataset in;
+  in.Add(MakeTrajectory("clean", {Point2(0.1, 0.1), Point2(0.2, 0.2)}));
+  in.Add(MakeTrajectory(
+      "fixable", {Point2(0.1, 0.1), Point2(kNan, kNan), Point2(0.3, 0.3)}));
+  in.Add(MakeTrajectory("hopeless",
+                        {Point2(kNan, kNan), Point2(kNan, kNan),
+                         Point2(0.2, 0.2)}));
+  ValidationPolicy policy;
+  policy.max_fault_fraction = 0.0;  // any fault => quarantine
+  ValidationReport report;
+  TrajectoryDataset quarantine;
+  const TrajectoryDataset out =
+      TrajectoryValidator(policy).Validate(in, &report, &quarantine);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id(), "clean");
+  EXPECT_EQ(report.quarantined, 1u);
+  ASSERT_EQ(report.quarantined_ids.size(), 1u);
+  EXPECT_EQ(report.quarantined_ids[0], "fixable");
+  ASSERT_EQ(quarantine.size(), 1u);
+  EXPECT_EQ(quarantine[0].id(), "fixable");
+  EXPECT_EQ(report.dropped, 1u);
+  EXPECT_EQ(report.trajectories, 3u);
+  EXPECT_EQ(report.non_finite, 3u);
+}
+
+// ------------------------------------------------------------ hardened CSV
+
+TEST(CsvHardeningTest, RejectsNonFiniteCoordinateWithLineNumber) {
+  std::istringstream is(
+      "traj_id,snapshot,x,y,sigma\n"
+      "a,0,0.1,0.1,0.01\n"
+      "a,1,nan,0.2,0.01\n");
+  TrajectoryDataset out;
+  CsvDiagnostic diag;
+  EXPECT_FALSE(ReadTrajectoriesCsv(is, &out, &diag));
+  EXPECT_EQ(diag.line, 3u);
+  EXPECT_NE(diag.message.find("non-finite"), std::string::npos);
+}
+
+TEST(CsvHardeningTest, RejectsNonPositiveSigmaWithLineNumber) {
+  std::istringstream is(
+      "traj_id,snapshot,x,y,sigma\n"
+      "a,0,0.1,0.1,0.01\n"
+      "a,1,0.2,0.2,0.0\n"
+      "a,2,0.3,0.3,0.01\n");
+  TrajectoryDataset out;
+  CsvDiagnostic diag;
+  EXPECT_FALSE(ReadTrajectoriesCsv(is, &out, &diag));
+  EXPECT_EQ(diag.line, 3u);
+  std::istringstream is2(
+      "traj_id,snapshot,x,y,sigma\n"
+      "a,0,0.1,0.1,inf\n");
+  EXPECT_FALSE(ReadTrajectoriesCsv(is2, &out, &diag));
+  EXPECT_EQ(diag.line, 2u);
+}
+
+TEST(CsvHardeningTest, AcceptsCleanInputUnchanged) {
+  std::istringstream is(
+      "traj_id,snapshot,x,y,sigma\n"
+      "a,0,0.1,0.1,0.01\n"
+      "a,1,0.2,0.2,0.01\n");
+  TrajectoryDataset out;
+  CsvDiagnostic diag;
+  EXPECT_TRUE(ReadTrajectoriesCsv(is, &out, &diag));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 2u);
+}
+
+TEST(CsvHardeningTest, PatternsRejectNaNNm) {
+  std::istringstream is(
+      "rank,nm,length,cells\n"
+      "1,nan,2,3;4\n");
+  std::vector<ScoredPattern> out;
+  CsvDiagnostic diag;
+  EXPECT_FALSE(ReadPatternsCsv(is, &out, &diag));
+  EXPECT_EQ(diag.line, 2u);
+}
+
+// ---------------------------------------------------- checkpoint round-trip
+
+MinerCheckpoint MakeSampleCheckpoint() {
+  MinerCheckpoint cp;
+  cp.iteration = 2;
+  cp.k = 10;
+  cp.omega = -123.456789012345678;
+  cp.scores.push_back({Pattern(std::vector<CellId>{3, 4, 5}), -10.25});
+  cp.scores.push_back(
+      {Pattern(std::vector<CellId>{7, kWildcardCell, 9}), -77.125});
+  cp.scores.push_back({Pattern(static_cast<CellId>(1)),
+                       -std::numeric_limits<double>::infinity()});
+  cp.prev_high.push_back(Pattern(std::vector<CellId>{3, 4}));
+  cp.prev_queue.push_back(Pattern(static_cast<CellId>(1)));
+  cp.prev_queue.push_back(Pattern(std::vector<CellId>{3, 4}));
+  return cp;
+}
+
+TEST(CheckpointIoTest, RoundTripsBitExactly) {
+  const MinerCheckpoint cp = MakeSampleCheckpoint();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(cp, ss).ok());
+  MinerCheckpoint loaded;
+  const Status s = ReadMinerCheckpoint(ss, &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(loaded.iteration, cp.iteration);
+  EXPECT_EQ(loaded.k, cp.k);
+  EXPECT_EQ(std::memcmp(&loaded.omega, &cp.omega, sizeof(double)), 0);
+  ASSERT_EQ(loaded.scores.size(), cp.scores.size());
+  for (size_t i = 0; i < cp.scores.size(); ++i) {
+    EXPECT_EQ(loaded.scores[i].pattern, cp.scores[i].pattern);
+    EXPECT_EQ(std::memcmp(&loaded.scores[i].nm, &cp.scores[i].nm,
+                          sizeof(double)),
+              0);
+  }
+  EXPECT_EQ(loaded.prev_high, cp.prev_high);
+  EXPECT_EQ(loaded.prev_queue, cp.prev_queue);
+}
+
+TEST(CheckpointIoTest, RejectsTruncatedAndForeignInput) {
+  MinerCheckpoint cp;
+  std::istringstream not_ours("hello,world\n");
+  EXPECT_EQ(ReadMinerCheckpoint(not_ours, &cp).code(), StatusCode::kDataLoss);
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // tear the file
+  std::istringstream torn(text);
+  EXPECT_EQ(ReadMinerCheckpoint(torn, &cp).code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointIoTest, FileWrapperRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/tp_checkpoint_test.ckpt";
+  const MinerCheckpoint cp = MakeSampleCheckpoint();
+  ASSERT_TRUE(WriteMinerCheckpointFile(cp, path).ok());
+  MinerCheckpoint loaded;
+  ASSERT_TRUE(ReadMinerCheckpointFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.scores.size(), cp.scores.size());
+  EXPECT_EQ(ReadMinerCheckpointFile(path + ".missing", &loaded).code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- kill-and-resume
+
+TrajectoryDataset MakeMiningData() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.45, 0.45), Point2(0.75, 0.75)};
+  opt.num_with_pattern = 12;
+  opt.num_background = 6;
+  opt.num_snapshots = 12;
+  opt.seed = 7;
+  return GeneratePlantedPatterns(opt);
+}
+
+void ExpectBitIdentical(const MiningResult& a, const MiningResult& b) {
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+  for (size_t i = 0; i < a.patterns.size(); ++i) {
+    EXPECT_EQ(a.patterns[i].pattern, b.patterns[i].pattern) << "rank " << i;
+    EXPECT_EQ(std::memcmp(&a.patterns[i].nm, &b.patterns[i].nm,
+                          sizeof(double)),
+              0)
+        << "rank " << i;
+  }
+}
+
+void RunKillAndResume(int num_threads) {
+  const TrajectoryDataset data = MakeMiningData();
+  const MiningSpace space(Grid::UnitSquare(8), 0.125);
+  MinerOptions opt;
+  opt.k = 10;
+  opt.max_pattern_length = 4;
+  opt.num_threads = num_threads;
+
+  NmEngine full_engine(data, space);
+  const MiningResult full = MineTrajPatterns(full_engine, opt);
+  ASSERT_FALSE(full.patterns.empty());
+  ASSERT_FALSE(full.stats.aborted);
+
+  // Kill at every iteration boundary the full run passed through, resume
+  // from the serialized checkpoint, and demand bit-identity each time.
+  for (int stop_after = 1; stop_after <= full.stats.iterations;
+       ++stop_after) {
+    MinerCheckpoint captured;
+    MinerOptions interrupted = opt;
+    interrupted.checkpoint_sink = [&captured,
+                                   stop_after](const MinerCheckpoint& cp) {
+      captured = cp;
+      return cp.iteration < stop_after;
+    };
+    NmEngine engine(data, space);
+    const MiningResult partial = MineTrajPatterns(engine, interrupted);
+    if (!partial.stats.aborted) {
+      // The run converged before the kill point; nothing to resume.
+      ExpectBitIdentical(partial, full);
+      continue;
+    }
+
+    // Serialize through the file format, as a real crash-recovery would.
+    std::stringstream ss;
+    ASSERT_TRUE(WriteMinerCheckpoint(captured, ss).ok());
+    MinerCheckpoint loaded;
+    ASSERT_TRUE(ReadMinerCheckpoint(ss, &loaded).ok());
+
+    NmEngine resume_engine(data, space);
+    const MiningResult resumed =
+        MineTrajPatterns(resume_engine, opt, &loaded);
+    ASSERT_FALSE(resumed.stats.aborted);
+    ExpectBitIdentical(resumed, full);
+  }
+}
+
+TEST(CheckpointResumeTest, BitIdenticalSingleThread) { RunKillAndResume(1); }
+
+TEST(CheckpointResumeTest, BitIdenticalEightThreads) { RunKillAndResume(8); }
+
+TEST(CheckpointResumeTest, SinkAbortSetsStats) {
+  const TrajectoryDataset data = MakeMiningData();
+  const MiningSpace space(Grid::UnitSquare(8), 0.125);
+  MinerOptions opt;
+  opt.k = 5;
+  opt.max_pattern_length = 4;
+  int calls = 0;
+  opt.checkpoint_sink = [&calls](const MinerCheckpoint&) {
+    ++calls;
+    return false;  // stop immediately
+  };
+  NmEngine engine(data, space);
+  const MiningResult result = MineTrajPatterns(engine, opt);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_EQ(result.stats.iterations, 1);
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(FaultPipelineTest, FaultedAndRepairedStreamRecoversTopPattern) {
+  PlantedPatternOptions popt;
+  popt.pattern = {Point2(0.15, 0.15), Point2(0.45, 0.45), Point2(0.75, 0.75)};
+  popt.num_with_pattern = 15;
+  popt.num_background = 0;
+  popt.num_snapshots = 15;
+  popt.seed = 3;
+  const TrajectoryDataset original = GeneratePlantedPatterns(popt);
+
+  // Dead-reckoned (post-drop) and repaired snapshots must carry honestly
+  // inflated uncertainty, or a repair that lands in the wrong cell charges
+  // the probability floor to every pattern through it and reshuffles the
+  // top-k.  Same growth rate on the synchronizer and the validator.
+  constexpr double kSigmaGrowth = 0.3;
+  MobileObjectServer::Options server_options;
+  server_options.sync.num_snapshots = popt.num_snapshots;
+  server_options.sync.base_sigma = popt.sigma;
+  server_options.sync.sigma_growth = kSigmaGrowth;
+
+  const ReportStream clean_stream = DatasetToReportStream(original);
+  const TrajectoryDataset clean =
+      IngestAndSynchronize(clean_stream, server_options);
+  ASSERT_EQ(clean.size(), original.size());
+
+  FaultInjectorOptions fopt;
+  fopt.drop_rate = 0.05;
+  fopt.corrupt_rate = 0.01;
+  fopt.corrupt_offset = 25.0;
+  fopt.seed = 11;
+  ReportStream faulted_stream = clean_stream;
+  FaultStats fstats;
+  faulted_stream.events =
+      FaultInjector(fopt).Inject(clean_stream.events, &fstats);
+  EXPECT_GT(fstats.dropped, 0u);
+
+  IngestStats ingest;
+  const TrajectoryDataset faulted =
+      IngestAndSynchronize(faulted_stream, server_options, &ingest);
+
+  ValidationPolicy policy;
+  policy.max_jump = 5.0;
+  policy.sigma_growth = kSigmaGrowth;
+  const TrajectoryDataset repaired =
+      TrajectoryValidator(policy).Validate(faulted);
+  ASSERT_FALSE(repaired.empty());
+
+  // delta = half the grid pitch, so off-by-one-cell pattern variants fall
+  // outside every carrier's indifference region and cannot outrank a
+  // mildly damaged member of the planted family.
+  const MiningSpace space(Grid::UnitSquare(10), 0.05);
+  MinerOptions mopt;
+  mopt.k = 5;
+  mopt.min_length = 2;
+  mopt.max_pattern_length = 3;
+  NmEngine clean_engine(clean, space);
+  const MiningResult clean_result = MineTrajPatterns(clean_engine, mopt);
+  NmEngine repaired_engine(repaired, space);
+  const MiningResult repaired_result =
+      MineTrajPatterns(repaired_engine, mopt);
+  ASSERT_FALSE(clean_result.patterns.empty());
+  ASSERT_FALSE(repaired_result.patterns.empty());
+  // The faulted-but-repaired stream must surface the same best pattern as
+  // the clean stream: the planted sequence's grid rendering.
+  EXPECT_EQ(repaired_result.patterns[0].pattern,
+            clean_result.patterns[0].pattern);
+}
+
+}  // namespace
+}  // namespace trajpattern

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "server/mobile_object_server.h"
 
 namespace trajpattern {
@@ -20,12 +22,87 @@ TEST(MobileObjectServerTest, RegisterAndReport) {
   const auto id = server.Register("bus1");
   EXPECT_EQ(server.num_objects(), 1u);
   EXPECT_EQ(server.name(id), "bus1");
-  EXPECT_TRUE(server.Report(id, 0.0, Point2(0.1, 0.1)));
-  EXPECT_TRUE(server.Report(id, 2.0, Point2(0.3, 0.1)));
+  EXPECT_EQ(server.Report(id, 0.0, Point2(0.1, 0.1)), ReportStatus::kAccepted);
+  EXPECT_EQ(server.Report(id, 2.0, Point2(0.3, 0.1)), ReportStatus::kAccepted);
   EXPECT_EQ(server.num_reports(id), 2u);
   // Out-of-order reports rejected.
-  EXPECT_FALSE(server.Report(id, 1.0, Point2(0.2, 0.1)));
+  EXPECT_EQ(server.Report(id, 1.0, Point2(0.2, 0.1)),
+            ReportStatus::kOutOfOrder);
   EXPECT_EQ(server.num_reports(id), 2u);
+}
+
+TEST(MobileObjectServerTest, ClassifiesEveryRejection) {
+  MobileObjectServer server(MakeOptions());
+  const auto id = server.Register("dev");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_EQ(server.Report(id, 1.0, Point2(0.5, 0.5)),
+            ReportStatus::kAccepted);
+  // Retransmission of the newest timestamp: first copy wins.
+  EXPECT_EQ(server.Report(id, 1.0, Point2(0.6, 0.5)),
+            ReportStatus::kDuplicateTimestamp);
+  EXPECT_EQ(server.Report(id, 0.5, Point2(0.4, 0.5)),
+            ReportStatus::kOutOfOrder);
+  EXPECT_EQ(server.Report(id, nan, Point2(0.5, 0.5)),
+            ReportStatus::kNonFiniteTime);
+  EXPECT_EQ(server.Report(id, 2.0, Point2(nan, 0.5)),
+            ReportStatus::kNonFiniteLocation);
+  EXPECT_EQ(server.Report(id, 2.0, Point2(0.5, inf)),
+            ReportStatus::kNonFiniteLocation);
+  // An id Register never issued.
+  EXPECT_EQ(server.Report(id + 100, 3.0, Point2(0.5, 0.5)),
+            ReportStatus::kUnknownId);
+  EXPECT_EQ(server.num_reports(id), 1u);
+  // Rejections never corrupt the accepted history.
+  EXPECT_EQ(server.Report(id, 4.0, Point2(0.7, 0.5)),
+            ReportStatus::kAccepted);
+  EXPECT_EQ(server.num_reports(id), 2u);
+}
+
+TEST(MobileObjectServerTest, IngestStatsCountPerObjectAndTotal) {
+  MobileObjectServer server(MakeOptions());
+  const auto a = server.Register("a");
+  const auto b = server.Register("b");
+  server.Report(a, 0.0, Point2(0.1, 0.1));
+  server.Report(a, 0.0, Point2(0.1, 0.1));  // duplicate
+  server.Report(a, -1.0, Point2(0.1, 0.1));  // out of order
+  server.Report(b, 0.0, Point2(0.2, 0.2));
+  server.Report(b, 1.0,
+                Point2(std::numeric_limits<double>::quiet_NaN(), 0.2));
+  server.Report(99, 0.0, Point2(0.3, 0.3));  // unknown id
+
+  const IngestStats sa = server.ingest_stats(a);
+  EXPECT_EQ(sa.accepted, 1);
+  EXPECT_EQ(sa.duplicate_timestamp, 1);
+  EXPECT_EQ(sa.out_of_order, 1);
+  EXPECT_EQ(sa.non_finite, 0);
+
+  const IngestStats sb = server.ingest_stats(b);
+  EXPECT_EQ(sb.accepted, 1);
+  EXPECT_EQ(sb.non_finite, 1);
+
+  const IngestStats& total = server.total_ingest_stats();
+  EXPECT_EQ(total.accepted, 2);
+  EXPECT_EQ(total.duplicate_timestamp, 1);
+  EXPECT_EQ(total.out_of_order, 1);
+  EXPECT_EQ(total.non_finite, 1);
+  EXPECT_EQ(total.unknown_id, 1);
+  EXPECT_EQ(total.rejected(), 4);
+  EXPECT_EQ(total.total(), 6);
+
+  // Unknown ids read as zeroed stats, not UB.
+  EXPECT_EQ(server.ingest_stats(99).total(), 0);
+  EXPECT_EQ(server.name(99), "");
+  EXPECT_EQ(server.num_reports(99), 0u);
+}
+
+TEST(MobileObjectServerTest, ReportStatusNames) {
+  EXPECT_STREQ(ToString(ReportStatus::kAccepted), "accepted");
+  EXPECT_STREQ(ToString(ReportStatus::kUnknownId), "unknown_id");
+  EXPECT_STREQ(ToString(ReportStatus::kOutOfOrder), "out_of_order");
+  EXPECT_STREQ(ToString(ReportStatus::kDuplicateTimestamp),
+               "duplicate_timestamp");
 }
 
 TEST(MobileObjectServerTest, DeadReckonsBetweenReports) {

@@ -141,6 +141,17 @@ TEST(SynchronizerTest, SigmaGrowsWithElapsedTime) {
   EXPECT_DOUBLE_EQ(t[3].sigma, 0.025);
 }
 
+TEST(SynchronizerTest, NeverReportingObjectYieldsEmptyTrajectory) {
+  Synchronizer::Options opt;
+  opt.num_snapshots = 5;
+  Synchronizer sync(opt);
+  // A registered device that stayed silent: a well-defined empty
+  // trajectory, not an assertion failure.
+  const Trajectory t = sync.Synchronize("silent", {});
+  EXPECT_EQ(t.id(), "silent");
+  EXPECT_EQ(t.size(), 0u);
+}
+
 TEST(SynchronizerTest, SnapshotBeforeFirstReport) {
   Synchronizer::Options opt;
   opt.start_time = 0.0;
