@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/miner.h"
 #include "core/nm_engine.h"
 #include "datagen/planted_generator.h"
@@ -27,6 +28,7 @@
 #include "trajectory/validate.h"
 
 using namespace trajpattern;
+namespace tb = trajpattern::bench;
 
 namespace {
 
@@ -122,7 +124,7 @@ int main(int argc, char** argv) {
   const int k = flags.GetInt("k", 10);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string json_path =
-      flags.GetString("json", "BENCH_fault_tolerance.json");
+      flags.GetString("json", tb::DefaultJsonPath("BENCH_fault_tolerance.json"));
 
   const TrajectoryDataset original = MakePlantedData(seed);
   const MobileObjectServer::Options server_options =
@@ -231,6 +233,9 @@ int main(int argc, char** argv) {
           BitIdentical(resumed.patterns, clean_result.patterns);
     }
   }
+  // The checkpoint is a scratch artifact of the kill-and-resume scenario,
+  // not a bench result — leave neither it nor its atomic-write temp behind.
+  std::remove(ckpt_path.c_str());
   std::remove((ckpt_path + ".tmp").c_str());
   std::printf("kill-and-resume bit-identical to uninterrupted: %s\n",
               resume_identical ? "yes" : "NO");

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   const std::vector<int> threads_list =
       ParseThreadsList(flags.GetString("threads_list", "1,2,4,8"));
   const std::string json_path =
-      flags.GetString("json", "BENCH_parallel_scoring.json");
+      flags.GetString("json", tb::DefaultJsonPath("BENCH_parallel_scoring.json"));
 
   const auto data = tb::MakeZebraData(cfg);
   const auto space = tb::MakeSpace(cfg);

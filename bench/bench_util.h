@@ -13,6 +13,18 @@
 
 namespace trajpattern::bench {
 
+/// Default location for a bench's JSON artifact: the repo root (injected
+/// by the build as TRAJPATTERN_BENCH_OUTPUT_DIR) so committed perf
+/// results sit next to the code, not inside the gitignored build tree.
+/// Falls back to the working directory when built standalone.
+inline std::string DefaultJsonPath(const std::string& filename) {
+#ifdef TRAJPATTERN_BENCH_OUTPUT_DIR
+  return std::string(TRAJPATTERN_BENCH_OUTPUT_DIR) + "/" + filename;
+#else
+  return filename;
+#endif
+}
+
 /// Shared knobs of the Fig. 4 scalability experiments: a ZebraNet-style
 /// workload mined over an `g x g` grid.  Defaults are sized so the whole
 /// suite completes on a small machine; pass --scale=N (or per-flag

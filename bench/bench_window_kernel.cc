@@ -1,0 +1,314 @@
+// Window-scoring kernel shoot-out on the Fig. 4(b) ZebraNet workload:
+// the pre-PR-3 window-major gather kernel vs. the position-major
+// streaming kernel vs. streaming with ω-aware early-abandon, all
+// single-thread so the win is orthogonal to batch parallelism.  Verifies
+// (a) streaming is bit-identical to gather at 1 and 8 threads, (b) with
+// `prune_below` = the k-th best NM, every unpruned score is bit-identical
+// and every pruned score is an upper bound strictly below ω, with the
+// top-k unchanged, and (c) end-to-end mining with `omega_pruning` on
+// reproduces exact mining's top-k bit-for-bit on the Fig. 4(a) and 4(b)
+// configurations while reporting the abandoned-candidate count.  Writes
+// BENCH_window_kernel.json (override with --json=PATH); exits non-zero
+// if any identity check fails.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "parallel/thread_pool.h"
+#include "stats/table.h"
+
+namespace tb = trajpattern::bench;
+using trajpattern::BatchScoreStats;
+using trajpattern::CellId;
+using trajpattern::Flags;
+using trajpattern::MineTrajPatterns;
+using trajpattern::MinerOptions;
+using trajpattern::MiningResult;
+using trajpattern::NmEngine;
+using trajpattern::Pattern;
+using trajpattern::ResolveThreadCount;
+using trajpattern::Table;
+using trajpattern::WallTimer;
+using trajpattern::WindowKernel;
+
+namespace {
+
+/// A candidate set shaped like the mining run's aggregate workload under
+/// the shared Fig. 4 depth bound (max_pattern_length = 4): all singulars
+/// plus equal shares of length-2/3/4 concatenations over the touched
+/// alphabet, in deterministic order, capped at `limit`.  Later grow
+/// iterations score almost exclusively length-3/4 candidates, which is
+/// where `BestWindowSum` burns its time.
+std::vector<Pattern> MakeCandidates(const NmEngine& engine, size_t limit) {
+  const std::vector<CellId> cells = engine.TouchedCells();
+  std::vector<Pattern> out;
+  for (CellId c : cells) {
+    if (out.size() >= limit) return out;
+    out.push_back(Pattern(c));
+  }
+  const size_t share = (limit - std::min(limit, out.size())) / 3;
+  for (size_t len = 2; len <= 4; ++len) {
+    const size_t stop = std::min(limit, out.size() + share);
+    for (CellId a : cells) {
+      for (CellId b : cells) {
+        if (out.size() >= stop) break;
+        std::vector<CellId> c(len);
+        for (size_t j = 0; j < len; ++j) c[j] = j % 2 == 0 ? a : b;
+        out.push_back(Pattern(std::move(c)));
+      }
+      if (out.size() >= stop) break;
+    }
+  }
+  return out;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+bool TopKIdentical(const MiningResult& a, const MiningResult& b) {
+  if (a.patterns.size() != b.patterns.size()) return false;
+  for (size_t i = 0; i < a.patterns.size(); ++i) {
+    if (a.patterns[i].pattern != b.patterns[i].pattern ||
+        std::memcmp(&a.patterns[i].nm, &b.patterns[i].nm, sizeof(double)) !=
+            0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct MineCheck {
+  std::string config;
+  bool identical = false;
+  int64_t candidates_pruned = 0;
+  int64_t trajectories_skipped = 0;
+  double exact_seconds = 0.0;
+  double pruned_seconds = 0.0;
+};
+
+MineCheck CheckMining(const std::string& name, const tb::Fig4Config& cfg) {
+  const auto data = tb::MakeZebraData(cfg);
+  const auto space = tb::MakeSpace(cfg);
+  MinerOptions opt = tb::MakeMinerOptions(cfg);
+
+  NmEngine exact_engine(data, space);
+  const MiningResult exact = MineTrajPatterns(exact_engine, opt);
+
+  opt.omega_pruning = true;
+  NmEngine pruned_engine(data, space);
+  const MiningResult pruned = MineTrajPatterns(pruned_engine, opt);
+
+  MineCheck out;
+  out.config = name;
+  out.identical = TopKIdentical(exact, pruned);
+  out.candidates_pruned = pruned.stats.candidates_pruned;
+  out.trajectories_skipped = pruned.stats.trajectories_skipped;
+  out.exact_seconds = exact.stats.seconds;
+  out.pruned_seconds = pruned.stats.seconds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  // The Fig. 4(b) workload: its S sweep is {30, 60, 120, 240}; the kernel
+  // shoot-out runs the S=120 point (override with --s / --scale).
+  tb::Fig4Config cfg = tb::ParseFig4Config(flags);
+  if (!flags.Has("s") && !flags.Has("scale")) cfg.num_trajectories = 120;
+  const size_t num_candidates =
+      static_cast<size_t>(flags.GetInt("candidates", 3000));
+  const int reps = flags.GetInt("reps", 12);
+  const std::string json_path =
+      flags.GetString("json", tb::DefaultJsonPath("BENCH_window_kernel.json"));
+
+  const auto data = tb::MakeZebraData(cfg);
+  const auto space = tb::MakeSpace(cfg);
+  NmEngine engine(data, space);
+  const std::vector<Pattern> candidates = MakeCandidates(engine, num_candidates);
+
+  std::printf(
+      "Window-kernel shoot-out  (Fig. 4b point: S=%d, L=%d, G=%d, "
+      "candidates=%zu, reps=%d)\n",
+      cfg.num_trajectories, cfg.avg_length, cfg.grid_side * cfg.grid_side,
+      candidates.size(), reps);
+
+  // Warm every column once so the timed runs measure pure scoring.
+  engine.set_window_kernel(WindowKernel::kGather);
+  BatchScoreStats warm_stats;
+  std::vector<double> gather_scores =
+      engine.NmTotalBatch(candidates, 1, &warm_stats);
+
+  // ω for the pruned runs: the k-th best exact score, i.e. the threshold
+  // a miner with a full top-k would feed.
+  std::vector<double> sorted = gather_scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const size_t kth = std::min(static_cast<size_t>(cfg.k), sorted.size()) - 1;
+  const double omega = sorted[kth];
+
+  // ---- single-thread kernel timings on the shared warmed arena.  The
+  // three kernels are timed in interleaved rounds (gather, streaming,
+  // pruned, repeat) and the per-kernel minimum kept: minimum because
+  // interference only ever adds time, interleaved so machine-level drift
+  // (frequency scaling, a noisy neighbour) cannot bias whichever kernel
+  // happened to run entirely inside the bad window.
+  BatchScoreStats stats;
+  std::vector<double> streaming_scores;
+  std::vector<double> pruned_scores;
+  BatchScoreStats pruned_stats;
+  double gather_seconds = 0.0;
+  double streaming_seconds = 0.0;
+  double pruned_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    engine.set_window_kernel(WindowKernel::kGather);
+    WallTimer gather_timer;
+    gather_scores = engine.NmTotalBatch(candidates, 1, &stats);
+    const double g = gather_timer.Seconds();
+
+    engine.set_window_kernel(WindowKernel::kStreaming);
+    WallTimer streaming_timer;
+    streaming_scores = engine.NmTotalBatch(candidates, 1, &stats);
+    const double s = streaming_timer.Seconds();
+
+    WallTimer pruned_timer;
+    pruned_scores = engine.NmTotalBatch(candidates, 1, &pruned_stats, omega);
+    const double p = pruned_timer.Seconds();
+
+    if (r == 0 || g < gather_seconds) gather_seconds = g;
+    if (r == 0 || s < streaming_seconds) streaming_seconds = s;
+    if (r == 0 || p < pruned_seconds) pruned_seconds = p;
+  }
+  const bool identical_1t = BitIdentical(streaming_scores, gather_scores);
+
+  // Pruned-score contract: bit-identical where unpruned; otherwise an
+  // upper bound on the exact score that is itself below ω.
+  bool pruned_contract = pruned_scores.size() == gather_scores.size();
+  size_t pruned_exact_matches = 0;
+  for (size_t i = 0; pruned_contract && i < pruned_scores.size(); ++i) {
+    if (std::memcmp(&pruned_scores[i], &gather_scores[i], sizeof(double)) ==
+        0) {
+      ++pruned_exact_matches;
+    } else {
+      pruned_contract =
+          pruned_scores[i] >= gather_scores[i] && pruned_scores[i] < omega;
+    }
+  }
+  // Top-k preservation: every score reaching ω must be exact (unpruned).
+  for (size_t i = 0; pruned_contract && i < pruned_scores.size(); ++i) {
+    if (gather_scores[i] >= omega) {
+      pruned_contract = std::memcmp(&pruned_scores[i], &gather_scores[i],
+                                    sizeof(double)) == 0;
+    }
+  }
+
+  // ---- thread-count invariance of both kernels (8 workers vs 1).
+  engine.set_window_kernel(WindowKernel::kStreaming);
+  const std::vector<double> streaming_8t = engine.NmTotalBatch(candidates, 8);
+  const std::vector<double> pruned_8t =
+      engine.NmTotalBatch(candidates, 8, nullptr, omega);
+  engine.set_window_kernel(WindowKernel::kGather);
+  const std::vector<double> gather_8t = engine.NmTotalBatch(candidates, 8);
+  const bool identical_8t = BitIdentical(streaming_8t, gather_scores) &&
+                            BitIdentical(gather_8t, gather_scores) &&
+                            BitIdentical(pruned_8t, pruned_scores);
+
+  Table table({"kernel", "seconds/batch", "speedup vs gather", "pruned",
+               "traj skipped", "identical"});
+  table.AddRow({"gather (reference)", Table::Num(gather_seconds), "1.00", "0",
+                "0", "yes"});
+  table.AddRow({"streaming", Table::Num(streaming_seconds),
+                Table::Num(gather_seconds / streaming_seconds), "0", "0",
+                identical_1t ? "yes" : "NO"});
+  table.AddRow({"streaming + omega-prune", Table::Num(pruned_seconds),
+                Table::Num(gather_seconds / pruned_seconds),
+                std::to_string(pruned_stats.candidates_pruned),
+                std::to_string(pruned_stats.trajectories_skipped),
+                pruned_contract ? "yes" : "NO"});
+  table.Print();
+  std::printf(
+      "omega = k-th best of %zu scores; %zu/%zu candidates returned exact "
+      "scores; 8-thread runs identical: %s\n",
+      candidates.size(), pruned_exact_matches, pruned_scores.size(),
+      identical_8t ? "yes" : "NO");
+
+  // ---- end-to-end mining with omega_pruning on the Fig. 4a/4b configs.
+  tb::Fig4Config fig4a = cfg;
+  fig4a.num_trajectories = 60;
+  tb::Fig4Config fig4b = cfg;
+  fig4b.num_trajectories = 120;
+  std::vector<MineCheck> mines;
+  mines.push_back(CheckMining("fig4a", fig4a));
+  mines.push_back(CheckMining("fig4b", fig4b));
+  for (const MineCheck& m : mines) {
+    std::printf(
+        "mine %s: top-k identical with pruning: %s (pruned %lld candidates, "
+        "skipped %lld trajectory evals; exact %.4f s, pruned %.4f s)\n",
+        m.config.c_str(), m.identical ? "yes" : "NO",
+        static_cast<long long>(m.candidates_pruned),
+        static_cast<long long>(m.trajectories_skipped), m.exact_seconds,
+        m.pruned_seconds);
+  }
+
+  // ---- JSON summary.
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": {\"figure\": \"4b\", \"trajectories\": %d, "
+               "\"avg_length\": %d, \"grid_cells\": %d, \"candidates\": %zu, "
+               "\"reps\": %d},\n",
+               cfg.num_trajectories, cfg.avg_length,
+               cfg.grid_side * cfg.grid_side, candidates.size(), reps);
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreadCount(0));
+  std::fprintf(f, "  \"kernels\": {\n");
+  std::fprintf(f, "    \"gather_seconds\": %.6f,\n", gather_seconds);
+  std::fprintf(f, "    \"streaming_seconds\": %.6f,\n", streaming_seconds);
+  std::fprintf(f, "    \"streaming_pruned_seconds\": %.6f,\n", pruned_seconds);
+  std::fprintf(f, "    \"streaming_speedup\": %.3f,\n",
+               gather_seconds / streaming_seconds);
+  std::fprintf(f, "    \"streaming_pruned_speedup\": %.3f\n",
+               gather_seconds / pruned_seconds);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"identity\": {\"streaming_vs_gather_1t\": %s, "
+               "\"all_kernels_8t\": %s, \"pruned_contract\": %s},\n",
+               identical_1t ? "true" : "false", identical_8t ? "true" : "false",
+               pruned_contract ? "true" : "false");
+  std::fprintf(f,
+               "  \"pruning\": {\"omega\": %.17g, \"candidates_pruned\": %zu, "
+               "\"trajectories_skipped\": %lld, \"exact_scores\": %zu},\n",
+               omega, pruned_stats.candidates_pruned,
+               static_cast<long long>(pruned_stats.trajectories_skipped),
+               pruned_exact_matches);
+  std::fprintf(f, "  \"mine\": [\n");
+  for (size_t i = 0; i < mines.size(); ++i) {
+    const MineCheck& m = mines[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"topk_identical\": %s, "
+                 "\"candidates_pruned\": %lld, \"trajectories_skipped\": "
+                 "%lld, \"exact_seconds\": %.6f, \"pruned_seconds\": %.6f}%s\n",
+                 m.config.c_str(), m.identical ? "true" : "false",
+                 static_cast<long long>(m.candidates_pruned),
+                 static_cast<long long>(m.trajectories_skipped),
+                 m.exact_seconds, m.pruned_seconds,
+                 i + 1 < mines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  bool ok = identical_1t && identical_8t && pruned_contract;
+  for (const MineCheck& m : mines) ok = ok && m.identical;
+  return ok ? 0 : 1;
+}

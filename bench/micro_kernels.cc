@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "core/miner.h"
 #include "core/nm_engine.h"
 #include "datagen/uniform_generator.h"
@@ -96,6 +101,91 @@ void BM_NmTotalBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_NmTotalBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/// Shared fixture of the window-kernel shoot-out benchmarks: a Fig.
+/// 4-scale ZebraNet workload plus a mining-iteration-shaped candidate
+/// batch (singulars, pairs, and triples over the touched alphabet).
+struct WindowKernelFixture {
+  WindowKernelFixture() {
+    ZebraNetGeneratorOptions opt;
+    opt.num_zebras = 60;
+    opt.num_snapshots = 40;
+    opt.sigma = 0.006;
+    opt.seed = 1;
+    data = GenerateZebraNet(opt);
+    const Grid grid = Grid::UnitSquare(10);
+    space = std::make_unique<MiningSpace>(
+        grid, std::max(grid.cell_width(), grid.cell_height()));
+    engine = std::make_unique<NmEngine>(data, *space);
+    const auto cells = engine->TouchedCells();
+    for (CellId c : cells) {
+      if (batch.size() >= 1024) break;
+      batch.push_back(Pattern(c));
+    }
+    for (CellId a : cells) {
+      for (CellId b : cells) {
+        if (batch.size() >= 1024) break;
+        batch.push_back(Pattern(std::vector<CellId>{a, b}));
+      }
+      if (batch.size() >= 1024) break;
+    }
+    for (CellId a : cells) {
+      for (CellId b : cells) {
+        if (batch.size() >= 1024) break;
+        batch.push_back(Pattern(std::vector<CellId>{a, b, a}));
+      }
+      if (batch.size() >= 1024) break;
+    }
+    // Warm every column and derive the ω a full top-10 would impose.
+    std::vector<double> scores = engine->NmTotalBatch(batch, 1);
+    std::sort(scores.begin(), scores.end(), std::greater<double>());
+    omega = scores[std::min<size_t>(10, scores.size()) - 1];
+  }
+
+  TrajectoryDataset data;
+  std::unique_ptr<MiningSpace> space;
+  std::unique_ptr<NmEngine> engine;
+  std::vector<Pattern> batch;
+  double omega = 0.0;
+};
+
+WindowKernelFixture& SharedWindowKernelFixture() {
+  static WindowKernelFixture fixture;
+  return fixture;
+}
+
+void BM_WindowKernelGather(benchmark::State& state) {
+  auto& fx = SharedWindowKernelFixture();
+  fx.engine->set_window_kernel(WindowKernel::kGather);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.engine->NmTotalBatch(fx.batch, 1));
+  }
+  fx.engine->set_window_kernel(WindowKernel::kStreaming);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.batch.size()));
+}
+BENCHMARK(BM_WindowKernelGather)->Unit(benchmark::kMillisecond);
+
+void BM_WindowKernelStreaming(benchmark::State& state) {
+  auto& fx = SharedWindowKernelFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.engine->NmTotalBatch(fx.batch, 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.batch.size()));
+}
+BENCHMARK(BM_WindowKernelStreaming)->Unit(benchmark::kMillisecond);
+
+void BM_WindowKernelStreamingPruned(benchmark::State& state) {
+  auto& fx = SharedWindowKernelFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.engine->NmTotalBatch(fx.batch, 1, nullptr, fx.omega));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.batch.size()));
+}
+BENCHMARK(BM_WindowKernelStreamingPruned)->Unit(benchmark::kMillisecond);
 
 void BM_ZebraNetGenerate(benchmark::State& state) {
   ZebraNetGeneratorOptions opt;

@@ -30,14 +30,23 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
     for (int c = 0; c < engine.space().grid.num_cells(); ++c) alphabet[c] = c;
   }
 
+  auto score_level = [&](const std::vector<Pattern>& cands) {
+    BatchScoreStats bstats;
+    const std::vector<double> matches =
+        engine.MatchTotalBatch(cands, options.num_threads, &bstats);
+    stats.warmup_seconds += bstats.warmup_seconds;
+    stats.scoring_seconds += bstats.scoring_seconds;
+    stats.threads_used = bstats.threads_used;
+    return matches;
+  };
+
   // Level 1.
   std::vector<ScoredPattern> frontier;
   {
     std::vector<Pattern> singulars;
     singulars.reserve(alphabet.size());
     for (CellId c : alphabet) singulars.emplace_back(c);
-    const std::vector<double> matches =
-        engine.MatchTotalBatch(singulars, options.num_threads);
+    const std::vector<double> matches = score_level(singulars);
     for (size_t i = 0; i < singulars.size(); ++i) {
       ++stats.candidates_evaluated;
       offer(singulars[i], matches[i]);
@@ -97,8 +106,7 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
     }
     // Omega is only re-read at the next level boundary (w above), so
     // staging the whole level and batch-scoring it is exact.
-    const std::vector<double> matches =
-        engine.MatchTotalBatch(cands, options.num_threads);
+    const std::vector<double> matches = score_level(cands);
     std::vector<ScoredPattern> next;
     next.reserve(cands.size());
     for (size_t i = 0; i < cands.size(); ++i) {

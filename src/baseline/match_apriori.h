@@ -47,6 +47,13 @@ struct MatchMinerStats {
   int64_t candidates_evaluated = 0;
   bool hit_frontier_cap = false;
   double seconds = 0.0;
+  /// Serial column warm-up vs. parallel scoring split across all levels.
+  /// There is no ω-pruning counterpart here: match contributions are
+  /// >= 0, so a partial sum is a lower bound and supports no abandon.
+  double warmup_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  /// Worker count the batches ran with.
+  int threads_used = 1;
 };
 
 /// Result of match mining: top-k by match, best first.

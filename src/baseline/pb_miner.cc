@@ -32,13 +32,31 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
   // Breadth-first prefix growth; BFS keeps all same-length prefixes live
   // together, matching the projection-based picture ("a large set of
   // prefixes need to be maintained").
+  // One wave of candidates through the batch API, with optional ω-aware
+  // early-abandon against the threshold as of the wave's start (a wave's
+  // own offers only raise ω, so the stale read is conservative).  Pruned
+  // candidates carry their partial-sum upper bound, which the offer
+  // below correctly rejects (bound < ω) and the extensibility bound
+  // scales admissibly.
+  auto score_wave = [&](const std::vector<Pattern>& wave) {
+    const double prune_below =
+        options.omega_pruning ? top_k.Omega() : NmEngine::kNoPruning;
+    BatchScoreStats bstats;
+    const std::vector<double> nms =
+        engine.NmTotalBatch(wave, options.num_threads, &bstats, prune_below);
+    stats.warmup_seconds += bstats.warmup_seconds;
+    stats.scoring_seconds += bstats.scoring_seconds;
+    stats.candidates_pruned += static_cast<int64_t>(bstats.candidates_pruned);
+    stats.trajectories_skipped += bstats.trajectories_skipped;
+    return nms;
+  };
+
   std::deque<ScoredPattern> live;
   {
     std::vector<Pattern> singulars;
     singulars.reserve(alphabet.size());
     for (CellId c : alphabet) singulars.emplace_back(c);
-    const std::vector<double> nms =
-        engine.NmTotalBatch(singulars, options.num_threads);
+    const std::vector<double> nms = score_wave(singulars);
     for (size_t i = 0; i < singulars.size(); ++i) {
       ++stats.evaluations;
       offer(singulars[i], nms[i]);
@@ -72,8 +90,7 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
     std::vector<Pattern> exts;
     exts.reserve(alphabet.size());
     for (CellId x : alphabet) exts.push_back(prefix.pattern.Concat(Pattern(x)));
-    const std::vector<double> nms =
-        engine.NmTotalBatch(exts, options.num_threads);
+    const std::vector<double> nms = score_wave(exts);
     for (size_t i = 0; i < exts.size(); ++i) {
       ++stats.evaluations;
       offer(exts[i], nms[i]);

@@ -29,6 +29,14 @@ struct PbMinerOptions {
   /// Each expanded prefix's alphabet of extensions is scored as one
   /// `NmEngine::NmTotalBatch`; results are identical for any value.
   int num_threads = 1;
+  /// ω-aware early-abandon (off by default): score waves with
+  /// `prune_below` = the running k-th-best threshold.  A pruned
+  /// extension's stored NM is its partial-sum upper bound, which keeps
+  /// the run exact: the top-k rejects it (bound < ω, and ω only grows),
+  /// and the extensibility bound (c/max_length) * NM scales an upper
+  /// bound into an upper bound, so no prefix that exact PB would expand
+  /// is ever cut — some useless ones may survive longer, never fewer.
+  bool omega_pruning = false;
 };
 
 /// Counters for a PB run.
@@ -38,6 +46,13 @@ struct PbMinerStats {
   size_t peak_live_prefixes = 0;
   bool hit_prefix_cap = false;
   double seconds = 0.0;
+  /// Serial warm-up vs. parallel scoring split across all batches.
+  double warmup_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  /// Extensions early-abandoned by ω-pruning (0 unless `omega_pruning`).
+  int64_t candidates_pruned = 0;
+  /// Per-trajectory evaluations those abandons skipped.
+  int64_t trajectories_skipped = 0;
 };
 
 /// Result of PB mining: top-k patterns by NM, best first.

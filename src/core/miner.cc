@@ -31,14 +31,26 @@ void TrajPatternMiner::ScoreBatch(const std::vector<Pattern>& patterns) {
     if (scores_.count(p) == 0) todo.push_back(p);
   }
   if (todo.empty()) return;
+  // ω-pruning threshold: the batch runs against the ω that held when it
+  // was staged.  A batch's own offers can only raise ω, so this is
+  // conservative (never abandons a candidate the final ω would keep) —
+  // and it is what makes the abandonment points, and hence the memoized
+  // bounds, independent of the worker count.
+  const double prune_below =
+      options_.omega_pruning ? top_k_.Omega() : NmEngine::kNoPruning;
   BatchScoreStats bstats;
   const std::vector<double> nms =
-      engine_->NmTotalBatch(todo, options_.num_threads, &bstats);
+      engine_->NmTotalBatch(todo, options_.num_threads, &bstats, prune_below);
   stats_.warmup_seconds += bstats.warmup_seconds;
   stats_.scoring_seconds += bstats.scoring_seconds;
   stats_.threads_used = bstats.threads_used;
+  stats_.candidates_pruned += static_cast<int64_t>(bstats.candidates_pruned);
+  stats_.trajectories_skipped += bstats.trajectories_skipped;
   // Serial epilogue in staged order: the memo, evaluation counter, and
   // top-k offers land exactly as the serial one-at-a-time loop would.
+  // A pruned candidate's nms[i] is its partial-sum upper bound, < ω at
+  // offer time, so the top-k rejects it and the memo's rebuild/1-extension
+  // consumers classify it low — exactly as the exact score would.
   for (size_t i = 0; i < todo.size(); ++i) {
     scores_.emplace(todo[i], nms[i]);
     ++stats_.candidates_evaluated;
@@ -70,6 +82,8 @@ MinerCheckpoint TrajPatternMiner::MakeCheckpoint(
   std::sort(cp.prev_high.begin(), cp.prev_high.end());
   cp.prev_queue.assign(prev_queue.begin(), prev_queue.end());
   std::sort(cp.prev_queue.begin(), cp.prev_queue.end());
+  cp.candidates_evaluated = stats_.candidates_evaluated;
+  cp.candidates_pruned = stats_.candidates_pruned;
   return cp;
 }
 
@@ -88,6 +102,8 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
       if (Eligible(sp.pattern)) top_k_.Offer(sp.pattern, sp.nm);
     }
     stats_.iterations = resume->iteration;
+    stats_.candidates_evaluated = resume->candidates_evaluated;
+    stats_.candidates_pruned = resume->candidates_pruned;
   }
 
   // Step 1: singular patterns form the initial Q (§4: "the grid centers

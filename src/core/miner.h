@@ -37,6 +37,11 @@ struct MinerCheckpoint {
   /// frontier rule skips pairs that were both present last round).
   std::vector<Pattern> prev_high;
   std::vector<Pattern> prev_queue;
+  /// Cumulative work counters at checkpoint time, restored on resume so
+  /// a resumed run reports whole-run statistics rather than only the
+  /// post-resume slice.  Absent from v1 checkpoint files (read as 0).
+  int64_t candidates_evaluated = 0;
+  int64_t candidates_pruned = 0;
 };
 
 /// Knobs of the TrajPattern algorithm (§4, §5).
@@ -83,6 +88,19 @@ struct MinerOptions {
   /// specified-position count so stars cannot inflate a score.
   int max_wildcards = 0;
 
+  /// ω-aware early-abandon (off by default): score candidate batches
+  /// with `NmEngine::NmTotalBatch(prune_below = ω)`, the current
+  /// `TopKPatterns::Omega()`.  A candidate whose running partial sum
+  /// falls below ω is abandoned; the memo then stores that partial sum —
+  /// an upper bound on its exact NM that is itself < ω.  This keeps the
+  /// mined top-k identical to exact mining: ω only grows, so a pruned
+  /// pattern can never (re)enter the top-k, and its high/low label under
+  /// any later ω' >= ω is unchanged (true NM <= bound < ω <= ω'), which
+  /// preserves Lemma 1's 1-extension retention and the min-max beam
+  /// bound (an upper bound stays admissible in min(left, right)).
+  /// `MinerStats::candidates_pruned` counts the abandons.
+  bool omega_pruning = false;
+
   /// Worker threads for candidate scoring: 0 = hardware concurrency,
   /// 1 = exact inline-serial execution (no pool).  Every iteration's
   /// candidate set goes through `NmEngine::NmTotalBatch`, which is
@@ -105,6 +123,11 @@ struct MinerStats {
   int iterations = 0;
   int64_t candidates_generated = 0;
   int64_t candidates_evaluated = 0;
+  /// Candidates early-abandoned by ω-pruning (counted within
+  /// `candidates_evaluated`; 0 unless `MinerOptions::omega_pruning`).
+  int64_t candidates_pruned = 0;
+  /// Per-trajectory evaluations those abandons skipped (work saved).
+  int64_t trajectories_skipped = 0;
   size_t peak_queue_size = 0;
   size_t alphabet_size = 0;
   double seconds = 0.0;

@@ -3,13 +3,51 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <limits>
 #include <unordered_set>
 
 #include "prob/log_space.h"
 #include "stats/timer.h"
 
 namespace trajpattern {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// `cell_slot_` sentinels: not materialized, and staged-by-this-warm-up
+/// (a dedup marker that never survives a WarmCells call).
+constexpr int32_t kNoSlot = -1;
+constexpr int32_t kStagedSlot = -2;
+
+/// max over [0, n) of w[k] + t[k], or of t[k] alone when `w` is null.
+/// Four independent accumulators break the loop-carried dependency of
+/// the naive scan (the sequential max is latency-bound); the result is
+/// still bit-identical to it because max is exactly associative on this
+/// domain — the columns are finite logs of probabilities, so no NaN and
+/// no -0.0 can appear, and reassociation cannot change the maximum.
+double FusedMaxSum(const double* w, const double* t, size_t n) {
+  double b0 = kNegInf, b1 = kNegInf, b2 = kNegInf, b3 = kNegInf;
+  size_t k = 0;
+  if (w != nullptr) {
+    for (; k + 4 <= n; k += 4) {
+      b0 = std::max(b0, w[k] + t[k]);
+      b1 = std::max(b1, w[k + 1] + t[k + 1]);
+      b2 = std::max(b2, w[k + 2] + t[k + 2]);
+      b3 = std::max(b3, w[k + 3] + t[k + 3]);
+    }
+    for (; k < n; ++k) b0 = std::max(b0, w[k] + t[k]);
+  } else {
+    for (; k + 4 <= n; k += 4) {
+      b0 = std::max(b0, t[k]);
+      b1 = std::max(b1, t[k + 1]);
+      b2 = std::max(b2, t[k + 2]);
+      b3 = std::max(b3, t[k + 3]);
+    }
+    for (; k < n; ++k) b0 = std::max(b0, t[k]);
+  }
+  return std::max(std::max(b0, b1), std::max(b2, b3));
+}
+
+}  // namespace
 
 NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
     : data_(&data), space_(space) {
@@ -22,51 +60,79 @@ NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
     off += t.size();
   }
   offsets_.push_back(off);
+  stride_ = flat_points_.size();
+  cell_slot_.assign(static_cast<size_t>(space_.grid.num_cells()), kNoSlot);
 }
 
 NmEngine::~NmEngine() = default;
 
-std::vector<double> NmEngine::ComputeColumn(CellId cell) const {
-  std::vector<double> col(flat_points_.size());
-  for (size_t g = 0; g < flat_points_.size(); ++g) {
-    col[g] = space_.LogProb(flat_points_[g], cell);
+Status NmEngine::ValidateScorable(const Pattern& p) {
+  if (p.empty()) {
+    return Status::InvalidArgument("empty pattern cannot be scored");
   }
-  return col;
+  if (p.SpecifiedCount() == 0) {
+    return Status::InvalidArgument(
+        "all-wildcard pattern has no specified positions; the NM "
+        "normalization (best window sum / specified count) is undefined");
+  }
+  return Status::Ok();
 }
 
-const std::vector<double>& NmEngine::CellColumn(CellId cell) const {
-  auto it = cell_cache_.find(cell);
-  if (it != cell_cache_.end()) return it->second;
-  return cell_cache_.emplace(cell, ComputeColumn(cell)).first->second;
+void NmEngine::ComputeColumnInto(CellId cell, double* out) const {
+  for (size_t g = 0; g < flat_points_.size(); ++g) {
+    out[g] = space_.LogProb(flat_points_[g], cell);
+  }
+}
+
+int32_t NmEngine::EnsureColumn(CellId cell) const {
+  assert(space_.grid.IsValid(cell));
+  int32_t slot = cell_slot_[static_cast<size_t>(cell)];
+  if (slot >= 0) return slot;
+  arena_.resize((num_slots_ + 1) * stride_);
+  ComputeColumnInto(cell, arena_.data() + num_slots_ * stride_);
+  slot = static_cast<int32_t>(num_slots_++);
+  cell_slot_[static_cast<size_t>(cell)] = slot;
+  return slot;
 }
 
 void NmEngine::ResolveColumns(const Pattern& p, bool cached_only,
-                              ColumnScratch* cols) const {
+                              ScoreScratch* scratch) const {
   const size_t m = p.length();
-  if (cols->size() < m) cols->resize(m);
+  auto& cols = scratch->cols;
+  if (cols.size() < m) cols.resize(m);
+  if (scratch->wsum.size() < flat_points_.size()) {
+    scratch->wsum.resize(flat_points_.size());
+  }
+  if (!cached_only) {
+    // Materialize every missing column BEFORE taking any base pointer:
+    // arena growth reallocates, which would dangle a sibling position
+    // resolved earlier in the same pattern.
+    for (size_t j = 0; j < m; ++j) {
+      if (p[j] != kWildcardCell) EnsureColumn(p[j]);
+    }
+  }
   for (size_t j = 0; j < m; ++j) {
     if (p[j] == kWildcardCell) {
-      (*cols)[j] = nullptr;
+      cols[j] = nullptr;
       continue;
     }
-    if (cached_only) {
-      // Batch workers land here; the warm-up contract guarantees a hit,
-      // which keeps this lookup read-only and therefore race-free.
-      const auto it = cell_cache_.find(p[j]);
-      assert(it != cell_cache_.end());
-      (*cols)[j] = it->second.data();
-    } else {
-      (*cols)[j] = CellColumn(p[j]).data();
-    }
+    assert(space_.grid.IsValid(p[j]));
+    // Batch workers land here with cached_only; the warm-up contract
+    // guarantees a materialized slot, which keeps this lookup read-only
+    // and therefore race-free.
+    const int32_t slot = cell_slot_[static_cast<size_t>(p[j])];
+    assert(slot >= 0);
+    cols[j] = ColumnBase(slot);
   }
 }
 
-bool NmEngine::BestWindowSum(const ColumnScratch& cols, size_t m,
-                             size_t traj_index, double* best) const {
+bool NmEngine::BestWindowSumGather(const std::vector<const double*>& cols,
+                                   size_t m, size_t traj_index,
+                                   double* best) const {
   const size_t off = offsets_[traj_index];
   const size_t len = offsets_[traj_index + 1] - off;
   if (len < m || m == 0) return false;
-  double best_sum = -std::numeric_limits<double>::infinity();
+  double best_sum = kNegInf;
   for (size_t k = 0; k + m <= len; ++k) {
     double sum = 0.0;
     for (size_t j = 0; j < m; ++j) {
@@ -78,76 +144,260 @@ bool NmEngine::BestWindowSum(const ColumnScratch& cols, size_t m,
   return true;
 }
 
-double NmEngine::Nm(const Pattern& p, size_t traj_index) const {
-  ColumnScratch cols;
-  ResolveColumns(p, /*cached_only=*/false, &cols);
-  double best;
-  if (!BestWindowSum(cols, p.length(), traj_index, &best)) return LogFloor();
-  const size_t specified = p.SpecifiedCount();
-  assert(specified > 0);
-  return best / static_cast<double>(specified);
+bool NmEngine::BestWindowSumStreaming(const std::vector<const double*>& cols,
+                                      size_t m, size_t off, size_t len,
+                                      double* wsum, double* best) const {
+  if (len < m || m == 0) return false;
+  const size_t nwin = len - m + 1;
+  // Position-major accumulation: one contiguous pass per specified
+  // position, in ascending j — the same per-window addition order as the
+  // gather kernel, hence bit-identical sums.  The first specified pass
+  // initializes instead of adding (0.0 + x == x; columns are logs of
+  // probabilities and can never hold -0.0), and the last one is fused
+  // into the max scan so its sums are never stored at all.
+  size_t last = m;  // index of the last specified position, m if none
+  for (size_t j = m; j-- > 0;) {
+    if (cols[j] != nullptr) {
+      last = j;
+      break;
+    }
+  }
+  if (last == m) {  // all-wildcard window: every sum is 0
+    *best = 0.0;
+    return true;
+  }
+  bool first = true;
+  for (size_t j = 0; j < last; ++j) {
+    const double* src = cols[j];
+    if (src == nullptr) continue;
+    src += off + j;
+    if (first) {
+      for (size_t k = 0; k < nwin; ++k) wsum[k] = src[k];
+      first = false;
+    } else {
+      for (size_t k = 0; k < nwin; ++k) wsum[k] += src[k];
+    }
+  }
+  const double* tail = cols[last] + off + last;
+  // `first` still set: a single specified position scans its column
+  // directly, no accumulator needed.
+  *best = FusedMaxSum(first ? nullptr : wsum, tail, nwin);
+  return true;
 }
 
-double NmEngine::NmTotalResolved(const Pattern& p,
-                                 const ColumnScratch& cols) const {
+double NmEngine::Nm(const Pattern& p, size_t traj_index) const {
+  if (p.SpecifiedCount() == 0) return kNegInf;  // see ValidateScorable
+  ScoreScratch scratch;
+  ResolveColumns(p, /*cached_only=*/false, &scratch);
+  const size_t off = offsets_[traj_index];
+  const size_t len = offsets_[traj_index + 1] - off;
+  double best;
+  const bool ok =
+      kernel_ == WindowKernel::kGather
+          ? BestWindowSumGather(scratch.cols, p.length(), traj_index, &best)
+          : BestWindowSumStreaming(scratch.cols, p.length(), off, len,
+                                   scratch.wsum.data(), &best);
+  if (!ok) return LogFloor();
+  return best / static_cast<double>(p.SpecifiedCount());
+}
+
+double NmEngine::NmTotalResolved(const Pattern& p, ScoreScratch* scratch,
+                                 double prune_below,
+                                 int64_t* trajectories_skipped) const {
   const size_t m = p.length();
   const size_t specified = p.SpecifiedCount();
-  assert(specified > 0);
+  if (specified == 0) return kNegInf;  // see ValidateScorable
+  const double spec = static_cast<double>(specified);
+  const auto& cols = scratch->cols;
+  const size_t n = data_->size();
+  const bool prune = prune_below > kNoPruning;
+
+  if (kernel_ == WindowKernel::kStreaming && !prune) {
+    // One pass over the whole flattened dataset: partial window sums for
+    // every global start g land in wsum[g]; starts whose window crosses
+    // a trajectory boundary hold cross-boundary garbage that the
+    // per-trajectory scan below simply never reads.  The last specified
+    // column is not accumulated — it is fused into the per-trajectory
+    // max scan, which preserves the ascending-j addition order (and so
+    // bit-identity with the gather kernel) while skipping one full
+    // store+reload pass over the dataset.
+    const size_t total_pts = flat_points_.size();
+    double* wsum = scratch->wsum.data();
+    size_t last = 0;
+    for (size_t j = m; j-- > 0;) {
+      if (cols[j] != nullptr) {
+        last = j;
+        break;
+      }
+    }
+    bool first = true;
+    if (total_pts >= m) {
+      const size_t nwin = total_pts - m + 1;
+      for (size_t j = 0; j < last; ++j) {
+        const double* src = cols[j];
+        if (src == nullptr) continue;
+        src += j;
+        if (first) {
+          for (size_t g = 0; g < nwin; ++g) wsum[g] = src[g];
+          first = false;
+        } else {
+          for (size_t g = 0; g < nwin; ++g) wsum[g] += src[g];
+        }
+      }
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t off = offsets_[i];
+      const size_t len = offsets_[i + 1] - off;
+      if (len < m) {
+        total += LogFloor();
+        continue;
+      }
+      const size_t nwin = len - m + 1;
+      const double* tail = cols[last] + off + last;
+      const double best = FusedMaxSum(first ? nullptr : wsum + off, tail, nwin);
+      total += best / spec;
+    }
+    return total;
+  }
+
+  // Trajectory-blocked path: the gather reference kernel, and the
+  // streaming kernel whenever ω-pruning is on (abandoning mid-dataset
+  // must skip whole trajectories to save work).
   double total = 0.0;
-  for (size_t i = 0; i < data_->size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     double best;
-    total += BestWindowSum(cols, m, i, &best)
-                 ? best / static_cast<double>(specified)
-                 : LogFloor();
+    const bool ok =
+        kernel_ == WindowKernel::kGather
+            ? BestWindowSumGather(cols, m, i, &best)
+            : BestWindowSumStreaming(cols, m, offsets_[i],
+                                     offsets_[i + 1] - offsets_[i],
+                                     scratch->wsum.data(), &best);
+    total += ok ? best / spec : LogFloor();
+    // Every contribution is <= 0, so `total` is a monotone
+    // non-increasing upper bound on the final sum: once it is below the
+    // threshold the pattern can never climb back above it.
+    if (prune && total < prune_below && i + 1 < n) {
+      if (trajectories_skipped != nullptr) {
+        *trajectories_skipped += static_cast<int64_t>(n - i - 1);
+      }
+      return total;  // partial-sum upper bound, itself < prune_below
+    }
   }
   return total;
 }
 
-double NmEngine::NmTotalCached(const Pattern& p, ColumnScratch* cols) const {
+double NmEngine::NmTotalCached(const Pattern& p, ScoreScratch* scratch,
+                               double prune_below,
+                               int64_t* trajectories_skipped) const {
   // Columns are resolved once per pattern (not once per trajectory) and
   // the scratch is caller-owned, so the loop below does zero allocation.
-  ResolveColumns(p, /*cached_only=*/true, cols);
-  return NmTotalResolved(p, *cols);
+  ResolveColumns(p, /*cached_only=*/true, scratch);
+  return NmTotalResolved(p, scratch, prune_below, trajectories_skipped);
 }
 
 double NmEngine::NmTotal(const Pattern& p) const {
   ++num_pattern_evaluations_;
-  ColumnScratch cols;
+  ScoreScratch scratch;
   // Fill any missing columns while still serial, then run the read-only
   // kernel shared with the batch path.
-  ResolveColumns(p, /*cached_only=*/false, &cols);
-  return NmTotalResolved(p, cols);
+  ResolveColumns(p, /*cached_only=*/false, &scratch);
+  return NmTotalResolved(p, &scratch, kNoPruning, nullptr);
 }
 
 double NmEngine::Match(const Pattern& p, size_t traj_index) const {
-  ColumnScratch cols;
-  ResolveColumns(p, /*cached_only=*/false, &cols);
+  ScoreScratch scratch;
+  ResolveColumns(p, /*cached_only=*/false, &scratch);
+  const size_t off = offsets_[traj_index];
+  const size_t len = offsets_[traj_index + 1] - off;
   double best;
-  if (!BestWindowSum(cols, p.length(), traj_index, &best)) return 0.0;
+  const bool ok =
+      kernel_ == WindowKernel::kGather
+          ? BestWindowSumGather(scratch.cols, p.length(), traj_index, &best)
+          : BestWindowSumStreaming(scratch.cols, p.length(), off, len,
+                                   scratch.wsum.data(), &best);
+  if (!ok) return 0.0;
   return std::exp(best);
 }
 
 double NmEngine::MatchTotalResolved(const Pattern& p,
-                                    const ColumnScratch& cols) const {
+                                    ScoreScratch* scratch) const {
   const size_t m = p.length();
+  if (m == 0) return 0.0;  // no window can exist
+  const auto& cols = scratch->cols;
+  const size_t n = data_->size();
+
+  if (kernel_ == WindowKernel::kStreaming) {
+    // Same fused position-major layout as the NM path, minus pruning.
+    const size_t total_pts = flat_points_.size();
+    double* wsum = scratch->wsum.data();
+    size_t last = m;  // last specified position, m if all-wildcard
+    for (size_t j = m; j-- > 0;) {
+      if (cols[j] != nullptr) {
+        last = j;
+        break;
+      }
+    }
+    if (last == m) {
+      // All-wildcard: every window sums to log 1, so each trajectory
+      // that can host a window contributes exp(0) == 1.
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (offsets_[i + 1] - offsets_[i] >= m) total += 1.0;
+      }
+      return total;
+    }
+    bool first = true;
+    if (total_pts >= m) {
+      const size_t nwin = total_pts - m + 1;
+      for (size_t j = 0; j < last; ++j) {
+        const double* src = cols[j];
+        if (src == nullptr) continue;
+        src += j;
+        if (first) {
+          for (size_t g = 0; g < nwin; ++g) wsum[g] = src[g];
+          first = false;
+        } else {
+          for (size_t g = 0; g < nwin; ++g) wsum[g] += src[g];
+        }
+      }
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t off = offsets_[i];
+      const size_t len = offsets_[i + 1] - off;
+      if (len < m) continue;  // too short: contributes 0
+      const size_t nwin = len - m + 1;
+      const double* tail = cols[last] + off + last;
+      const double best = FusedMaxSum(first ? nullptr : wsum + off, tail, nwin);
+      total += std::exp(best);
+    }
+    return total;
+  }
+
   double total = 0.0;
-  for (size_t i = 0; i < data_->size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     double best;
-    if (BestWindowSum(cols, m, i, &best)) total += std::exp(best);
+    if (BestWindowSumGather(cols, m, i, &best)) total += std::exp(best);
   }
   return total;
 }
 
-double NmEngine::MatchTotalCached(const Pattern& p, ColumnScratch* cols) const {
-  ResolveColumns(p, /*cached_only=*/true, cols);
-  return MatchTotalResolved(p, *cols);
+double NmEngine::MatchTotalCached(const Pattern& p, ScoreScratch* scratch,
+                                  double /*prune_below*/,
+                                  int64_t* /*trajectories_skipped*/) const {
+  // Match contributions are >= 0: a running partial sum is a *lower*
+  // bound on the total, so the ω-abandon argument does not transfer and
+  // `prune_below` is deliberately ignored here.
+  ResolveColumns(p, /*cached_only=*/true, scratch);
+  return MatchTotalResolved(p, scratch);
 }
 
 double NmEngine::MatchTotal(const Pattern& p) const {
   ++num_pattern_evaluations_;
-  ColumnScratch cols;
-  ResolveColumns(p, /*cached_only=*/false, &cols);
-  return MatchTotalResolved(p, cols);
+  ScoreScratch scratch;
+  ResolveColumns(p, /*cached_only=*/false, &scratch);
+  return MatchTotalResolved(p, &scratch);
 }
 
 ThreadPool* NmEngine::PoolFor(int threads) const {
@@ -161,28 +411,39 @@ ThreadPool* NmEngine::PoolFor(int threads) const {
 size_t NmEngine::WarmCells(const std::vector<CellId>& cells,
                            int num_threads) const {
   std::vector<CellId> missing;
-  std::unordered_set<CellId> staged;
   for (CellId c : cells) {
-    if (c == kWildcardCell || cell_cache_.count(c) > 0) continue;
-    if (staged.insert(c).second) missing.push_back(c);
+    if (c == kWildcardCell) continue;
+    assert(space_.grid.IsValid(c));
+    int32_t& slot = cell_slot_[static_cast<size_t>(c)];
+    if (slot != kNoSlot) continue;  // materialized, or staged just below
+    slot = kStagedSlot;
+    missing.push_back(c);
   }
   if (missing.empty()) return 0;
-  // Column computation (the expensive erf work) fans out; the map
-  // mutation stays on the calling thread so `cell_cache_` never needs a
-  // lock and the workers never see it mid-rehash.
-  std::vector<std::vector<double>> cols(missing.size());
+  // The arena is grown once, serially, so the workers below write into
+  // disjoint pre-existing slabs and `arena_.data()` never moves while
+  // they run; slot assignment also stays on the calling thread, so the
+  // slot table never needs a lock and readers never see a torn update.
+  const size_t base = num_slots_;
+  arena_.resize((base + missing.size()) * stride_);
   ParallelFor(PoolFor(ResolveThreadCount(num_threads)), missing.size(),
-              [&](size_t i, int) { cols[i] = ComputeColumn(missing[i]); });
+              [&](size_t i, int) {
+                ComputeColumnInto(missing[i],
+                                  arena_.data() + (base + i) * stride_);
+              });
   for (size_t i = 0; i < missing.size(); ++i) {
-    cell_cache_.emplace(missing[i], std::move(cols[i]));
+    cell_slot_[static_cast<size_t>(missing[i])] =
+        static_cast<int32_t>(base + i);
   }
+  num_slots_ += missing.size();
   return missing.size();
 }
 
-std::vector<double> NmEngine::ScoreBatch(
-    const std::vector<Pattern>& patterns, int num_threads,
-    BatchScoreStats* stats,
-    double (NmEngine::*kernel)(const Pattern&, ColumnScratch*) const) const {
+std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
+                                         int num_threads,
+                                         BatchScoreStats* stats,
+                                         double prune_below,
+                                         KernelFn kernel) const {
   const int threads = ResolveThreadCount(num_threads);
   BatchScoreStats out_stats;
   out_stats.threads_used = threads;
@@ -190,7 +451,7 @@ std::vector<double> NmEngine::ScoreBatch(
   WallTimer timer;
 
   // Warm-up: every column any candidate needs exists before a worker
-  // runs, so the scoring region below only reads the cache.
+  // runs, so the scoring region below only reads the arena.
   std::vector<CellId> needed;
   for (const auto& p : patterns) {
     for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
@@ -201,11 +462,19 @@ std::vector<double> NmEngine::ScoreBatch(
   timer.Reset();
   ThreadPool* pool = PoolFor(threads);
   const int lanes = pool == nullptr ? 1 : pool->size();
-  std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
+  std::vector<ScoreScratch> scratch(static_cast<size_t>(lanes));
+  std::vector<int64_t> skipped(patterns.size(), 0);
   ParallelFor(pool, patterns.size(), [&](size_t i, int worker) {
-    out[i] = (this->*kernel)(patterns[i], &scratch[static_cast<size_t>(worker)]);
+    out[i] = (this->*kernel)(patterns[i], &scratch[static_cast<size_t>(worker)],
+                             prune_below, &skipped[i]);
   });
   num_pattern_evaluations_ += static_cast<int64_t>(patterns.size());
+  for (int64_t s : skipped) {
+    if (s > 0) {
+      ++out_stats.candidates_pruned;
+      out_stats.trajectories_skipped += s;
+    }
+  }
   out_stats.scoring_seconds = timer.Seconds();
   if (stats != nullptr) *stats = out_stats;
   return out;
@@ -213,23 +482,27 @@ std::vector<double> NmEngine::ScoreBatch(
 
 std::vector<double> NmEngine::NmTotalBatch(const std::vector<Pattern>& patterns,
                                            int num_threads,
-                                           BatchScoreStats* stats) const {
-  return ScoreBatch(patterns, num_threads, stats, &NmEngine::NmTotalCached);
+                                           BatchScoreStats* stats,
+                                           double prune_below) const {
+  return ScoreBatch(patterns, num_threads, stats, prune_below,
+                    &NmEngine::NmTotalCached);
 }
 
 std::vector<double> NmEngine::MatchTotalBatch(
     const std::vector<Pattern>& patterns, int num_threads,
     BatchScoreStats* stats) const {
-  return ScoreBatch(patterns, num_threads, stats, &NmEngine::MatchTotalCached);
+  return ScoreBatch(patterns, num_threads, stats, kNoPruning,
+                    &NmEngine::MatchTotalCached);
 }
 
 double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
   assert(max_gap >= 0);
   ++num_pattern_evaluations_;
   const size_t m = p.length();
-  assert(m > 0);
-  ColumnScratch cols;
-  ResolveColumns(p, /*cached_only=*/false, &cols);
+  if (p.SpecifiedCount() == 0) return kNegInf;  // see ValidateScorable
+  ScoreScratch scratch;
+  ResolveColumns(p, /*cached_only=*/false, &scratch);
+  const auto& cols = scratch.cols;
   double total = 0.0;
   for (size_t i = 0; i < data_->size(); ++i) {
     const size_t off = offsets_[i];
@@ -238,7 +511,6 @@ double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {
       total += LogFloor();
       continue;
     }
-    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
     // dp[s]: best log-sum of p_0..p_j with p_j matched at snapshot s.
     std::vector<double> dp(len), prev(len);
     for (size_t s = 0; s < len; ++s) {

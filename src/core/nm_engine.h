@@ -2,10 +2,11 @@
 #define TRAJPATTERN_CORE_NM_ENGINE_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "core/mining_space.h"
 #include "core/pattern.h"
 #include "parallel/thread_pool.h"
@@ -15,7 +16,8 @@ namespace trajpattern {
 
 /// Timing/accounting split of one batch-scoring call (the parallel hot
 /// path of §4.4's complexity analysis): the serial-side cache warm-up
-/// versus the multi-threaded candidate scoring.
+/// versus the multi-threaded candidate scoring, plus the yield of the
+/// ω-aware early-abandon when the caller enabled it.
 struct BatchScoreStats {
   /// Seconds spent materializing missing cell columns before scoring.
   double warmup_seconds = 0.0;
@@ -25,6 +27,24 @@ struct BatchScoreStats {
   size_t cells_warmed = 0;
   /// Worker count the call actually ran with.
   int threads_used = 1;
+  /// Candidates whose scan was abandoned early because the running
+  /// partial sum fell below `prune_below` (0 when pruning is off).
+  size_t candidates_pruned = 0;
+  /// Trajectory evaluations skipped by those abandons (the work saved).
+  int64_t trajectories_skipped = 0;
+};
+
+/// Which window-scoring kernel `NmEngine` runs.  `kStreaming` is the
+/// default production kernel; `kGather` is the original per-window
+/// strided-gather loop, kept as the bit-identity reference for tests and
+/// the window-kernel bench.  Both produce bit-identical scores.
+enum class WindowKernel {
+  /// Position-major: m sequential passes accumulating into a contiguous
+  /// `window_sum[]` scratch, then a per-trajectory max scan.
+  kStreaming,
+  /// Window-major: per window, gather one value from each of the m
+  /// columns (the pre-PR-3 kernel).
+  kGather,
 };
 
 /// Scores patterns against a trajectory dataset: the match (Eq. 2) and
@@ -34,20 +54,36 @@ struct BatchScoreStats {
 /// center(c), delta).  The engine caches one flat column per cell the
 /// first time the cell is scored, so the cost of evaluating many candidate
 /// patterns over the same few hundred live cells amortizes to array
-/// lookups.  Trajectories shorter than the pattern contribute the log
-/// floor to NM sums and 0 to match sums (they cannot host a window).
+/// lookups.  Columns live in one contiguous arena (`arena_`), one slab of
+/// `TotalPoints()` doubles per cell, found through a dense
+/// CellId-indexed slot table — resolving a pattern position is a single
+/// indexed load, not a hash probe.  Trajectories shorter than the
+/// pattern contribute the log floor to NM sums and 0 to match sums (they
+/// cannot host a window).
 ///
 /// Threading contract: the per-pattern entry points (`Nm`, `NmTotal`,
-/// `Match`, ...) lazily fill `cell_cache_` and therefore must only be
+/// `Match`, ...) lazily fill the arena and therefore must only be
 /// called from one thread at a time.  The batch entry points
 /// (`NmTotalBatch`, `MatchTotalBatch`) pre-warm every column their
 /// candidate set needs while still serial, then fan the candidates out
-/// over an internal thread pool; workers only ever *read* the cache.
+/// over an internal thread pool; workers only ever *read* the arena.
 /// Batch results use the same per-pattern reduction order as the serial
 /// path (trajectory 0, 1, ...), so they are bit-identical to it
 /// regardless of the worker count.
+///
+/// Invalid patterns: the NM measure divides by the specified-position
+/// count, so the empty pattern and all-wildcard patterns are undefined
+/// under it.  `ValidateScorable` reports them as a typed error; the NM
+/// scoring entry points reject them by returning -infinity (a value no
+/// real pattern can reach, keeping release builds free of the silent
+/// 0/0) instead of asserting.  Match does not normalize and remains
+/// defined for them.
 class NmEngine {
  public:
+  /// `prune_below` value meaning "never abandon a candidate".
+  static constexpr double kNoPruning =
+      -std::numeric_limits<double>::infinity();
+
   NmEngine(const TrajectoryDataset& data, const MiningSpace& space);
   ~NmEngine();
 
@@ -57,10 +93,16 @@ class NmEngine {
   const MiningSpace& space() const { return space_; }
   const TrajectoryDataset& data() const { return *data_; }
 
+  /// Typed rejection for patterns the NM measure cannot score: the empty
+  /// pattern and patterns whose every position is a wildcard (division
+  /// by a zero specified-count).  OK for everything else.
+  static Status ValidateScorable(const Pattern& p);
+
   /// NM(P, T_i): max over length-|P| windows of the mean log prob (Eq. 3
   /// and 4), where the mean is over the *specified* (non-wildcard)
   /// positions — see `Pattern::SpecifiedCount`.  `LogFloor()` if
-  /// trajectory `i` is shorter than `P`.
+  /// trajectory `i` is shorter than `P`; -infinity if `P` fails
+  /// `ValidateScorable`.
   double Nm(const Pattern& p, size_t traj_index) const;
 
   /// NM(P) over the whole dataset: sum of per-trajectory NM (§3.3).
@@ -71,9 +113,23 @@ class NmEngine {
   /// `num_threads` workers (0 = hardware concurrency, 1 = inline serial).
   /// Missing cell columns are warmed before any worker starts, which is
   /// what makes the scoring region read-only and race-free.
+  ///
+  /// `prune_below` (default `kNoPruning`) enables ω-aware early-abandon:
+  /// every per-trajectory NM contribution is <= 0, so the running
+  /// partial sum is a monotone non-increasing upper bound on the final
+  /// total.  Once it drops below `prune_below` the remaining
+  /// trajectories cannot lift it back, the scan stops, and out[i] is
+  /// that partial sum — an upper bound on the exact NM that is itself
+  /// `< prune_below`.  Feeding the miner's current ω keeps every
+  /// downstream consumer exact: the pattern can never (re)enter the
+  /// top-k (ω only grows), and its high/low classification is unchanged
+  /// (true NM <= bound < ω means low either way).  Abandonment points
+  /// depend only on the trajectory order, so pruned results are also
+  /// bit-identical across thread counts.
   std::vector<double> NmTotalBatch(const std::vector<Pattern>& patterns,
                                    int num_threads = 1,
-                                   BatchScoreStats* stats = nullptr) const;
+                                   BatchScoreStats* stats = nullptr,
+                                   double prune_below = kNoPruning) const;
 
   /// Match(P, T_i) in linear space: max over windows of the joint
   /// probability (Eq. 2, with the window max of [14]).  0 if too short.
@@ -82,7 +138,9 @@ class NmEngine {
   /// Match(P): sum of per-trajectory match values.
   double MatchTotal(const Pattern& p) const;
 
-  /// Batch counterpart of `MatchTotal`; same contract as `NmTotalBatch`.
+  /// Batch counterpart of `MatchTotal`; same contract as `NmTotalBatch`
+  /// except there is no pruning: match contributions are >= 0, so a
+  /// partial sum is a *lower* bound and supports no early abandon.
   std::vector<double> MatchTotalBatch(const std::vector<Pattern>& patterns,
                                       int num_threads = 1,
                                       BatchScoreStats* stats = nullptr) const;
@@ -94,10 +152,11 @@ class NmEngine {
   double NmTotalWithGaps(const Pattern& p, int max_gap) const;
 
   /// Materializes the log-prob columns of `cells` that are not cached
-  /// yet (column computation runs on `num_threads` workers; the cache
-  /// insertions stay serial).  Returns the number of columns added.
-  /// This is the batch API's warm-up step, exposed for callers that know
-  /// their working set up front.
+  /// yet (column computation runs on `num_threads` workers directly into
+  /// the pre-grown arena; slot assignment stays serial).  Returns the
+  /// number of columns added — 0, with the arena untouched, when every
+  /// cell is already warm.  This is the batch API's warm-up step,
+  /// exposed for callers that know their working set up front.
   size_t WarmCells(const std::vector<CellId>& cells, int num_threads = 1) const;
 
   /// Cells whose center receives non-negligible probability from at least
@@ -106,53 +165,94 @@ class NmEngine {
   /// almost all of G is empty and scoring it would be pure waste.
   std::vector<CellId> TouchedCells(double radius_sigmas = 3.0) const;
 
+  /// Selects the window-scoring kernel (default `kStreaming`).  The
+  /// gather kernel exists for bit-identity tests and benchmarks; both
+  /// kernels produce identical results.
+  void set_window_kernel(WindowKernel k) { kernel_ = k; }
+  WindowKernel window_kernel() const { return kernel_; }
+
   /// Number of pattern-vs-dataset scorings performed (for the benches).
   int64_t num_pattern_evaluations() const { return num_pattern_evaluations_; }
   /// Number of distinct cells with a cached log-prob column.
-  size_t num_cached_cells() const { return cell_cache_.size(); }
+  size_t num_cached_cells() const { return num_slots_; }
 
  private:
-  /// Scratch of per-position column base pointers, reused across calls
-  /// so the hot loops never allocate (one lives on each batch lane).
-  using ColumnScratch = std::vector<const double*>;
+  /// Per-lane scratch reused across calls so the hot loops never
+  /// allocate: the resolved per-position column base pointers and the
+  /// streaming kernel's window-sum accumulator.
+  struct ScoreScratch {
+    std::vector<const double*> cols;
+    std::vector<double> wsum;
+  };
 
-  /// The freshly computed log-prob column for `cell` (no caching).
-  std::vector<double> ComputeColumn(CellId cell) const;
+  /// Result of scoring one pattern with optional pruning: the score (or
+  /// partial-sum bound) plus how many trajectory evaluations the
+  /// early-abandon skipped (0 == not pruned).
+  using KernelFn = double (NmEngine::*)(const Pattern&, ScoreScratch*,
+                                        double prune_below,
+                                        int64_t* trajectories_skipped) const;
 
-  /// Flat log-prob column for `cell`, indexed by global snapshot index;
-  /// computes and caches it on first use.  Serial paths only.
-  const std::vector<double>& CellColumn(CellId cell) const;
+  /// Writes the log-prob column for `cell` into `out[0, TotalPoints())`.
+  void ComputeColumnInto(CellId cell, double* out) const;
+
+  /// Slot of `cell`'s column, materializing it on miss (may grow the
+  /// arena and therefore invalidate previously resolved base pointers —
+  /// serial paths only, and never between resolve and use).
+  int32_t EnsureColumn(CellId cell) const;
+
+  /// Base pointer of the column in `slot`.
+  const double* ColumnBase(int32_t slot) const {
+    return arena_.data() + static_cast<size_t>(slot) * stride_;
+  }
 
   /// Resolves each position of `p` to its column base pointer (nullptr
   /// for wildcards, log 1).  `cached_only` restricts the lookup to
   /// already-warmed columns (read-only, thread-safe); otherwise missing
-  /// columns are computed and cached in place.
+  /// columns are computed first (all of them, before any pointer is
+  /// taken, so arena growth cannot dangle a sibling position).
   void ResolveColumns(const Pattern& p, bool cached_only,
-                      ColumnScratch* cols) const;
+                      ScoreScratch* scratch) const;
 
-  /// Max window log-sum for the resolved pattern columns in trajectory
+  /// Gather (window-major) max window log-sum for trajectory
   /// `traj_index`; returns false if the trajectory is shorter than the
-  /// pattern (length `m`).
-  bool BestWindowSum(const ColumnScratch& cols, size_t m, size_t traj_index,
-                     double* best) const;
+  /// pattern (length `m`).  The pre-PR-3 reference kernel.
+  bool BestWindowSumGather(const std::vector<const double*>& cols, size_t m,
+                           size_t traj_index, double* best) const;
+
+  /// Streaming (position-major) counterpart over the half-open snapshot
+  /// range [off, off+len): accumulates window sums into `wsum[0,
+  /// len-m+1)` with one contiguous pass per specified position, then max
+  /// scans.  Bit-identical to the gather kernel (same per-window
+  /// addition order, same tie-keeps-first max).
+  bool BestWindowSumStreaming(const std::vector<const double*>& cols, size_t m,
+                              size_t off, size_t len, double* wsum,
+                              double* best) const;
 
   /// The allocation-free reduction loops shared by the serial totals and
-  /// the batch workers; `cols` must hold the pattern's resolved columns.
-  double NmTotalResolved(const Pattern& p, const ColumnScratch& cols) const;
-  double MatchTotalResolved(const Pattern& p, const ColumnScratch& cols) const;
+  /// the batch workers; `scratch` must hold the pattern's resolved
+  /// columns.  When `prune_below` is above `kNoPruning`, the NM
+  /// reduction early-abandons per the `NmTotalBatch` contract and
+  /// reports skipped trajectories through `trajectories_skipped`.
+  double NmTotalResolved(const Pattern& p, ScoreScratch* scratch,
+                         double prune_below,
+                         int64_t* trajectories_skipped) const;
+  double MatchTotalResolved(const Pattern& p, ScoreScratch* scratch) const;
 
   /// NmTotal over pre-warmed columns using caller-provided scratch; the
   /// read-only kernel the batch workers run.
-  double NmTotalCached(const Pattern& p, ColumnScratch* cols) const;
-  /// MatchTotal counterpart of `NmTotalCached`.
-  double MatchTotalCached(const Pattern& p, ColumnScratch* cols) const;
+  double NmTotalCached(const Pattern& p, ScoreScratch* scratch,
+                       double prune_below,
+                       int64_t* trajectories_skipped) const;
+  /// MatchTotal counterpart of `NmTotalCached` (ignores `prune_below`).
+  double MatchTotalCached(const Pattern& p, ScoreScratch* scratch,
+                          double prune_below,
+                          int64_t* trajectories_skipped) const;
 
   /// Shared fan-out of the two batch entry points; `kernel` is one of
   /// the *Cached scorers.
-  std::vector<double> ScoreBatch(
-      const std::vector<Pattern>& patterns, int num_threads,
-      BatchScoreStats* stats,
-      double (NmEngine::*kernel)(const Pattern&, ColumnScratch*) const) const;
+  std::vector<double> ScoreBatch(const std::vector<Pattern>& patterns,
+                                 int num_threads, BatchScoreStats* stats,
+                                 double prune_below, KernelFn kernel) const;
 
   /// The lazily built pool reused by batch calls; grown when a call asks
   /// for more workers than it has.  nullptr until the first parallel call.
@@ -165,7 +265,20 @@ class NmEngine {
   std::vector<size_t> offsets_;
   /// All snapshots, flattened in trajectory order.
   std::vector<TrajectoryPoint> flat_points_;
-  mutable std::unordered_map<CellId, std::vector<double>> cell_cache_;
+
+  /// Column arena: slot s holds the column of one cell in
+  /// [s*stride_, (s+1)*stride_), stride_ == flat_points_.size().
+  /// Warm-up appends slabs; batch workers only read.
+  mutable std::vector<double> arena_;
+  /// Dense CellId -> arena slot map (-1 == not materialized), sized to
+  /// the grid; replaces the hash probe of the old unordered_map cache.
+  mutable std::vector<int32_t> cell_slot_;
+  /// Number of materialized columns (== num_cached_cells()).
+  mutable size_t num_slots_ = 0;
+  /// Column length: one double per flattened snapshot.
+  size_t stride_ = 0;
+
+  WindowKernel kernel_ = WindowKernel::kStreaming;
   mutable int64_t num_pattern_evaluations_ = 0;
   mutable std::unique_ptr<ThreadPool> pool_;
 };

@@ -11,7 +11,8 @@
 namespace trajpattern {
 namespace {
 
-constexpr const char* kMagic = "trajpattern_checkpoint,v1";
+constexpr const char* kMagicV1 = "trajpattern_checkpoint,v1";
+constexpr const char* kMagicV2 = "trajpattern_checkpoint,v2";
 
 std::string HexDouble(double v) {
   char buf[64];
@@ -88,10 +89,12 @@ class LineReader {
 }  // namespace
 
 Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
-  os << kMagic << "\n";
+  os << kMagicV2 << "\n";
   os << "iteration," << cp.iteration << "\n";
   os << "k," << cp.k << "\n";
   os << "omega," << HexDouble(cp.omega) << "\n";
+  os << "candidates_evaluated," << cp.candidates_evaluated << "\n";
+  os << "candidates_pruned," << cp.candidates_pruned << "\n";
   os << "scores," << cp.scores.size() << "\n";
   for (const ScoredPattern& sp : cp.scores) {
     os << HexDouble(sp.nm) << ",";
@@ -117,10 +120,11 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   *cp = MinerCheckpoint();
   LineReader reader(is);
   std::string line;
-  if (!reader.Next(&line) || line != kMagic) {
+  if (!reader.Next(&line) || (line != kMagicV1 && line != kMagicV2)) {
     return Status::DataLoss(
         "not a trajpattern checkpoint (bad or missing header)");
   }
+  const bool v2 = line == kMagicV2;
   // Fixed "key,count-or-value" headers followed by their payload blocks.
   auto expect_keyed_long = [&](const std::string& key, long* value) {
     if (!reader.Next(&line)) return reader.Error("truncated before " + key);
@@ -148,6 +152,20 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   if (!reader.Next(&line) || line.rfind("omega,", 0) != 0 ||
       !ParseHexDouble(line.substr(6), &cp->omega)) {
     return reader.Error("expected 'omega,<hexfloat>'");
+  }
+
+  // v2 adds cumulative work counters; v1 files leave them default (0).
+  if (v2) {
+    long evaluated, pruned;
+    Status sv = expect_keyed_long("candidates_evaluated", &evaluated);
+    if (!sv.ok()) return sv;
+    sv = expect_keyed_long("candidates_pruned", &pruned);
+    if (!sv.ok()) return sv;
+    if (evaluated < 0 || pruned < 0) {
+      return reader.Error("negative work counter");
+    }
+    cp->candidates_evaluated = evaluated;
+    cp->candidates_pruned = pruned;
   }
 
   long count;

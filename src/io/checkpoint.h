@@ -11,10 +11,12 @@ namespace trajpattern {
 
 /// Versioned text serialization of a `MinerCheckpoint`:
 ///
-///   trajpattern_checkpoint,v1
+///   trajpattern_checkpoint,v2
 ///   iteration,<int>
 ///   k,<int>
 ///   omega,<hexfloat>
+///   candidates_evaluated,<int64>                            (v2 only)
+///   candidates_pruned,<int64>                               (v2 only)
 ///   scores,<count>
 ///   <hexfloat NM>,<;-separated cells, '*' for wildcards>   x count
 ///   prev_high,<count>
@@ -23,10 +25,12 @@ namespace trajpattern {
 ///   <cells>                                                x count
 ///   end
 ///
-/// NM values are written as C99 hexfloats (`%a`), which round-trip IEEE
-/// doubles bit-exactly (including -inf) — the property the resumed-run
-/// bit-identity guarantee rests on.  Unknown versions and truncated files
-/// are rejected with a typed error, never half-loaded.
+/// The reader also accepts v1 files (written before the cumulative work
+/// counters existed); their counters load as 0.  The writer always emits
+/// v2.  NM values are written as C99 hexfloats (`%a`), which round-trip
+/// IEEE doubles bit-exactly (including -inf) — the property the
+/// resumed-run bit-identity guarantee rests on.  Unknown versions and
+/// truncated files are rejected with a typed error, never half-loaded.
 Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os);
 Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp);
 

@@ -1,0 +1,371 @@
+// Tests of the PR-3 window-scoring kernel work: streaming-vs-gather
+// bit-identity, the ω-aware early-abandon contract, all-wildcard
+// rejection, arena warm-up edge cases, and checkpoint v1/v2 compat.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/mining_space.h"
+#include "core/nm_engine.h"
+#include "datagen/uniform_generator.h"
+#include "io/checkpoint.h"
+#include "prob/log_space.h"
+#include "prob/rng.h"
+
+namespace trajpattern {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!BitEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+TrajectoryDataset UniformData(int objects, int snapshots, uint64_t seed) {
+  UniformGeneratorOptions opt;
+  opt.num_objects = objects;
+  opt.num_snapshots = snapshots;
+  opt.seed = seed;
+  return GenerateUniformObjects(opt);
+}
+
+/// A dataset with wildly varying trajectory lengths (including
+/// single-snapshot and empty-window-count cases) so the kernels see
+/// every too-short / exactly-one-window / many-windows branch.
+TrajectoryDataset RaggedData(uint64_t seed) {
+  Rng rng(seed);
+  TrajectoryDataset d;
+  const int lengths[] = {1, 2, 3, 1, 7, 4, 12, 1, 5};
+  int id = 0;
+  for (int len : lengths) {
+    Trajectory t("t" + std::to_string(id++));
+    for (int s = 0; s < len; ++s) {
+      t.Append(Point2(rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)), 0.05);
+    }
+    d.Add(std::move(t));
+  }
+  return d;
+}
+
+/// A pattern mix covering every kernel branch: singulars, runs, interior
+/// wildcards, wildcard edges, and patterns longer than some (or all)
+/// trajectories.
+std::vector<Pattern> MixedPatterns(const NmEngine& engine) {
+  const std::vector<CellId> cells = engine.TouchedCells();
+  EXPECT_GE(cells.size(), 3u);
+  const CellId a = cells[0];
+  const CellId b = cells[1 % cells.size()];
+  const CellId c = cells[2 % cells.size()];
+  const CellId w = kWildcardCell;
+  return {
+      Pattern(a),
+      Pattern(std::vector<CellId>{a, b}),
+      Pattern(std::vector<CellId>{b, a, c}),
+      Pattern(std::vector<CellId>{a, w, b}),
+      Pattern(std::vector<CellId>{w, a, b, w}),
+      Pattern(std::vector<CellId>{a, w, w, b, c}),
+      Pattern(std::vector<CellId>{a, b, c, a, b, c, a, b}),
+      Pattern(std::vector<CellId>{c, w, a, w, c, w, a, w, c, w, a, w, c}),
+  };
+}
+
+TEST(WindowKernelTest, StreamingMatchesGatherBitwise) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const MiningSpace space(Grid::UnitSquare(6), 0.17);
+    const TrajectoryDataset d = UniformData(12, 9, seed);
+    NmEngine engine(d, space);
+    for (const Pattern& p : MixedPatterns(engine)) {
+      engine.set_window_kernel(WindowKernel::kGather);
+      const double nm_gather = engine.NmTotal(p);
+      const double match_gather = engine.MatchTotal(p);
+      engine.set_window_kernel(WindowKernel::kStreaming);
+      EXPECT_TRUE(BitEqual(engine.NmTotal(p), nm_gather))
+          << "seed " << seed << " len " << p.length();
+      EXPECT_TRUE(BitEqual(engine.MatchTotal(p), match_gather))
+          << "seed " << seed << " len " << p.length();
+    }
+  }
+}
+
+TEST(WindowKernelTest, StreamingMatchesGatherOnRaggedTrajectories) {
+  const MiningSpace space(Grid::UnitSquare(5), 0.2);
+  const TrajectoryDataset d = RaggedData(3);
+  NmEngine engine(d, space);
+  for (const Pattern& p : MixedPatterns(engine)) {
+    engine.set_window_kernel(WindowKernel::kGather);
+    const double nm_gather = engine.NmTotal(p);
+    engine.set_window_kernel(WindowKernel::kStreaming);
+    EXPECT_TRUE(BitEqual(engine.NmTotal(p), nm_gather)) << p.length();
+  }
+}
+
+TEST(WindowKernelTest, BatchMatchesSerialAcrossKernelsAndThreads) {
+  const MiningSpace space(Grid::UnitSquare(6), 0.17);
+  const TrajectoryDataset d = UniformData(20, 12, 11);
+  NmEngine engine(d, space);
+  const std::vector<Pattern> batch = MixedPatterns(engine);
+
+  engine.set_window_kernel(WindowKernel::kGather);
+  const std::vector<double> gather_1t = engine.NmTotalBatch(batch, 1);
+  const std::vector<double> gather_8t = engine.NmTotalBatch(batch, 8);
+  engine.set_window_kernel(WindowKernel::kStreaming);
+  const std::vector<double> streaming_1t = engine.NmTotalBatch(batch, 1);
+  const std::vector<double> streaming_8t = engine.NmTotalBatch(batch, 8);
+
+  EXPECT_TRUE(BitEqual(gather_1t, gather_8t));
+  EXPECT_TRUE(BitEqual(gather_1t, streaming_1t));
+  EXPECT_TRUE(BitEqual(gather_1t, streaming_8t));
+
+  // Serial per-pattern calls agree with the batch too.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(BitEqual(engine.NmTotal(batch[i]), streaming_1t[i]));
+  }
+}
+
+TEST(WindowKernelTest, NoPruningDefaultLeavesStatsZero) {
+  const MiningSpace space(Grid::UnitSquare(6), 0.17);
+  const TrajectoryDataset d = UniformData(10, 8, 5);
+  NmEngine engine(d, space);
+  BatchScoreStats stats;
+  engine.NmTotalBatch(MixedPatterns(engine), 1, &stats);
+  EXPECT_EQ(stats.candidates_pruned, 0u);
+  EXPECT_EQ(stats.trajectories_skipped, 0);
+}
+
+TEST(WindowKernelTest, PrunedScoresAreUpperBoundsBelowOmega) {
+  const MiningSpace space(Grid::UnitSquare(8), 0.125);
+  const TrajectoryDataset d = UniformData(40, 10, 9);
+  NmEngine engine(d, space);
+  std::vector<Pattern> batch;
+  for (CellId c : engine.TouchedCells()) batch.push_back(Pattern(c));
+  ASSERT_GE(batch.size(), 8u);
+
+  const std::vector<double> exact = engine.NmTotalBatch(batch, 1);
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const double omega = sorted[4];  // a top-5 threshold
+
+  BatchScoreStats stats;
+  const std::vector<double> pruned =
+      engine.NmTotalBatch(batch, 1, &stats, omega);
+  ASSERT_EQ(pruned.size(), exact.size());
+
+  EXPECT_GT(stats.candidates_pruned, 0u);
+  EXPECT_GT(stats.trajectories_skipped, 0);
+  size_t divergent = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (BitEqual(pruned[i], exact[i])) continue;
+    ++divergent;
+    // An abandoned scan returns a partial sum: an upper bound on the
+    // exact NM that is itself below the threshold.
+    EXPECT_GE(pruned[i], exact[i]);
+    EXPECT_LT(pruned[i], omega);
+  }
+  // Every divergent score comes from an abandon; the reverse need not
+  // hold (a skipped trajectory can contribute an exact 0.0 when its best
+  // window probability rounds to 1, leaving the partial sum equal to the
+  // exact total).
+  EXPECT_LE(divergent, stats.candidates_pruned);
+  // Anything at or above ω must come back exact (top-k preservation).
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] >= omega) {
+      EXPECT_TRUE(BitEqual(pruned[i], exact[i]));
+    }
+  }
+
+  // Pruned batches are thread-count invariant like unpruned ones.
+  BatchScoreStats stats8;
+  const std::vector<double> pruned8 =
+      engine.NmTotalBatch(batch, 8, &stats8, omega);
+  EXPECT_TRUE(BitEqual(pruned, pruned8));
+  EXPECT_EQ(stats.candidates_pruned, stats8.candidates_pruned);
+  EXPECT_EQ(stats.trajectories_skipped, stats8.trajectories_skipped);
+}
+
+TEST(WindowKernelTest, MinerOmegaPruningPreservesTopK) {
+  const MiningSpace space(Grid::UnitSquare(6), 0.17);
+  const TrajectoryDataset d = UniformData(30, 12, 21);
+
+  MinerOptions opt;
+  opt.k = 5;
+  opt.max_pattern_length = 3;
+
+  NmEngine exact_engine(d, space);
+  const MiningResult exact = MineTrajPatterns(exact_engine, opt);
+  EXPECT_EQ(exact.stats.candidates_pruned, 0);
+
+  opt.omega_pruning = true;
+  NmEngine pruned_engine(d, space);
+  const MiningResult pruned = MineTrajPatterns(pruned_engine, opt);
+
+  ASSERT_EQ(exact.patterns.size(), pruned.patterns.size());
+  for (size_t i = 0; i < exact.patterns.size(); ++i) {
+    EXPECT_EQ(exact.patterns[i].pattern, pruned.patterns[i].pattern);
+    EXPECT_TRUE(BitEqual(exact.patterns[i].nm, pruned.patterns[i].nm));
+  }
+  EXPECT_GT(pruned.stats.candidates_pruned, 0);
+  EXPECT_GT(pruned.stats.trajectories_skipped, 0);
+}
+
+TEST(WindowKernelTest, AllWildcardPatternsAreRejected) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  const TrajectoryDataset d = UniformData(4, 5, 13);
+  NmEngine engine(d, space);
+
+  const Pattern empty{std::vector<CellId>{}};
+  const Pattern stars(std::vector<CellId>{kWildcardCell, kWildcardCell});
+  EXPECT_EQ(NmEngine::ValidateScorable(empty).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NmEngine::ValidateScorable(stars).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(NmEngine::ValidateScorable(Pattern(CellId{0})).ok());
+  EXPECT_TRUE(
+      NmEngine::ValidateScorable(Pattern(std::vector<CellId>{0, kWildcardCell}))
+          .ok());
+
+  // The NM entry points reject by value (-inf: unreachable by any real
+  // pattern) rather than dividing by the zero specified-count.
+  for (WindowKernel k : {WindowKernel::kStreaming, WindowKernel::kGather}) {
+    engine.set_window_kernel(k);
+    EXPECT_EQ(engine.NmTotal(stars), kNegInf);
+    EXPECT_EQ(engine.Nm(stars, 0), kNegInf);
+    const std::vector<double> batch =
+        engine.NmTotalBatch({Pattern(CellId{0}), stars});
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_GT(batch[0], kNegInf);
+    EXPECT_EQ(batch[1], kNegInf);
+  }
+  EXPECT_EQ(engine.NmTotalWithGaps(stars, 2), kNegInf);
+
+  // Match does not normalize: the all-wildcard pattern stays defined and
+  // scores 1 per trajectory long enough to host a window.
+  EXPECT_EQ(engine.MatchTotal(stars), static_cast<double>(d.size()));
+}
+
+TEST(WindowKernelTest, EmptyDatasetScoresZeroAndWarmsNothing) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  const TrajectoryDataset d;
+  NmEngine engine(d, space);
+  EXPECT_TRUE(engine.TouchedCells().empty());
+  EXPECT_EQ(engine.WarmCells({0, 1, 2}), 3u);
+  EXPECT_EQ(engine.num_cached_cells(), 3u);
+  // Zero-length columns: scoring sums over no trajectories.
+  EXPECT_EQ(engine.NmTotal(Pattern(CellId{0})), 0.0);
+  EXPECT_EQ(engine.MatchTotal(Pattern(CellId{0})), 0.0);
+}
+
+TEST(WindowKernelTest, SingleSnapshotTrajectoriesFloorLongPatterns) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  TrajectoryDataset d;
+  for (int i = 0; i < 3; ++i) {
+    Trajectory t("t" + std::to_string(i));
+    t.Append(Point2(0.3, 0.3), 0.05);
+    d.Add(std::move(t));
+  }
+  NmEngine engine(d, space);
+  const CellId c = space.grid.CellOf(Point2(0.3, 0.3));
+  // A length-2 pattern fits no window: every trajectory contributes the
+  // log floor to NM and 0 to match.
+  const Pattern pair(std::vector<CellId>{c, c});
+  EXPECT_EQ(engine.NmTotal(pair), 3.0 * LogFloor());
+  EXPECT_EQ(engine.MatchTotal(pair), 0.0);
+  // Singulars still score normally.
+  EXPECT_GT(engine.NmTotal(Pattern(c)), 3.0 * LogFloor());
+}
+
+TEST(WindowKernelTest, RewarmingIsANoOp) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  const TrajectoryDataset d = UniformData(6, 6, 17);
+  NmEngine engine(d, space);
+  const std::vector<CellId> cells = engine.TouchedCells();
+  ASSERT_GE(cells.size(), 2u);
+
+  const std::vector<CellId> two{cells[0], cells[1]};
+  EXPECT_EQ(engine.WarmCells(two), 2u);
+  EXPECT_EQ(engine.num_cached_cells(), 2u);
+  // Re-warming (with duplicates) adds nothing and grows nothing.
+  EXPECT_EQ(engine.WarmCells({cells[0], cells[1], cells[0]}), 0u);
+  EXPECT_EQ(engine.num_cached_cells(), 2u);
+  // A batch over warmed-plus-new cells warms exactly the new ones.
+  BatchScoreStats stats;
+  engine.NmTotalBatch(MixedPatterns(engine), 1, &stats);
+  EXPECT_EQ(engine.num_cached_cells(), 2u + stats.cells_warmed);
+  EXPECT_GT(stats.cells_warmed, 0u);
+}
+
+TEST(WindowKernelTest, CheckpointV2RoundTripsWorkCounters) {
+  MinerCheckpoint cp;
+  cp.iteration = 3;
+  cp.k = 5;
+  cp.omega = -12.5;
+  cp.candidates_evaluated = 12345;
+  cp.candidates_pruned = 678;
+  cp.scores.push_back({Pattern(std::vector<CellId>{1, kWildcardCell, 2}),
+                       -13.25});
+  cp.prev_high.push_back(Pattern(CellId{1}));
+  cp.prev_queue.push_back(Pattern(CellId{2}));
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(cp, ss).ok());
+  EXPECT_NE(ss.str().find("trajpattern_checkpoint,v2"), std::string::npos);
+
+  MinerCheckpoint back;
+  ASSERT_TRUE(ReadMinerCheckpoint(ss, &back).ok());
+  EXPECT_EQ(back.iteration, 3);
+  EXPECT_EQ(back.k, 5);
+  EXPECT_EQ(back.candidates_evaluated, 12345);
+  EXPECT_EQ(back.candidates_pruned, 678);
+  ASSERT_EQ(back.scores.size(), 1u);
+  EXPECT_EQ(back.scores[0].pattern, cp.scores[0].pattern);
+  EXPECT_TRUE(BitEqual(back.scores[0].nm, cp.scores[0].nm));
+}
+
+TEST(WindowKernelTest, CheckpointReaderAcceptsV1WithZeroCounters) {
+  // A v1 file as written before the work counters existed: no
+  // candidates_evaluated / candidates_pruned lines.
+  const std::string v1 =
+      "trajpattern_checkpoint,v1\n"
+      "iteration,2\n"
+      "k,4\n"
+      "omega,-0x1.9p+3\n"
+      "scores,1\n"
+      "-0x1.ap+3,7;*;9\n"
+      "prev_high,1\n"
+      "7\n"
+      "prev_queue,0\n"
+      "end\n";
+  std::stringstream ss(v1);
+  MinerCheckpoint cp;
+  ASSERT_TRUE(ReadMinerCheckpoint(ss, &cp).ok());
+  EXPECT_EQ(cp.iteration, 2);
+  EXPECT_EQ(cp.k, 4);
+  EXPECT_EQ(cp.omega, -12.5);
+  EXPECT_EQ(cp.candidates_evaluated, 0);
+  EXPECT_EQ(cp.candidates_pruned, 0);
+  ASSERT_EQ(cp.scores.size(), 1u);
+  EXPECT_EQ(cp.scores[0].pattern,
+            Pattern(std::vector<CellId>{7, kWildcardCell, 9}));
+  ASSERT_EQ(cp.prev_high.size(), 1u);
+  EXPECT_EQ(cp.prev_queue.size(), 0u);
+
+  std::stringstream bad("trajpattern_checkpoint,v3\nend\n");
+  EXPECT_FALSE(ReadMinerCheckpoint(bad, &cp).ok());
+}
+
+}  // namespace
+}  // namespace trajpattern
