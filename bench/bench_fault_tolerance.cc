@@ -23,6 +23,7 @@
 #include "geometry/grid.h"
 #include "io/checkpoint.h"
 #include "io/flags.h"
+#include "io/obs_flags.h"
 #include "server/fault_injector.h"
 #include "stats/timer.h"
 #include "trajectory/validate.h"
@@ -125,6 +126,8 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const std::string json_path =
       flags.GetString("json", tb::DefaultJsonPath("BENCH_fault_tolerance.json"));
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
 
   const TrajectoryDataset original = MakePlantedData(seed);
   const MobileObjectServer::Options server_options =
@@ -241,42 +244,49 @@ int main(int argc, char** argv) {
               resume_identical ? "yes" : "NO");
 
   // ---- JSON summary.
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
+  tb::JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").BeginObject();
+  w.Key("trajectories").UInt(original.size());
+  w.Key("snapshots").UInt(original.TotalPoints());
+  w.Key("k").Int(k);
+  w.Key("seed").UInt(seed);
+  w.EndObject();
+  w.Key("faults").BeginObject();
+  w.Key("drop_rate").Double(fault_options.drop_rate, 4);
+  w.Key("corrupt_rate").Double(fault_options.corrupt_rate, 4);
+  w.Key("dropped").UInt(fault_stats.dropped);
+  w.Key("corrupted").UInt(fault_stats.corrupted);
+  w.Key("input").UInt(fault_stats.input);
+  w.EndObject();
+  w.Key("ingest").BeginObject();
+  w.Key("accepted").Int(ingest.accepted);
+  w.Key("rejected").Int(ingest.rejected());
+  w.EndObject();
+  w.Key("validate").BeginObject();
+  w.Key("faults").UInt(report.faults());
+  w.Key("teleports").UInt(report.teleports);
+  w.Key("repaired").UInt(report.repaired);
+  w.Key("quarantined").UInt(report.quarantined);
+  w.Key("dropped").UInt(report.dropped);
+  w.EndObject();
+  w.Key("mine").BeginObject();
+  w.Key("clean_seconds").Double(clean_seconds);
+  w.Key("faulted_seconds").Double(faulted_seconds);
+  w.Key("clean_cells").UInt(clean_cells.size());
+  w.Key("faulted_cells").UInt(faulted_cells.size());
+  w.Key("cells_match").Bool(cells_match);
+  w.Key("pattern_overlap").UInt(pattern_overlap);
+  w.EndObject();
+  w.Key("resume_bit_identical").Bool(resume_identical);
+  tb::StampMetrics(&w);
+  w.EndObject();
+  if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n  \"workload\": {\"trajectories\": %zu, \"snapshots\": "
-               "%zu, \"k\": %d, \"seed\": %llu},\n",
-               original.size(), original.TotalPoints(), k,
-               static_cast<unsigned long long>(seed));
-  std::fprintf(f,
-               "  \"faults\": {\"drop_rate\": %.4f, \"corrupt_rate\": %.4f, "
-               "\"dropped\": %zu, \"corrupted\": %zu, \"input\": %zu},\n",
-               fault_options.drop_rate, fault_options.corrupt_rate,
-               fault_stats.dropped, fault_stats.corrupted, fault_stats.input);
-  std::fprintf(f,
-               "  \"ingest\": {\"accepted\": %lld, \"rejected\": %lld},\n",
-               static_cast<long long>(ingest.accepted),
-               static_cast<long long>(ingest.rejected()));
-  std::fprintf(
-      f,
-      "  \"validate\": {\"faults\": %zu, \"teleports\": %zu, \"repaired\": "
-      "%zu, \"quarantined\": %zu, \"dropped\": %zu},\n",
-      report.faults(), report.teleports, report.repaired, report.quarantined,
-      report.dropped);
-  std::fprintf(f,
-               "  \"mine\": {\"clean_seconds\": %.6f, \"faulted_seconds\": "
-               "%.6f, \"clean_cells\": %zu, \"faulted_cells\": %zu, "
-               "\"cells_match\": %s, \"pattern_overlap\": %zu},\n",
-               clean_seconds, faulted_seconds, clean_cells.size(),
-               faulted_cells.size(), cells_match ? "true" : "false",
-               pattern_overlap);
-  std::fprintf(f, "  \"resume_bit_identical\": %s\n}\n",
-               resume_identical ? "true" : "false");
-  std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
 
-  return (cells_match && resume_identical) ? 0 : 1;
+  const bool obs_ok = trajpattern::FlushObservability(obs_opts);
+  return (cells_match && resume_identical && obs_ok) ? 0 : 1;
 }

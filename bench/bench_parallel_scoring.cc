@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "io/obs_flags.h"
 #include "parallel/thread_pool.h"
 #include "stats/table.h"
 
@@ -85,6 +86,8 @@ int main(int argc, char** argv) {
       ParseThreadsList(flags.GetString("threads_list", "1,2,4,8"));
   const std::string json_path =
       flags.GetString("json", tb::DefaultJsonPath("BENCH_parallel_scoring.json"));
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
 
   const auto data = tb::MakeZebraData(cfg);
   const auto space = tb::MakeSpace(cfg);
@@ -171,44 +174,46 @@ int main(int argc, char** argv) {
       mine_identical ? "yes" : "NO");
 
   // ---- JSON summary.
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
+  tb::JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").BeginObject();
+  w.Key("trajectories").Int(cfg.num_trajectories);
+  w.Key("avg_length").Int(cfg.avg_length);
+  w.Key("grid_cells").Int(cfg.grid_side * cfg.grid_side);
+  w.Key("candidates").UInt(candidates.size());
+  w.EndObject();
+  w.Key("hardware_threads").Int(ResolveThreadCount(0));
+  w.Key("serial_seconds").Double(serial_seconds);
+  w.Key("batch").BeginArray();
+  for (const Row& r : rows) {
+    w.BeginObject();
+    w.Key("threads").Int(r.threads);
+    w.Key("seconds").Double(r.seconds);
+    w.Key("warmup_seconds").Double(r.stats.warmup_seconds);
+    w.Key("scoring_seconds").Double(r.stats.scoring_seconds);
+    w.Key("speedup").Double(serial_seconds / r.seconds, 3);
+    w.Key("cells_warmed").UInt(r.stats.cells_warmed);
+    w.Key("identical").Bool(r.identical);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("mine").BeginObject();
+  w.Key("serial_seconds").Double(mine_serial.stats.seconds);
+  w.Key("parallel_seconds").Double(mine_parallel.stats.seconds);
+  w.Key("parallel_threads").Int(mine_parallel.stats.threads_used);
+  w.Key("speedup").Double(mine_serial.stats.seconds / mine_parallel.stats.seconds, 3);
+  w.Key("identical").Bool(mine_identical);
+  w.EndObject();
+  tb::StampMetrics(&w);
+  w.EndObject();
+  if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n  \"workload\": {\"trajectories\": %d, \"avg_length\": %d, "
-               "\"grid_cells\": %d, \"candidates\": %zu},\n",
-               cfg.num_trajectories, cfg.avg_length,
-               cfg.grid_side * cfg.grid_side, candidates.size());
-  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreadCount(0));
-  std::fprintf(f, "  \"serial_seconds\": %.6f,\n", serial_seconds);
-  std::fprintf(f, "  \"batch\": [\n");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"threads\": %d, \"seconds\": %.6f, "
-                 "\"warmup_seconds\": %.6f, \"scoring_seconds\": %.6f, "
-                 "\"speedup\": %.3f, \"cells_warmed\": %zu, "
-                 "\"identical\": %s}%s\n",
-                 r.threads, r.seconds, r.stats.warmup_seconds,
-                 r.stats.scoring_seconds, serial_seconds / r.seconds,
-                 r.stats.cells_warmed, r.identical ? "true" : "false",
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f,
-               "  \"mine\": {\"serial_seconds\": %.6f, \"parallel_seconds\": "
-               "%.6f, \"parallel_threads\": %d, \"speedup\": %.3f, "
-               "\"identical\": %s}\n}\n",
-               mine_serial.stats.seconds, mine_parallel.stats.seconds,
-               mine_parallel.stats.threads_used,
-               mine_serial.stats.seconds / mine_parallel.stats.seconds,
-               mine_identical ? "true" : "false");
-  std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
 
+  const bool obs_ok = trajpattern::FlushObservability(obs_opts);
   bool all_identical = mine_identical;
   for (const Row& r : rows) all_identical = all_identical && r.identical;
-  return all_identical ? 0 : 1;
+  return (all_identical && obs_ok) ? 0 : 1;
 }

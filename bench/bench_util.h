@@ -1,17 +1,133 @@
 #ifndef TRAJPATTERN_BENCH_BENCH_UTIL_H_
 #define TRAJPATTERN_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/miner.h"
 #include "core/nm_engine.h"
 #include "datagen/zebranet_generator.h"
 #include "geometry/grid.h"
 #include "io/flags.h"
+#include "obs/metrics.h"
 #include "stats/timer.h"
 
 namespace trajpattern::bench {
+
+/// Structured JSON emitter for the BENCH_*.json artifacts.  Replaces the
+/// benches' hand-rolled fprintf blocks: commas and indentation are
+/// tracked per nesting level, so adding a field cannot produce invalid
+/// JSON, and every artifact can be stamped with the metrics-registry
+/// snapshot through one code path (StampMetrics below).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { OpenContainer('{'); return *this; }
+  JsonWriter& EndObject() { CloseContainer('}'); return *this; }
+  JsonWriter& BeginArray() { OpenContainer('['); return *this; }
+  JsonWriter& EndArray() { CloseContainer(']'); return *this; }
+
+  JsonWriter& Key(const std::string& k) {
+    NextItem();
+    AppendQuoted(k);
+    out_ += ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Str(const std::string& v) { NextItem(); AppendQuoted(v); return *this; }
+  JsonWriter& Bool(bool v) { NextItem(); out_ += v ? "true" : "false"; return *this; }
+  JsonWriter& Int(long long v) { return Fmt("%lld", v); }
+  JsonWriter& UInt(unsigned long long v) { return Fmt("%llu", v); }
+  /// Fixed-point double, default 6 decimals (the committed artifacts'
+  /// precision for seconds).  Non-finite values become null.
+  JsonWriter& Double(double v, int decimals = 6) {
+    if (!std::isfinite(v)) { NextItem(); out_ += "null"; return *this; }
+    return Fmt("%.*f", decimals, v);
+  }
+  /// Shortest-round-trip double (for exact thresholds such as omega).
+  JsonWriter& DoubleExact(double v) {
+    if (!std::isfinite(v)) { NextItem(); out_ += "null"; return *this; }
+    return Fmt("%.17g", v);
+  }
+  /// Splices an already-serialized JSON value (e.g. obs::ToJson output).
+  JsonWriter& Raw(const std::string& json) { NextItem(); out_ += json; return *this; }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the (finished) document to `path`, with a trailing newline.
+  bool WriteFile(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fputs(out_.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  template <typename... Args>
+  JsonWriter& Fmt(const char* fmt, Args... args) {
+    NextItem();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out_ += buf;
+    return *this;
+  }
+
+  void OpenContainer(char open) {
+    NextItem();
+    out_ += open;
+    depth_.push_back(0);
+  }
+
+  void CloseContainer(char close) {
+    const bool had_items = !depth_.empty() && depth_.back() > 0;
+    if (!depth_.empty()) depth_.pop_back();
+    if (had_items) Newline();
+    out_ += close;
+  }
+
+  /// Comma/indent bookkeeping shared by every value append.  A value
+  /// directly after Key() continues that line; everything else starts
+  /// one, comma-separated from its predecessor.
+  void NextItem() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (depth_.empty()) return;  // top-level value
+    if (depth_.back() > 0) out_ += ',';
+    ++depth_.back();
+    Newline();
+  }
+
+  void Newline() {
+    out_ += '\n';
+    out_.append(2 * depth_.size(), ' ');
+  }
+
+  void AppendQuoted(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<int> depth_;
+  bool pending_key_ = false;
+};
+
+/// Stamps the process-wide metrics snapshot into the artifact being
+/// built, as a top-level `"metrics"` member.  With TRAJPATTERN_OBS=OFF
+/// the snapshot is empty but the key is still present, so downstream
+/// readers see one schema.
+inline void StampMetrics(JsonWriter* w) {
+  w->Key("metrics").Raw(
+      obs::ToJson(obs::MetricsRegistry::Global().Snapshot()));
+}
 
 /// Default location for a bench's JSON artifact: the repo root (injected
 /// by the build as TRAJPATTERN_BENCH_OUTPUT_DIR) so committed perf

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "io/obs_flags.h"
 #include "parallel/thread_pool.h"
 #include "stats/table.h"
 
@@ -130,6 +131,8 @@ int main(int argc, char** argv) {
   const int reps = flags.GetInt("reps", 12);
   const std::string json_path =
       flags.GetString("json", tb::DefaultJsonPath("BENCH_window_kernel.json"));
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
 
   const auto data = tb::MakeZebraData(cfg);
   const auto space = tb::MakeSpace(cfg);
@@ -259,56 +262,57 @@ int main(int argc, char** argv) {
   }
 
   // ---- JSON summary.
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
+  tb::JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").BeginObject();
+  w.Key("figure").Str("4b");
+  w.Key("trajectories").Int(cfg.num_trajectories);
+  w.Key("avg_length").Int(cfg.avg_length);
+  w.Key("grid_cells").Int(cfg.grid_side * cfg.grid_side);
+  w.Key("candidates").UInt(candidates.size());
+  w.Key("reps").Int(reps);
+  w.EndObject();
+  w.Key("hardware_threads").Int(ResolveThreadCount(0));
+  w.Key("kernels").BeginObject();
+  w.Key("gather_seconds").Double(gather_seconds);
+  w.Key("streaming_seconds").Double(streaming_seconds);
+  w.Key("streaming_pruned_seconds").Double(pruned_seconds);
+  w.Key("streaming_speedup").Double(gather_seconds / streaming_seconds, 3);
+  w.Key("streaming_pruned_speedup").Double(gather_seconds / pruned_seconds, 3);
+  w.EndObject();
+  w.Key("identity").BeginObject();
+  w.Key("streaming_vs_gather_1t").Bool(identical_1t);
+  w.Key("all_kernels_8t").Bool(identical_8t);
+  w.Key("pruned_contract").Bool(pruned_contract);
+  w.EndObject();
+  w.Key("pruning").BeginObject();
+  w.Key("omega").DoubleExact(omega);
+  w.Key("candidates_pruned").UInt(pruned_stats.candidates_pruned);
+  w.Key("trajectories_skipped").Int(pruned_stats.trajectories_skipped);
+  w.Key("exact_scores").UInt(pruned_exact_matches);
+  w.EndObject();
+  w.Key("mine").BeginArray();
+  for (const MineCheck& m : mines) {
+    w.BeginObject();
+    w.Key("config").Str(m.config);
+    w.Key("topk_identical").Bool(m.identical);
+    w.Key("candidates_pruned").Int(m.candidates_pruned);
+    w.Key("trajectories_skipped").Int(m.trajectories_skipped);
+    w.Key("exact_seconds").Double(m.exact_seconds);
+    w.Key("pruned_seconds").Double(m.pruned_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  tb::StampMetrics(&w);
+  w.EndObject();
+  if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n  \"workload\": {\"figure\": \"4b\", \"trajectories\": %d, "
-               "\"avg_length\": %d, \"grid_cells\": %d, \"candidates\": %zu, "
-               "\"reps\": %d},\n",
-               cfg.num_trajectories, cfg.avg_length,
-               cfg.grid_side * cfg.grid_side, candidates.size(), reps);
-  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreadCount(0));
-  std::fprintf(f, "  \"kernels\": {\n");
-  std::fprintf(f, "    \"gather_seconds\": %.6f,\n", gather_seconds);
-  std::fprintf(f, "    \"streaming_seconds\": %.6f,\n", streaming_seconds);
-  std::fprintf(f, "    \"streaming_pruned_seconds\": %.6f,\n", pruned_seconds);
-  std::fprintf(f, "    \"streaming_speedup\": %.3f,\n",
-               gather_seconds / streaming_seconds);
-  std::fprintf(f, "    \"streaming_pruned_speedup\": %.3f\n",
-               gather_seconds / pruned_seconds);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f,
-               "  \"identity\": {\"streaming_vs_gather_1t\": %s, "
-               "\"all_kernels_8t\": %s, \"pruned_contract\": %s},\n",
-               identical_1t ? "true" : "false", identical_8t ? "true" : "false",
-               pruned_contract ? "true" : "false");
-  std::fprintf(f,
-               "  \"pruning\": {\"omega\": %.17g, \"candidates_pruned\": %zu, "
-               "\"trajectories_skipped\": %lld, \"exact_scores\": %zu},\n",
-               omega, pruned_stats.candidates_pruned,
-               static_cast<long long>(pruned_stats.trajectories_skipped),
-               pruned_exact_matches);
-  std::fprintf(f, "  \"mine\": [\n");
-  for (size_t i = 0; i < mines.size(); ++i) {
-    const MineCheck& m = mines[i];
-    std::fprintf(f,
-                 "    {\"config\": \"%s\", \"topk_identical\": %s, "
-                 "\"candidates_pruned\": %lld, \"trajectories_skipped\": "
-                 "%lld, \"exact_seconds\": %.6f, \"pruned_seconds\": %.6f}%s\n",
-                 m.config.c_str(), m.identical ? "true" : "false",
-                 static_cast<long long>(m.candidates_pruned),
-                 static_cast<long long>(m.trajectories_skipped),
-                 m.exact_seconds, m.pruned_seconds,
-                 i + 1 < mines.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
   std::printf("wrote %s\n", json_path.c_str());
 
+  const bool obs_ok = trajpattern::FlushObservability(obs_opts);
   bool ok = identical_1t && identical_8t && pruned_contract;
   for (const MineCheck& m : mines) ok = ok && m.identical;
-  return ok ? 0 : 1;
+  return (ok && obs_ok) ? 0 : 1;
 }

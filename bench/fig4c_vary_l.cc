@@ -7,6 +7,7 @@
 
 #include "baseline/pb_miner.h"
 #include "bench_util.h"
+#include "io/obs_flags.h"
 #include "stats/table.h"
 
 namespace tb = trajpattern::bench;
@@ -19,6 +20,8 @@ using trajpattern::Table;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
   tb::Fig4Config base = tb::ParseFig4Config(flags);
   std::vector<int> ls = {20, 40, 80, 160};
   if (flags.Has("l")) ls = {base.avg_length};
@@ -46,9 +49,9 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(l), Table::Num(tp.stats.seconds),
                   Table::Num(pb.stats.seconds),
                   std::to_string(tp.stats.candidates_evaluated),
-                  std::to_string(pb.stats.evaluations),
+                  std::to_string(pb.stats.candidates_evaluated),
                   pb.stats.hit_prefix_cap ? "yes" : "no"});
   }
   table.Print();
-  return 0;
+  return trajpattern::FlushObservability(obs_opts) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "baseline/pb_miner.h"
 #include "bench_util.h"
+#include "io/obs_flags.h"
 #include "stats/table.h"
 
 namespace tb = trajpattern::bench;
@@ -19,6 +20,8 @@ using trajpattern::Table;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
   tb::Fig4Config base = tb::ParseFig4Config(flags);
   std::vector<int> sides = {6, 8, 12, 16};
   if (flags.Has("g")) sides = {base.grid_side};
@@ -46,10 +49,10 @@ int main(int argc, char** argv) {
     table.AddRow({std::to_string(side * side), Table::Num(tp.stats.seconds),
                   Table::Num(pb.stats.seconds),
                   std::to_string(tp.stats.candidates_evaluated),
-                  std::to_string(pb.stats.evaluations),
+                  std::to_string(pb.stats.candidates_evaluated),
                   std::to_string(pb.stats.peak_live_prefixes),
                   pb.stats.hit_prefix_cap ? "yes" : "no"});
   }
   table.Print();
-  return 0;
+  return trajpattern::FlushObservability(obs_opts) ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "io/obs_flags.h"
 #include "core/pattern_group.h"
 #include "stats/table.h"
 
@@ -20,6 +21,8 @@ using trajpattern::Table;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
+  trajpattern::StartObservability(obs_opts);
   tb::Fig4Config base = tb::ParseFig4Config(flags);
   base.k = flags.GetInt("k", 30);
   // The paper's grids are delta-sized (g_x = g_y = delta, §6.1), far
@@ -71,5 +74,5 @@ int main(int argc, char** argv) {
                              2)});
   }
   table.Print();
-  return 0;
+  return trajpattern::FlushObservability(obs_opts) ? 0 : 1;
 }

@@ -29,6 +29,7 @@
 #include "io/checkpoint.h"
 #include "io/csv.h"
 #include "io/flags.h"
+#include "io/obs_flags.h"
 #include "server/fault_injector.h"
 #include "trajectory/validate.h"
 
@@ -285,9 +286,18 @@ int Score(const Flags& flags) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::string cmd = flags.GetString("cmd", "help");
-  if (cmd == "generate") return Generate(flags);
-  if (cmd == "mine") return Mine(flags);
-  if (cmd == "score") return Score(flags);
+  // Observability plumbing applies to every subcommand: --trace=F captures
+  // a Chrome trace of the run, --metrics=F a registry snapshot.
+  const ObsOptions obs_opts = ParseObsOptions(flags);
+  StartObservability(obs_opts);
+  int rc = -1;
+  if (cmd == "generate") rc = Generate(flags);
+  if (cmd == "mine") rc = Mine(flags);
+  if (cmd == "score") rc = Score(flags);
+  if (rc >= 0) {
+    if (!FlushObservability(obs_opts) && rc == 0) rc = 1;
+    return rc;
+  }
   std::printf(
       "usage: trajpattern_cli --cmd=generate|mine|score [options]\n"
       "  generate: --kind=zebranet|uniform|bus --out=F [--n --snapshots "
@@ -296,6 +306,8 @@ int main(int argc, char** argv) {
       "--delta --gamma --beam --out=F]\n"
       "            [--faults=drop:0.05,corrupt:0.01,... --fault_seed "
       "--repair=0|1 --max_jump --sigma_growth --checkpoint=F]\n"
-      "  score:    --in=F --patterns=F [--grid --delta]\n");
+      "  score:    --in=F --patterns=F [--grid --delta]\n"
+      "  all:      [--trace=F.json --metrics=F.json --metrics-prom=F.prom "
+      "--trace-buffer=N]\n");
   return cmd == "help" ? 0 : 1;
 }

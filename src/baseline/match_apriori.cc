@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/top_k.h"
+#include "obs/obs.h"
 #include "stats/timer.h"
 
 namespace trajpattern {
@@ -12,6 +13,7 @@ namespace trajpattern {
 MatchMiningResult MineMatchPatterns(const NmEngine& engine,
                                     const MatchMinerOptions& options) {
   WallTimer timer;
+  TP_TRACE_SPAN("match/mine");
   MatchMiningResult result;
   auto& stats = result.stats;
 
@@ -31,12 +33,13 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
   }
 
   auto score_level = [&](const std::vector<Pattern>& cands) {
+    TP_TRACE_SPAN("match/score_level");
     BatchScoreStats bstats;
     const std::vector<double> matches =
         engine.MatchTotalBatch(cands, options.num_threads, &bstats);
-    stats.warmup_seconds += bstats.warmup_seconds;
-    stats.scoring_seconds += bstats.scoring_seconds;
-    stats.threads_used = bstats.threads_used;
+    AccumulateBatch(bstats, &stats);
+    stats.candidates_generated += static_cast<int64_t>(cands.size());
+    TP_COUNTER_ADD("match.candidates_evaluated", cands.size());
     return matches;
   };
 

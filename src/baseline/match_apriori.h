@@ -6,6 +6,7 @@
 
 #include "core/nm_engine.h"
 #include "core/pattern.h"
+#include "stats/mining_counters.h"
 
 namespace trajpattern {
 
@@ -41,19 +42,14 @@ struct MatchMinerOptions {
   int num_threads = 1;
 };
 
-/// Counters for a match mining run.
-struct MatchMinerStats {
+/// Counters for a match mining run.  Shared work/timing fields come from
+/// `MiningCounters`; `candidates_pruned`/`trajectories_skipped` stay 0
+/// here — match contributions are >= 0, so a partial sum is a lower
+/// bound and supports no ω-abandon.
+struct MatchMinerStats : MiningCounters {
   int levels = 0;
-  int64_t candidates_evaluated = 0;
   bool hit_frontier_cap = false;
   double seconds = 0.0;
-  /// Serial column warm-up vs. parallel scoring split across all levels.
-  /// There is no ω-pruning counterpart here: match contributions are
-  /// >= 0, so a partial sum is a lower bound and supports no abandon.
-  double warmup_seconds = 0.0;
-  double scoring_seconds = 0.0;
-  /// Worker count the batches ran with.
-  int threads_used = 1;
 };
 
 /// Result of match mining: top-k by match, best first.

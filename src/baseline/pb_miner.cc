@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "core/top_k.h"
+#include "obs/obs.h"
 #include "stats/timer.h"
 
 namespace trajpattern {
@@ -12,6 +13,7 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
                               const PbMinerOptions& options) {
   assert(options.max_length >= 1);
   WallTimer timer;
+  TP_TRACE_SPAN("pb/mine");
   PbMiningResult result;
   auto& stats = result.stats;
 
@@ -39,15 +41,16 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
   // below correctly rejects (bound < ω) and the extensibility bound
   // scales admissibly.
   auto score_wave = [&](const std::vector<Pattern>& wave) {
+    TP_TRACE_SPAN("pb/score_wave");
     const double prune_below =
         options.omega_pruning ? top_k.Omega() : NmEngine::kNoPruning;
     BatchScoreStats bstats;
     const std::vector<double> nms =
         engine.NmTotalBatch(wave, options.num_threads, &bstats, prune_below);
-    stats.warmup_seconds += bstats.warmup_seconds;
-    stats.scoring_seconds += bstats.scoring_seconds;
-    stats.candidates_pruned += static_cast<int64_t>(bstats.candidates_pruned);
-    stats.trajectories_skipped += bstats.trajectories_skipped;
+    AccumulateBatch(bstats, &stats);
+    stats.candidates_generated += static_cast<int64_t>(wave.size());
+    TP_COUNTER_ADD("pb.candidates_evaluated", wave.size());
+    TP_COUNTER_ADD("pb.candidates_pruned", bstats.candidates_pruned);
     return nms;
   };
 
@@ -58,7 +61,7 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
     for (CellId c : alphabet) singulars.emplace_back(c);
     const std::vector<double> nms = score_wave(singulars);
     for (size_t i = 0; i < singulars.size(); ++i) {
-      ++stats.evaluations;
+      ++stats.candidates_evaluated;
       offer(singulars[i], nms[i]);
       live.push_back({std::move(singulars[i]), nms[i]});
     }
@@ -83,6 +86,7 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
         prefix.nm;
     if (bound < top_k.Omega()) continue;
     ++stats.prefixes_expanded;
+    TP_COUNTER_INC("pb.prefixes_expanded");
     // The serial loop offered extensions in alphabet order with no reads
     // of omega in between, so scoring the whole wave first and offering
     // afterwards is semantics-preserving — and gives the batch API a
@@ -92,7 +96,7 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
     for (CellId x : alphabet) exts.push_back(prefix.pattern.Concat(Pattern(x)));
     const std::vector<double> nms = score_wave(exts);
     for (size_t i = 0; i < exts.size(); ++i) {
-      ++stats.evaluations;
+      ++stats.candidates_evaluated;
       offer(exts[i], nms[i]);
       live.push_back({std::move(exts[i]), nms[i]});
     }

@@ -6,6 +6,7 @@
 
 #include "core/nm_engine.h"
 #include "core/pattern.h"
+#include "stats/mining_counters.h"
 
 namespace trajpattern {
 
@@ -39,20 +40,14 @@ struct PbMinerOptions {
   bool omega_pruning = false;
 };
 
-/// Counters for a PB run.
-struct PbMinerStats {
+/// Counters for a PB run.  The shared work/timing fields live in
+/// `MiningCounters` (candidates generated/evaluated/pruned plus the
+/// warmup/scoring split), identical across all three miners.
+struct PbMinerStats : MiningCounters {
   int64_t prefixes_expanded = 0;
-  int64_t evaluations = 0;
   size_t peak_live_prefixes = 0;
   bool hit_prefix_cap = false;
   double seconds = 0.0;
-  /// Serial warm-up vs. parallel scoring split across all batches.
-  double warmup_seconds = 0.0;
-  double scoring_seconds = 0.0;
-  /// Extensions early-abandoned by ω-pruning (0 unless `omega_pruning`).
-  int64_t candidates_pruned = 0;
-  /// Per-trajectory evaluations those abandons skipped.
-  int64_t trajectories_skipped = 0;
 };
 
 /// Result of PB mining: top-k patterns by NM, best first.

@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/obs.h"
 #include "stats/timer.h"
 
 namespace trajpattern {
@@ -36,16 +37,16 @@ void TrajPatternMiner::ScoreBatch(const std::vector<Pattern>& patterns) {
   // conservative (never abandons a candidate the final ω would keep) —
   // and it is what makes the abandonment points, and hence the memoized
   // bounds, independent of the worker count.
+  TP_TRACE_SPAN("miner/score_batch");
   const double prune_below =
       options_.omega_pruning ? top_k_.Omega() : NmEngine::kNoPruning;
   BatchScoreStats bstats;
   const std::vector<double> nms =
       engine_->NmTotalBatch(todo, options_.num_threads, &bstats, prune_below);
-  stats_.warmup_seconds += bstats.warmup_seconds;
-  stats_.scoring_seconds += bstats.scoring_seconds;
-  stats_.threads_used = bstats.threads_used;
-  stats_.candidates_pruned += static_cast<int64_t>(bstats.candidates_pruned);
-  stats_.trajectories_skipped += bstats.trajectories_skipped;
+  AccumulateBatch(bstats, &stats_);
+  TP_COUNTER_ADD("miner.candidates_evaluated", todo.size());
+  TP_COUNTER_ADD("miner.candidates_pruned", bstats.candidates_pruned);
+  TP_COUNTER_ADD("miner.trajectories_skipped", bstats.trajectories_skipped);
   // Serial epilogue in staged order: the memo, evaluation counter, and
   // top-k offers land exactly as the serial one-at-a-time loop would.
   // A pruned candidate's nms[i] is its partial-sum upper bound, < ω at
@@ -89,6 +90,7 @@ MinerCheckpoint TrajPatternMiner::MakeCheckpoint(
 
 MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   WallTimer timer;
+  TP_TRACE_SPAN("miner/mine");
 
   if (resume != nullptr) {
     // Restore the score memo and re-derive the top-k/ω from it (the k
@@ -133,7 +135,10 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   std::unordered_set<Pattern, PatternHash> high;
   std::vector<Pattern> queue;
   auto rebuild = [&]() {
+    TP_TRACE_SPAN("miner/rebuild");
     const double omega = top_k_.Omega();
+    TP_GAUGE_SET("miner.omega", omega);
+    TP_TRACE_COUNTER("miner/omega", omega);
     high.clear();
     for (const auto& [p, nm] : scores_) {
       if (nm >= omega) high.insert(p);
@@ -147,6 +152,9 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     }
     std::sort(queue.begin(), queue.end());
     stats_.peak_queue_size = std::max(stats_.peak_queue_size, queue.size());
+    TP_GAUGE_SET("miner.queue_depth", queue.size());
+    TP_GAUGE_SET("miner.high_set_size", high.size());
+    TP_TRACE_COUNTER("miner/queue_depth", static_cast<double>(queue.size()));
   };
   rebuild();
 
@@ -163,6 +171,8 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
 
   // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
   for (int iter = start_iteration; iter < options_.max_iterations; ++iter) {
+    TP_TRACE_SPAN("miner/iteration");
+    TP_COUNTER_INC("miner.iterations");
     ++stats_.iterations;
 
     // Candidate generation: P in H extended with every P' in Q, both
@@ -243,6 +253,9 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     prev_queue.clear();
     prev_queue.insert(queue.begin(), queue.end());
     stats_.candidates_generated += static_cast<int64_t>(candidates.size());
+    TP_COUNTER_ADD("miner.candidates_generated", candidates.size());
+    TP_HISTOGRAM_OBSERVE("miner.iteration_candidates", candidates.size(),
+                         {10, 100, 1000, 10000, 100000});
 
     if (options_.max_candidates_per_iteration > 0 &&
         candidates.size() > options_.max_candidates_per_iteration) {
@@ -314,6 +327,7 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
       // The iteration boundary is the resumable point: the memo and the
       // frontier snapshots fully determine everything the next iteration
       // does.  A sink veto stops here; `Mine(checkpoint)` picks it up.
+      TP_TRACE_SPAN("miner/checkpoint");
       if (!options_.checkpoint_sink(
               MakeCheckpoint(iter + 1, prev_high, prev_queue))) {
         stats_.aborted = true;

@@ -11,6 +11,7 @@
 #include "core/nm_engine.h"
 #include "core/pattern.h"
 #include "core/top_k.h"
+#include "stats/mining_counters.h"
 
 namespace trajpattern {
 
@@ -118,27 +119,17 @@ struct MinerOptions {
   std::function<bool(const MinerCheckpoint&)> checkpoint_sink;
 };
 
-/// Counters reported alongside a mining result.
-struct MinerStats {
+/// Counters reported alongside a mining result.  The shared work/timing
+/// fields (candidates generated/evaluated/pruned, warmup/scoring split)
+/// come from `MiningCounters`, the struct all three miners report
+/// through.
+struct MinerStats : MiningCounters {
   int iterations = 0;
-  int64_t candidates_generated = 0;
-  int64_t candidates_evaluated = 0;
-  /// Candidates early-abandoned by ω-pruning (counted within
-  /// `candidates_evaluated`; 0 unless `MinerOptions::omega_pruning`).
-  int64_t candidates_pruned = 0;
-  /// Per-trajectory evaluations those abandons skipped (work saved).
-  int64_t trajectories_skipped = 0;
   size_t peak_queue_size = 0;
   size_t alphabet_size = 0;
   double seconds = 0.0;
-  /// Time spent materializing cell columns (serial side of the batches).
-  double warmup_seconds = 0.0;
-  /// Time spent scoring candidates (the parallel region).
-  double scoring_seconds = 0.0;
   /// Distinct cells with a cached column when mining finished.
   size_t cells_cached = 0;
-  /// Worker count the batches ran with (resolved from `num_threads`).
-  int threads_used = 1;
   bool hit_iteration_cap = false;
   bool hit_candidate_cap = false;
   /// The checkpoint sink asked to stop; the run can be resumed.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "prob/log_space.h"
 #include "stats/timer.h"
 
@@ -449,25 +450,36 @@ std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
   out_stats.threads_used = threads;
   std::vector<double> out(patterns.size());
   WallTimer timer;
+  TP_COUNTER_INC("nm.batches");
+  TP_HISTOGRAM_OBSERVE("nm.batch_size", patterns.size(),
+                       {10, 100, 1000, 10000, 100000});
 
-  // Warm-up: every column any candidate needs exists before a worker
-  // runs, so the scoring region below only reads the arena.
-  std::vector<CellId> needed;
-  for (const auto& p : patterns) {
-    for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
+  {
+    // Warm-up: every column any candidate needs exists before a worker
+    // runs, so the scoring region below only reads the arena.
+    TP_TRACE_SPAN("nm/warmup");
+    std::vector<CellId> needed;
+    for (const auto& p : patterns) {
+      for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
+    }
+    out_stats.cells_warmed = WarmCells(needed, threads);
   }
-  out_stats.cells_warmed = WarmCells(needed, threads);
   out_stats.warmup_seconds = timer.Seconds();
+  TP_COUNTER_ADD("nm.cells_warmed", out_stats.cells_warmed);
 
   timer.Reset();
-  ThreadPool* pool = PoolFor(threads);
-  const int lanes = pool == nullptr ? 1 : pool->size();
-  std::vector<ScoreScratch> scratch(static_cast<size_t>(lanes));
   std::vector<int64_t> skipped(patterns.size(), 0);
-  ParallelFor(pool, patterns.size(), [&](size_t i, int worker) {
-    out[i] = (this->*kernel)(patterns[i], &scratch[static_cast<size_t>(worker)],
-                             prune_below, &skipped[i]);
-  });
+  {
+    TP_TRACE_SPAN("nm/scoring");
+    ThreadPool* pool = PoolFor(threads);
+    const int lanes = pool == nullptr ? 1 : pool->size();
+    std::vector<ScoreScratch> scratch(static_cast<size_t>(lanes));
+    ParallelFor(pool, patterns.size(), [&](size_t i, int worker) {
+      out[i] = (this->*kernel)(patterns[i],
+                               &scratch[static_cast<size_t>(worker)],
+                               prune_below, &skipped[i]);
+    });
+  }
   num_pattern_evaluations_ += static_cast<int64_t>(patterns.size());
   for (int64_t s : skipped) {
     if (s > 0) {
@@ -476,6 +488,9 @@ std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
     }
   }
   out_stats.scoring_seconds = timer.Seconds();
+  TP_COUNTER_ADD("nm.candidates_scored", patterns.size());
+  TP_COUNTER_ADD("nm.candidates_pruned", out_stats.candidates_pruned);
+  TP_COUNTER_ADD("nm.trajectories_skipped", out_stats.trajectories_skipped);
   if (stats != nullptr) *stats = out_stats;
   return out;
 }

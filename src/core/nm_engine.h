@@ -10,6 +10,7 @@
 #include "core/mining_space.h"
 #include "core/pattern.h"
 #include "parallel/thread_pool.h"
+#include "stats/mining_counters.h"
 #include "trajectory/trajectory.h"
 
 namespace trajpattern {
@@ -33,6 +34,17 @@ struct BatchScoreStats {
   /// Trajectory evaluations skipped by those abandons (the work saved).
   int64_t trajectories_skipped = 0;
 };
+
+/// Folds one batch's accounting into a miner's running counters; every
+/// miner calls this after every `NmTotalBatch`/`MatchTotalBatch` so the
+/// three reports stay field-for-field comparable.
+inline void AccumulateBatch(const BatchScoreStats& batch, MiningCounters* c) {
+  c->warmup_seconds += batch.warmup_seconds;
+  c->scoring_seconds += batch.scoring_seconds;
+  c->threads_used = batch.threads_used;
+  c->candidates_pruned += static_cast<int64_t>(batch.candidates_pruned);
+  c->trajectories_skipped += batch.trajectories_skipped;
+}
 
 /// Which window-scoring kernel `NmEngine` runs.  `kStreaming` is the
 /// default production kernel; `kGather` is the original per-window

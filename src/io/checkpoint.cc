@@ -8,6 +8,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace trajpattern {
 namespace {
 
@@ -89,6 +91,8 @@ class LineReader {
 }  // namespace
 
 Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
+  TP_TRACE_SPAN("checkpoint/write");
+  TP_COUNTER_INC("checkpoint.writes");
   os << kMagicV2 << "\n";
   os << "iteration," << cp.iteration << "\n";
   os << "k," << cp.k << "\n";
@@ -117,6 +121,8 @@ Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
 }
 
 Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
+  TP_TRACE_SPAN("checkpoint/read");
+  TP_COUNTER_INC("checkpoint.reads");
   *cp = MinerCheckpoint();
   LineReader reader(is);
   std::string line;

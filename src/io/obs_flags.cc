@@ -1,0 +1,64 @@
+#include "io/obs_flags.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trajpattern {
+
+ObsOptions ParseObsOptions(const Flags& flags) {
+  ObsOptions o;
+  o.trace_path = flags.GetString("trace", "");
+  o.metrics_path = flags.GetString("metrics", "");
+  o.metrics_prometheus_path = flags.GetString("metrics-prom", "");
+  const int buffer = flags.GetInt(
+      "trace-buffer", static_cast<int>(ObsOptions{}.trace_buffer_events));
+  if (buffer > 0) o.trace_buffer_events = static_cast<size_t>(buffer);
+  return o;
+}
+
+void StartObservability(const ObsOptions& options) {
+  if (!options.trace_path.empty()) {
+    obs::TraceRecorder::Global().Start(options.trace_buffer_events);
+    obs::TraceRecorder::Global().SetThreadName("trajp-main");
+  }
+}
+
+bool FlushObservability(const ObsOptions& options) {
+  bool ok = true;
+  if (!options.trace_path.empty()) {
+    auto& rec = obs::TraceRecorder::Global();
+    rec.Stop();
+    if (!rec.WriteChromeTrace(options.trace_path)) {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   options.trace_path.c_str());
+      ok = false;
+    } else if (rec.dropped_events() > 0) {
+      std::fprintf(stderr,
+                   "obs: trace ring overflow, oldest %llu events dropped "
+                   "(raise --trace-buffer)\n",
+                   static_cast<unsigned long long>(rec.dropped_events()));
+    }
+  }
+  if (!options.metrics_path.empty() ||
+      !options.metrics_prometheus_path.empty()) {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    if (!options.metrics_path.empty() &&
+        !obs::WriteMetricsJsonFile(snap, options.metrics_path)) {
+      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                   options.metrics_path.c_str());
+      ok = false;
+    }
+    if (!options.metrics_prometheus_path.empty() &&
+        !obs::WriteMetricsPrometheusFile(snap,
+                                         options.metrics_prometheus_path)) {
+      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                   options.metrics_prometheus_path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,42 @@
+#ifndef TRAJPATTERN_IO_OBS_FLAGS_H_
+#define TRAJPATTERN_IO_OBS_FLAGS_H_
+
+#include <string>
+
+#include "io/flags.h"
+
+namespace trajpattern {
+
+/// Observability knobs shared by the CLI and every bench binary:
+///   --trace=<file>    capture a Chrome trace_event JSON of the run
+///   --metrics=<file>  write a metrics-registry snapshot as JSON
+///   --metrics-prom=<file>  same snapshot, Prometheus text format
+///   --trace-buffer=<events-per-thread>  ring capacity (default 131072)
+/// Empty paths mean "off"; all four default to off so existing
+/// invocations are unchanged.
+struct ObsOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string metrics_prometheus_path;
+  // Generous enough that a full Fig. 4 sweep (a span per score wave)
+  // keeps its earliest miner spans; ~6 MiB per recording thread.
+  size_t trace_buffer_events = 1u << 17;
+};
+
+/// Reads the observability flags out of an already-parsed `Flags`.
+ObsOptions ParseObsOptions(const Flags& flags);
+
+/// Starts trace capture if `trace_path` is set.  Call once, before the
+/// instrumented work.  No-op (and tracing stays off) when no trace was
+/// requested, so `--trace`-less runs never pay the ring-buffer branch.
+void StartObservability(const ObsOptions& options);
+
+/// Flushes requested artifacts: stops tracing and writes the trace JSON,
+/// then snapshots the global registry into the metrics file(s).  Returns
+/// false (after printing to stderr) if any requested file failed to
+/// write; true when nothing was requested or everything landed.
+bool FlushObservability(const ObsOptions& options);
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_IO_OBS_FLAGS_H_

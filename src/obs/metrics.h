@@ -1,0 +1,155 @@
+#ifndef TRAJPATTERN_OBS_METRICS_H_
+#define TRAJPATTERN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trajpattern::obs {
+
+/// Lock-free add for pre-C++20-FP-atomics toolchains: a plain CAS loop.
+inline void AtomicAddDouble(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonically increasing integer metric.  Handles are owned by a
+/// `MetricsRegistry` and stay valid for the registry's lifetime; every
+/// operation is a single relaxed atomic, safe from any thread.
+class Counter {
+ public:
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins floating-point metric (e.g. the miner's current ω).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// first `bounds.size()` buckets, with an implicit +inf overflow bucket.
+/// Bucket counts, the total count, and the sum are all updated with
+/// relaxed atomics — concurrent `Observe` calls never lock.
+class Histogram {
+ public:
+  void Observe(double v) {
+    size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAddDouble(sum_, v);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  }
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of a registry, taken under the registration lock
+/// but reading each metric with relaxed loads; repeated snapshots with no
+/// writes in between compare equal.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;   // upper bounds; one extra +inf bucket
+    std::vector<int64_t> counts;  // bounds.size() + 1 entries
+    int64_t count = 0;
+    double sum = 0.0;
+    bool operator==(const HistogramData&) const = default;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Process-wide name -> metric table.  Registration (`GetCounter`...)
+/// takes a mutex once per call site (call sites cache the handle in a
+/// function-local static); the returned handles are lock-free on the hot
+/// path.  Instantiable for tests; production code uses `Global()`.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the `TP_*` instrumentation macros feed.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named metric.  Handles stay valid for the
+  /// registry's lifetime (metrics are never deleted, only zeroed).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used on first registration only (must be sorted
+  /// ascending); later calls return the existing histogram unchanged.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Consistent read of every registered metric.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (handles stay valid).  Benches call this before
+  /// a measured region so the exported snapshot covers only that region.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Serializes a snapshot as a pretty-printed JSON object with
+/// "counters" / "gauges" / "histograms" sections.  Non-finite gauge
+/// values (the miner's ω starts at -inf) are emitted as `null` so the
+/// output is always strict JSON.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (one `# TYPE` line per metric;
+/// histograms expand to `_bucket`/`_sum`/`_count` series).  Metric names
+/// are sanitized (`.` and other invalid characters become `_`).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path`; false (with the file untouched or
+/// partial) on I/O failure.
+bool WriteFileAtomicish(const std::string& path, const std::string& content);
+
+/// Convenience: snapshot -> ToJson -> file.
+bool WriteMetricsJsonFile(const MetricsSnapshot& snapshot,
+                          const std::string& path);
+/// Convenience: snapshot -> ToPrometheusText -> file.
+bool WriteMetricsPrometheusFile(const MetricsSnapshot& snapshot,
+                                const std::string& path);
+
+}  // namespace trajpattern::obs
+
+#endif  // TRAJPATTERN_OBS_METRICS_H_

@@ -1,0 +1,84 @@
+#ifndef TRAJPATTERN_OBS_OBS_H_
+#define TRAJPATTERN_OBS_OBS_H_
+
+/// Instrumentation front door.  Hot paths use only the `TP_*` macros
+/// below; with `-DTRAJPATTERN_OBS=OFF` (CMake) they compile to nothing,
+/// so disabled instrumentation costs literally zero instructions.  The
+/// registry/recorder classes themselves are always built (exporters and
+/// tests keep working in both modes) — only the call sites vanish.
+///
+/// Every macro caches its metric handle in a function-local static, so
+/// after the first pass a counter update is a single relaxed atomic add
+/// and a span is one branch when tracing is off.
+
+#ifndef TRAJPATTERN_OBS_ENABLED
+#define TRAJPATTERN_OBS_ENABLED 1
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if TRAJPATTERN_OBS_ENABLED
+
+#define TP_OBS_CONCAT_INNER(a, b) a##b
+#define TP_OBS_CONCAT(a, b) TP_OBS_CONCAT_INNER(a, b)
+
+/// Adds `delta` to the named process-wide counter.
+#define TP_COUNTER_ADD(name, delta)                                          \
+  do {                                                                       \
+    static ::trajpattern::obs::Counter* const tp_counter_handle_ =           \
+        ::trajpattern::obs::MetricsRegistry::Global().GetCounter(name);      \
+    tp_counter_handle_->Add(static_cast<int64_t>(delta));                    \
+  } while (0)
+
+/// Increments the named counter by one.
+#define TP_COUNTER_INC(name) TP_COUNTER_ADD(name, 1)
+
+/// Sets the named gauge.
+#define TP_GAUGE_SET(name, value)                                            \
+  do {                                                                       \
+    static ::trajpattern::obs::Gauge* const tp_gauge_handle_ =               \
+        ::trajpattern::obs::MetricsRegistry::Global().GetGauge(name);        \
+    tp_gauge_handle_->Set(static_cast<double>(value));                       \
+  } while (0)
+
+/// Observes `value` into the named histogram; `...` is the bucket-bound
+/// initializer list used on first registration, e.g.
+/// TP_HISTOGRAM_OBSERVE("nm.batch_size", n, {10, 100, 1000, 10000}).
+#define TP_HISTOGRAM_OBSERVE(name, value, ...)                               \
+  do {                                                                       \
+    static ::trajpattern::obs::Histogram* const tp_hist_handle_ =            \
+        ::trajpattern::obs::MetricsRegistry::Global().GetHistogram(          \
+            name, std::vector<double> __VA_ARGS__);                          \
+    tp_hist_handle_->Observe(static_cast<double>(value));                    \
+  } while (0)
+
+/// Opens a scoped trace span covering the rest of the enclosing block.
+#define TP_TRACE_SPAN(name) \
+  ::trajpattern::obs::ScopedSpan TP_OBS_CONCAT(tp_span_, __LINE__)(name)
+
+/// Records a counter sample on the trace timeline ("C" event).
+#define TP_TRACE_COUNTER(name, value) \
+  ::trajpattern::obs::TraceRecorder::Global().RecordCounter(name, value)
+
+/// Names the calling thread in trace exports.
+#define TP_TRACE_SET_THREAD_NAME(name) \
+  ::trajpattern::obs::TraceRecorder::Global().SetThreadName(name)
+
+/// Wraps an expression/statement that exists only for instrumentation.
+#define TP_OBS_ONLY(x) x
+
+#else  // !TRAJPATTERN_OBS_ENABLED
+
+#define TP_COUNTER_ADD(name, delta) ((void)0)
+#define TP_COUNTER_INC(name) ((void)0)
+#define TP_GAUGE_SET(name, value) ((void)0)
+#define TP_HISTOGRAM_OBSERVE(name, value, ...) ((void)0)
+#define TP_TRACE_SPAN(name) ((void)0)
+#define TP_TRACE_COUNTER(name, value) ((void)0)
+#define TP_TRACE_SET_THREAD_NAME(name) ((void)0)
+#define TP_OBS_ONLY(x)
+
+#endif  // TRAJPATTERN_OBS_ENABLED
+
+#endif  // TRAJPATTERN_OBS_OBS_H_

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace trajpattern::obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::ThisThreadBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->tid = static_cast<int>(buffers_.size()) - 1;
+    buffer->capacity = capacity_;
+    buffer->ring.reserve(capacity_);
+  }
+  return buffer;
+}
+
+void TraceRecorder::Start(size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+  for (auto& b : buffers_) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->ring.clear();
+    b->ring.reserve(capacity_);
+    b->capacity = capacity_;
+    b->next = 0;
+    b->total = 0;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RecordSpan(const char* name, const char* cat, double ts_us,
+                               double dur_us) {
+  ThreadBuffer* b = ThisThreadBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = b->tid;
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->ring.size() < b->capacity) {
+    b->ring.push_back(e);
+  } else {
+    b->ring[b->next] = e;  // overwrite oldest (ring)
+    b->next = (b->next + 1) % b->capacity;
+  }
+  ++b->total;
+}
+
+void TraceRecorder::RecordCounter(const char* name, double value) {
+  if (!enabled() || !std::isfinite(value)) return;
+  ThreadBuffer* b = ThisThreadBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'C';
+  e.ts_us = NowUs();
+  e.value = value;
+  e.tid = b->tid;
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->ring.size() < b->capacity) {
+    b->ring.push_back(e);
+  } else {
+    b->ring[b->next] = e;
+    b->next = (b->next + 1) % b->capacity;
+  }
+  ++b->total;
+}
+
+void TraceRecorder::SetThreadName(const std::string& name) {
+  ThreadBuffer* b = ThisThreadBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  b->name = name;
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> block(b->mu);
+    // Oldest-first: the ring cursor marks the oldest surviving event once
+    // the buffer has wrapped.
+    const size_t n = b->ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(b->ring[(b->next + i) % n]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> block(b->mu);
+    if (b->total > b->ring.size()) dropped += b->total - b->ring.size();
+  }
+  return dropped;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> block(b->mu);
+      if (b->name.empty()) continue;
+      sep();
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                    "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+                    b->tid, b->name.c_str());
+      out += buf;
+    }
+  }
+  for (const TraceEvent& e : Collect()) {
+    sep();
+    char buf[384];
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                    e.name, e.cat, e.tid, e.ts_us, e.dur_us);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
+                    "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+                    "\"args\": {\"value\": %.17g}}",
+                    e.name, e.cat, e.tid, e.ts_us, e.value);
+    }
+    out += buf;
+  }
+  out += "\n]\n}\n";
+  return WriteFileAtomicish(path, out);
+}
+
+}  // namespace trajpattern::obs

@@ -1,0 +1,125 @@
+#ifndef TRAJPATTERN_OBS_TRACE_H_
+#define TRAJPATTERN_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trajpattern::obs {
+
+/// One recorded trace event.  `name`/`cat` must be string literals (or
+/// otherwise outlive the recorder) — recording never copies or allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = "trajpattern";
+  /// 'X' = complete span (ts + dur), 'C' = counter sample (ts + value).
+  char phase = 'X';
+  double ts_us = 0.0;   // microseconds since Start()
+  double dur_us = 0.0;  // spans only
+  double value = 0.0;   // counter samples only
+  int tid = 0;          // dense per-process thread id (see SetThreadName)
+};
+
+/// Process-wide span/counter recorder.  Each thread records into its own
+/// fixed-capacity ring buffer (registered on first use; the buffer
+/// outlives the thread so late exports still see its events), so the hot
+/// path takes only that thread's uncontended buffer lock.  When a ring
+/// fills, the oldest events are overwritten and counted as dropped.
+///
+/// Recording is cheap but not free; it is off until `Start()`, and every
+/// record checks one relaxed atomic first.  `Collect`/`WriteChromeTrace`
+/// take every buffer lock, so they are safe to call while threads record
+/// (they may simply miss in-flight events).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Clears previous events and begins recording; `events_per_thread` is
+  /// each thread's ring capacity.
+  void Start(size_t events_per_thread = 1 << 15);
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since `Start()` on the steady clock.
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Records a complete span on the calling thread's buffer (no-op when
+  /// not enabled).
+  void RecordSpan(const char* name, const char* cat, double ts_us,
+                  double dur_us);
+  /// Records a counter sample; non-finite values are skipped so exports
+  /// stay strict JSON (the miner's ω starts at -inf).
+  void RecordCounter(const char* name, double value);
+
+  /// Names the calling thread for trace exports ("trajp-worker-3"); also
+  /// assigns its dense tid on first call from a thread.
+  void SetThreadName(const std::string& name);
+
+  /// Every recorded event, oldest-first per thread.
+  std::vector<TraceEvent> Collect() const;
+  /// Events lost to ring overflow since `Start()`.
+  uint64_t dropped_events() const;
+
+  /// Chrome `trace_event` JSON (open in chrome://tracing or Perfetto):
+  /// one "M" thread-name metadata event per thread plus the recorded
+  /// "X"/"C" events.  False on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    size_t capacity = 0;
+    size_t next = 0;      // ring write cursor
+    uint64_t total = 0;   // events ever recorded
+    int tid = 0;
+    std::string name;
+  };
+
+  TraceRecorder() = default;
+  ThreadBuffer* ThisThreadBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ registration and epoch reset
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+  size_t capacity_ = 1 << 15;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// RAII span: records one complete ("X") event covering its lifetime.
+/// Construction is a relaxed load + one clock read when tracing is on;
+/// nothing at all when off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "trajpattern")
+      : name_(name), cat_(cat),
+        active_(TraceRecorder::Global().enabled()) {
+    if (active_) start_us_ = TraceRecorder::Global().NowUs();
+  }
+  ~ScopedSpan() {
+    if (active_) {
+      TraceRecorder& r = TraceRecorder::Global();
+      r.RecordSpan(name_, cat_, start_us_, r.NowUs() - start_us_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  bool active_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace trajpattern::obs
+
+#endif  // TRAJPATTERN_OBS_TRACE_H_

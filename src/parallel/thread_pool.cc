@@ -2,9 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/obs.h"
+
 namespace trajpattern {
+namespace {
+
+/// Names the calling worker thread `trajp-worker-N` with a process-wide
+/// dense N, so trace exports, TSan reports, and debuggers show which
+/// thread is a pool worker instead of an anonymous TID.  The kernel name
+/// is Linux-only (15-char limit incl. the index); the trace-export name
+/// is set wherever the obs layer is compiled in.
+void NameWorkerThread() {
+  static std::atomic<int> next_worker{0};
+  char name[16];
+  std::snprintf(name, sizeof(name), "trajp-worker-%d",
+                next_worker.fetch_add(1, std::memory_order_relaxed) % 100);
+#if defined(__linux__)
+  pthread_setname_np(pthread_self(), name);
+#endif
+  TP_TRACE_SET_THREAD_NAME(name);
+  (void)name;
+}
+
+}  // namespace
 
 int ResolveThreadCount(int num_threads) {
   if (num_threads > 0) return num_threads;
@@ -44,6 +71,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  NameWorkerThread();
   for (;;) {
     std::function<void()> task;
     {
@@ -53,7 +81,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    {
+      TP_TRACE_SPAN("pool/task");
+      TP_COUNTER_INC("pool.tasks_executed");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
@@ -68,6 +100,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
+  TP_TRACE_SPAN("pool/parallel_for");
+  TP_COUNTER_INC("pool.parallel_for_calls");
   const int lanes =
       static_cast<int>(std::min(n, static_cast<size_t>(pool->size())));
   std::atomic<size_t> next{0};

@@ -2,7 +2,31 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace trajpattern {
+namespace {
+
+/// One registry counter per report outcome ("ingest.accepted",
+/// "ingest.out_of_order", ...), resolved once and then a single relaxed
+/// atomic per report — `Report` is the server's hot path.
+void CountReportOutcome(ReportStatus status) {
+#if TRAJPATTERN_OBS_ENABLED
+  static obs::Counter* const outcome_counters[] = {
+      obs::MetricsRegistry::Global().GetCounter("ingest.accepted"),
+      obs::MetricsRegistry::Global().GetCounter("ingest.unknown_id"),
+      obs::MetricsRegistry::Global().GetCounter("ingest.non_finite_time"),
+      obs::MetricsRegistry::Global().GetCounter("ingest.non_finite_location"),
+      obs::MetricsRegistry::Global().GetCounter("ingest.out_of_order"),
+      obs::MetricsRegistry::Global().GetCounter("ingest.duplicate_timestamp"),
+  };
+  outcome_counters[static_cast<int>(status)]->Increment();
+#else
+  (void)status;
+#endif
+}
+
+}  // namespace
 
 const char* ToString(ReportStatus status) {
   switch (status) {
@@ -44,6 +68,7 @@ ReportStatus MobileObjectServer::Report(ObjectId id, double time,
                                         const Point2& location) {
   if (!ValidId(id)) {
     ++totals_.unknown_id;
+    CountReportOutcome(ReportStatus::kUnknownId);
     return ReportStatus::kUnknownId;
   }
   ObjectState& obj = objects_[id];
@@ -79,6 +104,7 @@ ReportStatus MobileObjectServer::Report(ObjectId id, double time,
     case ReportStatus::kUnknownId:
       break;  // handled above
   }
+  CountReportOutcome(status);
   return status;
 }
 
@@ -110,6 +136,7 @@ void MobileObjectServer::AdvanceTo(double time) {
 }
 
 TrajectoryDataset MobileObjectServer::SynchronizeAll() const {
+  TP_TRACE_SPAN("server/synchronize_all");
   const Synchronizer sync(options_.sync);
   TrajectoryDataset out;
   for (const auto& obj : objects_) {

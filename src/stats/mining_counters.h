@@ -1,0 +1,34 @@
+#ifndef TRAJPATTERN_STATS_MINING_COUNTERS_H_
+#define TRAJPATTERN_STATS_MINING_COUNTERS_H_
+
+#include <cstdint>
+
+namespace trajpattern {
+
+/// The work counters every miner reports, extracted so `MinerStats`,
+/// `PbMinerStats`, and `MatchMinerStats` share one definition (each
+/// inherits it) and the three reports cannot drift apart again.  The
+/// fields mirror what `NmEngine`'s batch API accounts per call; miners
+/// accumulate them across batches (see `AccumulateBatch` in
+/// core/nm_engine.h).
+struct MiningCounters {
+  /// Candidates staged by generation (before memo dedup).
+  int64_t candidates_generated = 0;
+  /// Candidates actually scored against the dataset.
+  int64_t candidates_evaluated = 0;
+  /// Candidates early-abandoned by ω-pruning (counted within
+  /// `candidates_evaluated`; 0 unless the miner enables pruning).
+  int64_t candidates_pruned = 0;
+  /// Per-trajectory evaluations those abandons skipped (work saved).
+  int64_t trajectories_skipped = 0;
+  /// Time spent materializing cell columns (serial side of the batches).
+  double warmup_seconds = 0.0;
+  /// Time spent scoring candidates (the parallel region).
+  double scoring_seconds = 0.0;
+  /// Worker count the batches ran with (resolved from `num_threads`).
+  int threads_used = 1;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_STATS_MINING_COUNTERS_H_

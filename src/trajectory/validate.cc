@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geometry/point.h"
+#include "obs/obs.h"
 
 namespace trajpattern {
 namespace {
@@ -179,6 +180,7 @@ Status TrajectoryValidator::Repair(Trajectory* t,
 TrajectoryDataset TrajectoryValidator::Validate(
     const TrajectoryDataset& in, ValidationReport* report,
     TrajectoryDataset* quarantine) const {
+  TP_TRACE_SPAN("validate/dataset");
   ValidationReport local;
   TrajectoryDataset out;
   for (const Trajectory& t : in) {
@@ -206,6 +208,13 @@ TrajectoryDataset TrajectoryValidator::Validate(
       ++local.dropped;
     }
   }
+  TP_COUNTER_ADD("validate.trajectories", local.trajectories);
+  TP_COUNTER_ADD("validate.non_finite", local.non_finite);
+  TP_COUNTER_ADD("validate.bad_sigma", local.bad_sigma);
+  TP_COUNTER_ADD("validate.teleports", local.teleports);
+  TP_COUNTER_ADD("validate.repaired", local.repaired);
+  TP_COUNTER_ADD("validate.quarantined", local.quarantined);
+  TP_COUNTER_ADD("validate.dropped", local.dropped);
   if (report != nullptr) *report = std::move(local);
   return out;
 }

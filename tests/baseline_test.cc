@@ -117,7 +117,7 @@ TEST(PbMinerTest, TracksPeakLivePrefixes) {
   opt.max_length = 2;
   const PbMiningResult res = MinePbPatterns(engine, opt);
   EXPECT_GT(res.stats.peak_live_prefixes, 0u);
-  EXPECT_GT(res.stats.evaluations, 0);
+  EXPECT_GT(res.stats.candidates_evaluated, 0);
 }
 
 TEST(BruteForceTest, RespectsMinAndMaxLength) {

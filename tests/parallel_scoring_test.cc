@@ -323,7 +323,7 @@ TEST(BaselineThreadDeterminismTest, PbMinerThreadInvariant) {
     ExpectBitIdentical(serial.patterns[i].nm, parallel.patterns[i].nm,
                        "PB NM", i);
   }
-  EXPECT_EQ(serial.stats.evaluations, parallel.stats.evaluations);
+  EXPECT_EQ(serial.stats.candidates_evaluated, parallel.stats.candidates_evaluated);
 }
 
 TEST(BaselineThreadDeterminismTest, MatchAprioriThreadInvariant) {
