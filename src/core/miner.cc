@@ -169,8 +169,20 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   }
   const int start_iteration = resume != nullptr ? resume->iteration : 0;
 
+  // `prev_high` is the H snapshot the checkpointed run's last generation
+  // ran over — i.e. the `high_old` of its convergence test.  If the
+  // rebuilt H equals it, the original run stopped at exactly this
+  // boundary; running another iteration here would stage pairs against
+  // the since-expanded Q and evaluate candidates the uninterrupted run
+  // never saw (same top-k, but inflated work counters — the resumed run
+  // would no longer be a faithful continuation).
+  const bool resumed_after_convergence = resume != nullptr &&
+                                         start_iteration > 0 &&
+                                         high == prev_high;
+
   // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
-  for (int iter = start_iteration; iter < options_.max_iterations; ++iter) {
+  for (int iter = start_iteration;
+       !resumed_after_convergence && iter < options_.max_iterations; ++iter) {
     TP_TRACE_SPAN("miner/iteration");
     TP_COUNTER_INC("miner.iterations");
     ++stats_.iterations;

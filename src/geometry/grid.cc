@@ -5,6 +5,23 @@
 #include <cmath>
 
 namespace trajpattern {
+namespace {
+
+/// Maps a continuous cell coordinate (units of cells from the box min)
+/// to a valid index.  The clamping happens BEFORE the integer cast:
+/// casting a NaN or an out-of-int-range double is undefined behavior,
+/// so a point far outside the box — or with a NaN coordinate — must be
+/// caught while still a double.  NaN clamps low, like -inf: there is no
+/// meaningful cell for "no position", and the boundary cell keeps the
+/// result deterministic instead of undefined.  For coordinates already
+/// in [0, n) this is exactly floor-then-cast.
+int ClampedCellIndex(double continuous, int n) {
+  if (!(continuous > 0.0)) return 0;  // negatives and NaN
+  if (continuous >= static_cast<double>(n)) return n - 1;
+  return static_cast<int>(continuous);
+}
+
+}  // namespace
 
 Grid::Grid(const BoundingBox& box, int nx, int ny)
     : box_(box),
@@ -17,11 +34,8 @@ Grid::Grid(const BoundingBox& box, int nx, int ny)
 }
 
 CellId Grid::CellOf(const Point2& p) const {
-  int col = static_cast<int>(std::floor((p.x - box_.min().x) / cell_w_));
-  int row = static_cast<int>(std::floor((p.y - box_.min().y) / cell_h_));
-  col = std::clamp(col, 0, nx_ - 1);
-  row = std::clamp(row, 0, ny_ - 1);
-  return At(col, row);
+  return At(ClampedCellIndex((p.x - box_.min().x) / cell_w_, nx_),
+            ClampedCellIndex((p.y - box_.min().y) / cell_h_, ny_));
 }
 
 Point2 Grid::CenterOf(CellId id) const {
@@ -38,19 +52,17 @@ double Grid::CenterDistance(CellId a, CellId b) const {
 
 std::vector<CellId> Grid::CellsWithin(const Point2& p, double radius) const {
   std::vector<CellId> out;
-  // Restrict the scan to the bounding square of the disc.
-  const int col_lo = std::clamp(
-      static_cast<int>(std::floor((p.x - radius - box_.min().x) / cell_w_)), 0,
-      nx_ - 1);
-  const int col_hi = std::clamp(
-      static_cast<int>(std::floor((p.x + radius - box_.min().x) / cell_w_)), 0,
-      nx_ - 1);
-  const int row_lo = std::clamp(
-      static_cast<int>(std::floor((p.y - radius - box_.min().y) / cell_h_)), 0,
-      ny_ - 1);
-  const int row_hi = std::clamp(
-      static_cast<int>(std::floor((p.y + radius - box_.min().y) / cell_h_)), 0,
-      ny_ - 1);
+  // Restrict the scan to the bounding square of the disc.  A huge
+  // radius (a knows-nothing sigma) pushes these coordinates far past
+  // the int range, so the same pre-cast clamping as CellOf applies.
+  const int col_lo =
+      ClampedCellIndex((p.x - radius - box_.min().x) / cell_w_, nx_);
+  const int col_hi =
+      ClampedCellIndex((p.x + radius - box_.min().x) / cell_w_, nx_);
+  const int row_lo =
+      ClampedCellIndex((p.y - radius - box_.min().y) / cell_h_, ny_);
+  const int row_hi =
+      ClampedCellIndex((p.y + radius - box_.min().y) / cell_h_, ny_);
   const double r2 = radius * radius;
   for (int row = row_lo; row <= row_hi; ++row) {
     for (int col = col_lo; col <= col_hi; ++col) {

@@ -44,7 +44,8 @@ class Grid {
 
   /// Cell containing `p`, or the nearest boundary cell if `p` lies outside
   /// the space (objects that drift out are clamped; the generators keep
-  /// them inside, but prediction may overshoot).
+  /// them inside, but prediction may overshoot).  A non-finite coordinate
+  /// clamps like -inf (column/row 0): never undefined behavior.
   CellId CellOf(const Point2& p) const;
 
   /// True iff `id` names a cell of this grid.

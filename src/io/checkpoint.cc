@@ -1,11 +1,14 @@
 #include "io/checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -51,6 +54,9 @@ void WriteCells(const Pattern& p, std::ostream& os) {
 }
 
 bool ParseCells(const std::string& field, std::vector<CellId>* cells) {
+  // A trailing ';' means a cell went missing in transit — corrupt, not a
+  // formatting nicety to paper over.
+  if (field.empty() || field.back() == ';') return false;
   std::string cell;
   std::istringstream cs(field);
   while (std::getline(cs, cell, ';')) {
@@ -58,7 +64,14 @@ bool ParseCells(const std::string& field, std::vector<CellId>* cells) {
       cells->push_back(kWildcardCell);
     } else {
       long v;
-      if (!ParseLong(cell, &v)) return false;
+      // Only '*' may stand for a non-grid position: a negative or
+      // CellId-overflowing value would index out of the engine's cell
+      // tables after resume, so it is rejected here, at the trust
+      // boundary.
+      if (!ParseLong(cell, &v) || v < 0 ||
+          v > std::numeric_limits<CellId>::max()) {
+        return false;
+      }
       cells->push_back(static_cast<CellId>(v));
     }
   }
@@ -123,7 +136,9 @@ Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
 Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   TP_TRACE_SPAN("checkpoint/read");
   TP_COUNTER_INC("checkpoint.reads");
-  *cp = MinerCheckpoint();
+  // Parse into a local and publish only on success: a caller whose read
+  // fails must be left with a default checkpoint, not a half-loaded one.
+  MinerCheckpoint out;
   LineReader reader(is);
   std::string line;
   if (!reader.Next(&line) || (line != kMagicV1 && line != kMagicV2)) {
@@ -152,11 +167,11 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   if (iteration < 0 || k <= 0) {
     return reader.Error("iteration/k out of range");
   }
-  cp->iteration = static_cast<int>(iteration);
-  cp->k = static_cast<int>(k);
+  out.iteration = static_cast<int>(iteration);
+  out.k = static_cast<int>(k);
 
   if (!reader.Next(&line) || line.rfind("omega,", 0) != 0 ||
-      !ParseHexDouble(line.substr(6), &cp->omega)) {
+      !ParseHexDouble(line.substr(6), &out.omega)) {
     return reader.Error("expected 'omega,<hexfloat>'");
   }
 
@@ -170,15 +185,26 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
     if (evaluated < 0 || pruned < 0) {
       return reader.Error("negative work counter");
     }
-    cp->candidates_evaluated = evaluated;
-    cp->candidates_pruned = pruned;
+    out.candidates_evaluated = evaluated;
+    out.candidates_pruned = pruned;
   }
+
+  // Block counts come from the (possibly corrupt) file: reserving them
+  // verbatim would turn one flipped digit into an allocation bomb
+  // (std::bad_alloc escaping instead of a typed Status).  Counts are
+  // bounded by what a real mining run can write, and reservation is
+  // additionally capped — an overstated count then fails the truncation
+  // check line by line instead of up front in the allocator.
+  constexpr long kMaxBlockCount = 100000000;  // 10^8 rows ≈ tens of GB
+  constexpr size_t kMaxReserve = 1 << 20;
 
   long count;
   s = expect_keyed_long("scores", &count);
   if (!s.ok()) return s;
-  if (count < 0) return reader.Error("negative scores count");
-  cp->scores.reserve(static_cast<size_t>(count));
+  if (count < 0 || count > kMaxBlockCount) {
+    return reader.Error("implausible scores count");
+  }
+  out.scores.reserve(std::min(static_cast<size_t>(count), kMaxReserve));
   for (long i = 0; i < count; ++i) {
     if (!reader.Next(&line)) return reader.Error("truncated score block");
     const size_t comma = line.find(',');
@@ -189,16 +215,18 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
         !ParseCells(line.substr(comma + 1), &cells)) {
       return reader.Error("malformed score row");
     }
-    cp->scores.push_back({Pattern(std::move(cells)), nm});
+    out.scores.push_back({Pattern(std::move(cells)), nm});
   }
 
-  for (std::vector<Pattern>* block : {&cp->prev_high, &cp->prev_queue}) {
+  for (std::vector<Pattern>* block : {&out.prev_high, &out.prev_queue}) {
     const std::string key =
-        block == &cp->prev_high ? "prev_high" : "prev_queue";
+        block == &out.prev_high ? "prev_high" : "prev_queue";
     s = expect_keyed_long(key, &count);
     if (!s.ok()) return s;
-    if (count < 0) return reader.Error("negative " + key + " count");
-    block->reserve(static_cast<size_t>(count));
+    if (count < 0 || count > kMaxBlockCount) {
+      return reader.Error("implausible " + key + " count");
+    }
+    block->reserve(std::min(static_cast<size_t>(count), kMaxReserve));
     for (long i = 0; i < count; ++i) {
       if (!reader.Next(&line)) return reader.Error("truncated " + key);
       std::vector<CellId> cells;
@@ -210,6 +238,7 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   if (!reader.Next(&line) || line != "end") {
     return reader.Error("missing 'end' trailer (truncated checkpoint)");
   }
+  *cp = std::move(out);
   return Status::Ok();
 }
 

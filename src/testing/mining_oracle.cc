@@ -1,0 +1,503 @@
+#include "testing/mining_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "baseline/brute_force.h"
+#include "io/checkpoint.h"
+#include "prob/rng.h"
+#include "trajectory/validate.h"
+
+namespace trajpattern {
+namespace {
+
+/// Bitwise double equality: distinguishes -0.0 from 0.0 and treats two
+/// NaNs with the same payload as equal — exactly the "bit-identical"
+/// contract the fast paths promise.
+bool BitEq(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+std::string Hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string DescribeScored(const ScoredPattern& sp) {
+  return sp.pattern.ToString() + " nm=" + Hex(sp.nm);
+}
+
+/// "" when the two result lists agree pattern-for-pattern and bit-for-bit.
+std::string DiffTopK(const std::string& what,
+                     const std::vector<ScoredPattern>& got,
+                     const std::vector<ScoredPattern>& want) {
+  if (got.size() != want.size()) {
+    return what + ": top-k size " + std::to_string(got.size()) + " vs " +
+           std::to_string(want.size());
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (!(got[i].pattern == want[i].pattern) ||
+        !BitEq(got[i].nm, want[i].nm)) {
+      return what + ": rank " + std::to_string(i) + " " +
+             DescribeScored(got[i]) + " vs " + DescribeScored(want[i]);
+    }
+  }
+  return "";
+}
+
+/// Renders the v1 wire format (pre-counter checkpoints) so the resume
+/// oracle can exercise the compatibility path without a fixture file.
+std::string RenderCheckpointV1(const MinerCheckpoint& cp) {
+  std::ostringstream v2;
+  const Status s = WriteMinerCheckpoint(cp, v2);
+  if (!s.ok()) return "";
+  std::istringstream in(v2.str());
+  std::ostringstream v1;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) {
+      v1 << "trajpattern_checkpoint,v1\n";
+      continue;
+    }
+    if (line.rfind("candidates_evaluated,", 0) == 0 ||
+        line.rfind("candidates_pruned,", 0) == 0) {
+      continue;  // the fields v1 predates
+    }
+    v1 << line << "\n";
+  }
+  return v1.str();
+}
+
+/// Canonical form of a report stream: ascending time, one report per
+/// timestamp (the last one in arrival order wins — it is the freshest
+/// retransmission of that fix).
+std::vector<LocationReport> CanonicalReports(
+    const std::vector<LocationReport>& raw) {
+  std::vector<LocationReport> out = raw;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LocationReport& a, const LocationReport& b) {
+                     return a.time < b.time;
+                   });
+  std::vector<LocationReport> dedup;
+  for (const LocationReport& r : out) {
+    if (!dedup.empty() && dedup.back().time == r.time) {
+      dedup.back() = r;
+    } else {
+      dedup.push_back(r);
+    }
+  }
+  return dedup;
+}
+
+/// Deterministic probe patterns for the kernel-identity leg: singulars,
+/// repeats, wildcard-sandwiched pairs, plus the degenerate empty and
+/// all-wildcard patterns both kernels must reject identically.
+std::vector<Pattern> SamplePatterns(const FuzzInstance& inst,
+                                    const std::vector<CellId>& alphabet) {
+  std::vector<Pattern> out;
+  out.emplace_back();                                     // empty
+  out.emplace_back(std::vector<CellId>{kWildcardCell});   // all-wildcard
+  out.emplace_back(
+      std::vector<CellId>{kWildcardCell, kWildcardCell});
+  if (alphabet.empty()) return out;
+  Rng rng(inst.seed ^ 0x5bf03635u);
+  auto cell = [&]() {
+    return alphabet[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(alphabet.size()) - 1))];
+  };
+  for (int i = 0; i < 4; ++i) out.emplace_back(cell());
+  for (int i = 0; i < 4; ++i) {
+    out.emplace_back(std::vector<CellId>{cell(), cell()});
+  }
+  const CellId c = cell();
+  out.emplace_back(std::vector<CellId>{c, c, c});         // repeated cell
+  out.emplace_back(std::vector<CellId>{cell(), kWildcardCell, cell()});
+  out.emplace_back(
+      std::vector<CellId>{cell(), kWildcardCell, kWildcardCell, cell()});
+  // Wildcard-only suffix/prefix interior shapes (the miner never builds
+  // them, but the engine must still score them consistently).
+  out.emplace_back(std::vector<CellId>{cell(), kWildcardCell});
+  out.emplace_back(std::vector<CellId>{kWildcardCell, cell()});
+  return out;
+}
+
+}  // namespace
+
+OracleReport MiningOracle::Check(const FuzzInstance& inst) const {
+  OracleReport report;
+  auto fail = [&](const std::string& what) {
+    if (report.divergence.empty()) {
+      report.divergence = "seed " + std::to_string(inst.seed) + ": " + what;
+    }
+  };
+
+  // --- Ingestion oracle: synchronizer order-independence + validator
+  // output invariants.  Surviving trajectories join the mining input so
+  // the scoring oracles also run over repaired data.
+  TrajectoryDataset data = inst.data;
+  if (!inst.report_streams.empty() && inst.sync_snapshots > 0) {
+    report.ingestion_checked = true;
+    const Synchronizer sync(inst.SyncOptions());
+    TrajectoryDataset synced;
+    for (size_t i = 0; i < inst.report_streams.size(); ++i) {
+      const auto& raw = inst.report_streams[i];
+      const std::string id = "stream_" + std::to_string(i);
+      const Trajectory got = sync.Synchronize(id, raw);
+      const Trajectory want = sync.Synchronize(id, CanonicalReports(raw));
+      if (got.size() != want.size()) {
+        fail("synchronizer order-dependence: " + id + " sizes " +
+             std::to_string(got.size()) + " vs " + std::to_string(want.size()));
+        return report;
+      }
+      for (size_t s = 0; s < got.size(); ++s) {
+        if (!BitEq(got[s].mean.x, want[s].mean.x) ||
+            !BitEq(got[s].mean.y, want[s].mean.y) ||
+            !BitEq(got[s].sigma, want[s].sigma)) {
+          fail("synchronizer order-dependence: " + id + " snapshot " +
+               std::to_string(s) + " (" + Hex(got[s].mean.x) + "," +
+               Hex(got[s].mean.y) + "," + Hex(got[s].sigma) + ") vs (" +
+               Hex(want[s].mean.x) + "," + Hex(want[s].mean.y) + "," +
+               Hex(want[s].sigma) + ")");
+          return report;
+        }
+      }
+      if (raw.empty() != got.empty()) {
+        fail("synchronizer emptiness: " + id);
+        return report;
+      }
+      if (!raw.empty() &&
+          got.size() != static_cast<size_t>(inst.sync_snapshots)) {
+        fail("synchronizer snapshot count: " + id);
+        return report;
+      }
+      synced.Add(got);
+    }
+    ValidationPolicy policy;
+    const TrajectoryValidator validator(policy);
+    const TrajectoryDataset accepted = validator.Validate(synced);
+    for (const Trajectory& t : accepted) {
+      for (size_t s = 0; s < t.size(); ++s) {
+        if (!std::isfinite(t[s].mean.x) || !std::isfinite(t[s].mean.y) ||
+            !std::isfinite(t[s].sigma) || t[s].sigma <= 0.0) {
+          fail("validator emitted unusable snapshot in '" + t.id() +
+               "' index " + std::to_string(s) + ": (" + Hex(t[s].mean.x) +
+               "," + Hex(t[s].mean.y) + ") sigma=" + Hex(t[s].sigma));
+          return report;
+        }
+      }
+      data.Add(t);
+    }
+  }
+
+  const MiningSpace space = inst.Space();
+  const MinerOptions base = inst.Options();
+
+  // --- Reference run: streaming kernel, serial, exact.
+  NmEngine ref_engine(data, space);
+  const MiningResult ref = MineTrajPatterns(ref_engine, base);
+  ++report.mining_runs;
+
+  // --- Oracle (a), kernel identity on whole mining runs.
+  {
+    NmEngine gather_engine(data, space);
+    gather_engine.set_window_kernel(WindowKernel::kGather);
+    const MiningResult gather = MineTrajPatterns(gather_engine, base);
+    ++report.mining_runs;
+    const std::string diff =
+        DiffTopK("gather vs streaming top-k", gather.patterns, ref.patterns);
+    if (!diff.empty()) {
+      fail(diff);
+      return report;
+    }
+  }
+
+  // --- Oracle (a), kernel identity per pattern and batch-vs-serial.
+  const std::vector<CellId> alphabet = ref_engine.TouchedCells();
+  {
+    NmEngine engine(data, space);
+    const std::vector<Pattern> samples = SamplePatterns(inst, alphabet);
+    std::vector<double> nm_stream(samples.size()), match_stream(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      nm_stream[i] = engine.NmTotal(samples[i]);
+      match_stream[i] = engine.MatchTotal(samples[i]);
+    }
+    engine.set_window_kernel(WindowKernel::kGather);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const double nm = engine.NmTotal(samples[i]);
+      const double match = engine.MatchTotal(samples[i]);
+      if (!BitEq(nm, nm_stream[i])) {
+        fail("NmTotal kernel mismatch on " + samples[i].ToString() + ": " +
+             Hex(nm) + " (gather) vs " + Hex(nm_stream[i]) + " (streaming)");
+        return report;
+      }
+      if (!BitEq(match, match_stream[i])) {
+        fail("MatchTotal kernel mismatch on " + samples[i].ToString() + ": " +
+             Hex(match) + " vs " + Hex(match_stream[i]));
+        return report;
+      }
+    }
+    engine.set_window_kernel(WindowKernel::kStreaming);
+    // Scorable samples only: the batch API is specified for patterns
+    // that pass ValidateScorable.
+    std::vector<Pattern> scorable;
+    for (const Pattern& p : samples) {
+      if (NmEngine::ValidateScorable(p).ok()) scorable.push_back(p);
+    }
+    const std::vector<double> serial = engine.NmTotalBatch(scorable, 1);
+    const std::vector<double> parallel =
+        engine.NmTotalBatch(scorable, inst.num_threads);
+    const std::vector<double> match1 = engine.MatchTotalBatch(scorable, 1);
+    const std::vector<double> matchN =
+        engine.MatchTotalBatch(scorable, inst.num_threads);
+    // Map scorable back to sample indices for the serial comparison.
+    size_t si = 0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (!NmEngine::ValidateScorable(samples[i]).ok()) continue;
+      if (!BitEq(serial[si], nm_stream[i])) {
+        fail("NmTotalBatch(1) vs NmTotal mismatch on " +
+             samples[i].ToString() + ": " + Hex(serial[si]) + " vs " +
+             Hex(nm_stream[i]));
+        return report;
+      }
+      if (!BitEq(match1[si], match_stream[i])) {
+        fail("MatchTotalBatch(1) vs MatchTotal mismatch on " +
+             samples[i].ToString());
+        return report;
+      }
+      ++si;
+    }
+    for (size_t i = 0; i < scorable.size(); ++i) {
+      if (!BitEq(serial[i], parallel[i])) {
+        fail("NmTotalBatch thread divergence on " + scorable[i].ToString() +
+             ": " + Hex(serial[i]) + " (1 thread) vs " + Hex(parallel[i]) +
+             " (" + std::to_string(inst.num_threads) + " threads)");
+        return report;
+      }
+      if (!BitEq(match1[i], matchN[i])) {
+        fail("MatchTotalBatch thread divergence on " + scorable[i].ToString());
+        return report;
+      }
+    }
+
+    // --- Oracle (b), batch pruning contract against the exact values.
+    if (!scorable.empty()) {
+      std::vector<double> exact = serial;
+      std::vector<double> sorted = exact;
+      std::sort(sorted.begin(), sorted.end());
+      // Thresholds at, just below, and just above an exact value probe
+      // the prune_below-equals-partial-sum boundary.
+      const double mid = sorted[sorted.size() / 2];
+      for (const double threshold :
+           {mid, std::nextafter(mid, -1e308), std::nextafter(mid, 1e308)}) {
+        const std::vector<double> pruned1 =
+            engine.NmTotalBatch(scorable, 1, nullptr, threshold);
+        const std::vector<double> prunedN = engine.NmTotalBatch(
+            scorable, inst.num_threads, nullptr, threshold);
+        for (size_t i = 0; i < scorable.size(); ++i) {
+          if (!BitEq(pruned1[i], prunedN[i])) {
+            fail("pruned batch thread divergence on " +
+                 scorable[i].ToString() + " at threshold " + Hex(threshold));
+            return report;
+          }
+          if (BitEq(pruned1[i], exact[i])) continue;  // not abandoned
+          if (!(pruned1[i] < threshold) || !(pruned1[i] >= exact[i])) {
+            fail("pruned value violates bound contract on " +
+                 scorable[i].ToString() + ": pruned=" + Hex(pruned1[i]) +
+                 " exact=" + Hex(exact[i]) + " threshold=" + Hex(threshold));
+            return report;
+          }
+          if (exact[i] >= threshold) {
+            fail("candidate with exact NM above threshold was abandoned: " +
+                 scorable[i].ToString() + " exact=" + Hex(exact[i]) +
+                 " threshold=" + Hex(threshold));
+            return report;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Oracle (a), brute-force ground truth (enumerable spaces only).
+  if (inst.max_wildcards == 0 && !alphabet.empty()) {
+    size_t space_size = 0, pow = 1;
+    bool overflow = false;
+    for (size_t l = 1; l <= inst.max_pattern_length && !overflow; ++l) {
+      if (pow > limits_.max_brute_patterns / alphabet.size()) {
+        overflow = true;
+        break;
+      }
+      pow *= alphabet.size();
+      space_size += pow;
+      if (space_size > limits_.max_brute_patterns) overflow = true;
+    }
+    if (!overflow) {
+      report.brute_force_checked = true;
+      NmEngine brute_engine(data, space);
+      const auto brute = BruteForceTopK(
+          brute_engine, inst.k, inst.max_pattern_length,
+          std::max<size_t>(inst.min_length, 1));
+      const std::string diff =
+          DiffTopK("miner vs brute force", ref.patterns, brute);
+      if (!diff.empty()) {
+        fail(diff);
+        return report;
+      }
+    }
+  }
+
+  // --- Oracle (b), ω-pruned mining vs exact mining.
+  MiningResult pruned_serial;
+  {
+    MinerOptions opt = base;
+    opt.omega_pruning = true;
+    NmEngine engine(data, space);
+    pruned_serial = MineTrajPatterns(engine, opt);
+    ++report.mining_runs;
+    const std::string diff =
+        DiffTopK("omega-pruned vs exact top-k", pruned_serial.patterns,
+                 ref.patterns);
+    if (!diff.empty()) {
+      fail(diff);
+      return report;
+    }
+  }
+
+  // --- Oracle (d), thread-count determinism (pruned and unpruned).
+  {
+    MinerOptions opt = base;
+    opt.num_threads = inst.num_threads;
+    NmEngine engine(data, space);
+    const MiningResult threaded = MineTrajPatterns(engine, opt);
+    ++report.mining_runs;
+    std::string diff =
+        DiffTopK("N-thread vs serial top-k", threaded.patterns, ref.patterns);
+    if (diff.empty() && threaded.stats.candidates_evaluated !=
+                            ref.stats.candidates_evaluated) {
+      diff = "N-thread candidates_evaluated " +
+             std::to_string(threaded.stats.candidates_evaluated) + " vs " +
+             std::to_string(ref.stats.candidates_evaluated);
+    }
+    if (!diff.empty()) {
+      fail(diff);
+      return report;
+    }
+
+    MinerOptions popt = base;
+    popt.num_threads = inst.num_threads;
+    popt.omega_pruning = true;
+    NmEngine pengine(data, space);
+    const MiningResult pthreaded = MineTrajPatterns(pengine, popt);
+    ++report.mining_runs;
+    diff = DiffTopK("N-thread pruned vs serial top-k", pthreaded.patterns,
+                    ref.patterns);
+    if (diff.empty() && pthreaded.stats.candidates_pruned !=
+                            pruned_serial.stats.candidates_pruned) {
+      diff = "N-thread candidates_pruned " +
+             std::to_string(pthreaded.stats.candidates_pruned) + " vs " +
+             std::to_string(pruned_serial.stats.candidates_pruned);
+    }
+    if (!diff.empty()) {
+      fail(diff);
+      return report;
+    }
+  }
+
+  // --- Oracle (c), kill-at-iteration checkpoint/resume, v2 and v1.
+  {
+    MinerCheckpoint captured;
+    bool have_checkpoint = false;
+    MinerOptions opt = base;
+    int calls = 0;
+    opt.checkpoint_sink = [&](const MinerCheckpoint& cp) {
+      captured = cp;
+      have_checkpoint = true;
+      return ++calls < inst.kill_iteration;
+    };
+    NmEngine engine(data, space);
+    const MiningResult aborted = MineTrajPatterns(engine, opt);
+    ++report.mining_runs;
+    (void)aborted;
+    if (have_checkpoint) {
+      // v2 round-trip: top-k and cumulative counters bit-identical.
+      std::ostringstream os;
+      Status s = WriteMinerCheckpoint(captured, os);
+      if (!s.ok()) {
+        fail("checkpoint write failed: " + s.ToString());
+        return report;
+      }
+      std::istringstream is(os.str());
+      MinerCheckpoint loaded;
+      s = ReadMinerCheckpoint(is, &loaded);
+      if (!s.ok()) {
+        fail("checkpoint v2 reload failed: " + s.ToString());
+        return report;
+      }
+      NmEngine resume_engine(data, space);
+      const MiningResult resumed =
+          MineTrajPatterns(resume_engine, base, &loaded);
+      ++report.mining_runs;
+      std::string diff =
+          DiffTopK("v2 resume vs uninterrupted", resumed.patterns,
+                   ref.patterns);
+      if (diff.empty() && resumed.stats.candidates_evaluated !=
+                              ref.stats.candidates_evaluated) {
+        diff = "v2 resume candidates_evaluated " +
+               std::to_string(resumed.stats.candidates_evaluated) +
+               " vs uninterrupted " +
+               std::to_string(ref.stats.candidates_evaluated) +
+               " (double-counted or lost across resume)";
+      }
+      if (diff.empty() &&
+          resumed.stats.candidates_pruned != ref.stats.candidates_pruned) {
+        diff = "v2 resume candidates_pruned " +
+               std::to_string(resumed.stats.candidates_pruned) + " vs " +
+               std::to_string(ref.stats.candidates_pruned);
+      }
+      if (!diff.empty()) {
+        fail(diff);
+        return report;
+      }
+
+      // v1 round-trip: same answer; the missing counters load as zero,
+      // so post-resume work plus the checkpointed slice must equal the
+      // uninterrupted total (anything else is a double count or a loss).
+      std::istringstream v1(RenderCheckpointV1(captured));
+      MinerCheckpoint loaded_v1;
+      s = ReadMinerCheckpoint(v1, &loaded_v1);
+      if (!s.ok()) {
+        fail("checkpoint v1 reload failed: " + s.ToString());
+        return report;
+      }
+      NmEngine v1_engine(data, space);
+      const MiningResult resumed_v1 =
+          MineTrajPatterns(v1_engine, base, &loaded_v1);
+      ++report.mining_runs;
+      diff = DiffTopK("v1 resume vs uninterrupted", resumed_v1.patterns,
+                      ref.patterns);
+      if (diff.empty() &&
+          resumed_v1.stats.candidates_evaluated +
+                  captured.candidates_evaluated !=
+              ref.stats.candidates_evaluated) {
+        diff = "v1 resume counter accounting: post-resume " +
+               std::to_string(resumed_v1.stats.candidates_evaluated) +
+               " + checkpointed " +
+               std::to_string(captured.candidates_evaluated) +
+               " != uninterrupted " +
+               std::to_string(ref.stats.candidates_evaluated);
+      }
+      if (!diff.empty()) {
+        fail(diff);
+        return report;
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace trajpattern

@@ -1,0 +1,69 @@
+#ifndef TRAJPATTERN_TESTING_MINING_ORACLE_H_
+#define TRAJPATTERN_TESTING_MINING_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "testing/instance.h"
+
+namespace trajpattern {
+
+/// What one oracle pass over an instance did and found.  `divergence`
+/// is empty when every applicable check passed; otherwise it names the
+/// first failing oracle and the exact disagreement (scores are rendered
+/// as hexfloats so a report is diffable down to the last bit).
+struct OracleReport {
+  std::string divergence;
+  /// Which optional legs actually ran — a fuzz campaign must report
+  /// skipped coverage, not silently count it as passed.
+  bool brute_force_checked = false;
+  bool ingestion_checked = false;
+  /// Full miner executions performed.
+  int mining_runs = 0;
+
+  bool ok() const { return divergence.empty(); }
+};
+
+/// The differential correctness harness of the scoring/checkpoint/
+/// validation stack.  One `Check` call cross-examines an instance with
+/// four oracle families, every one of which the production code promises
+/// to pass *bit-identically*:
+///
+///  (a) kernels: streaming vs the retained gather reference on mined
+///      top-k, per-pattern NM/Match totals, and batch-vs-serial scoring;
+///      plus `BruteForceTopK` as ground truth when the pattern space is
+///      small enough to enumerate (reported via `brute_force_checked`).
+///  (b) pruning: ω-aware early-abandon mining vs exact mining (same
+///      top-k), and the `NmTotalBatch(prune_below)` contract — a pruned
+///      value is an upper bound on the exact NM and lies below the
+///      threshold; an unpruned value is bit-equal to the exact one.
+///  (c) resume: kill-at-iteration checkpoint (v1 and v2 wire formats)
+///      then resume vs the uninterrupted run — same top-k, and work
+///      counters that neither double-count nor vanish.
+///  (d) threads: 1 worker vs the instance's N workers, pruned and
+///      unpruned — same top-k, same counters.
+///
+/// Ingestion-bearing instances additionally check the synchronizer's
+/// order-independence (a report stream is a *set* of fixes: raw order
+/// and canonical time order must synchronize bit-identically) and the
+/// validator's output invariants (finite coordinates, sigma > 0).
+class MiningOracle {
+ public:
+  struct Limits {
+    /// Brute-force leg budget: skip enumeration when the pattern space
+    /// (sum of alphabet^l) exceeds this many candidates.
+    size_t max_brute_patterns = 20000;
+  };
+
+  MiningOracle() = default;
+  explicit MiningOracle(const Limits& limits) : limits_(limits) {}
+
+  OracleReport Check(const FuzzInstance& inst) const;
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_TESTING_MINING_ORACLE_H_

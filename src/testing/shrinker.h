@@ -1,0 +1,47 @@
+#ifndef TRAJPATTERN_TESTING_SHRINKER_H_
+#define TRAJPATTERN_TESTING_SHRINKER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "testing/instance.h"
+
+namespace trajpattern {
+
+/// Greedy divergence minimizer.  Given a failing instance and a
+/// predicate that re-runs the oracle, `Shrink` repeatedly tries
+/// structure-removing edits (drop a trajectory, drop a report stream,
+/// truncate points/reports, zero the constraint knobs, then shrink the
+/// grid) and keeps any edit after which the predicate still fails.  The
+/// result is the instance that gets committed under
+/// `tests/regressions/` — small enough to read, still failing for the
+/// same reason.
+///
+/// Determinism: the edit schedule is fixed, so the same (instance,
+/// predicate) pair always shrinks to the same repro.
+class Shrinker {
+ public:
+  /// Returns true when the instance still exhibits the divergence.
+  using Predicate = std::function<bool(const FuzzInstance&)>;
+
+  struct Options {
+    /// Cap on predicate evaluations — an oracle pass runs several full
+    /// mining jobs, so the budget is what keeps shrinking interactive.
+    size_t max_evaluations = 400;
+  };
+
+  Shrinker() = default;
+  explicit Shrinker(const Options& options) : options_(options) {}
+
+  /// Precondition: still_fails(inst) is true.  Returns a (possibly
+  /// identical) instance for which it is still true.
+  FuzzInstance Shrink(const FuzzInstance& inst,
+                      const Predicate& still_fails) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_TESTING_SHRINKER_H_

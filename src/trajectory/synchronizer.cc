@@ -10,26 +10,46 @@ Trajectory Synchronizer::Synchronize(
   // A registered-but-silent object is a normal condition under lossy
   // reporting (§3.1): return an empty trajectory instead of asserting.
   if (reports.empty()) return Trajectory(id);
-  assert(std::is_sorted(reports.begin(), reports.end(),
-                        [](const LocationReport& a, const LocationReport& b) {
-                          return a.time < b.time;
-                        }));
+
+  // Passive collection delivers reports out of order and retransmits
+  // fixes, so a stream is a *set* of (time, location) observations, not
+  // a sequence: canonicalize before dead-reckoning.  Stable-sort by
+  // time, then collapse duplicate timestamps keeping the last report in
+  // arrival order (the freshest retransmission).  This makes the result
+  // independent of arrival order and guarantees consecutive retained
+  // reports have dt > 0 — the velocity estimate of Eq. 1 never divides
+  // by a zero-length interval.
+  std::vector<LocationReport> fixes = reports;
+  std::stable_sort(fixes.begin(), fixes.end(),
+                   [](const LocationReport& a, const LocationReport& b) {
+                     return a.time < b.time;
+                   });
+  size_t kept = 0;
+  for (size_t i = 0; i < fixes.size(); ++i) {
+    if (kept > 0 && fixes[kept - 1].time == fixes[i].time) {
+      fixes[kept - 1] = fixes[i];
+    } else {
+      fixes[kept++] = fixes[i];
+    }
+  }
+  fixes.resize(kept);
+
   Trajectory out(id);
   size_t next = 0;  // first report with time > snapshot time
   for (int s = 0; s < options_.num_snapshots; ++s) {
     const double now = options_.start_time + s * options_.interval;
-    while (next < reports.size() && reports[next].time <= now) ++next;
+    while (next < fixes.size() && fixes[next].time <= now) ++next;
     if (next == 0) {
       // Before the first report: best knowledge is that first position.
-      const double gap = reports[0].time - now;
-      out.Append(reports[0].location,
+      const double gap = fixes[0].time - now;
+      out.Append(fixes[0].location,
                  options_.base_sigma + options_.sigma_growth * gap);
       continue;
     }
-    const LocationReport& last = reports[next - 1];
+    const LocationReport& last = fixes[next - 1];
     Vec2 v(0.0, 0.0);
     if (next >= 2) {
-      const LocationReport& prev = reports[next - 2];
+      const LocationReport& prev = fixes[next - 2];
       const double dt = last.time - prev.time;
       if (dt > 0) v = (last.location - prev.location) / dt;
     }

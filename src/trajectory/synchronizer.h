@@ -43,12 +43,15 @@ class Synchronizer {
 
   const Options& options() const { return options_; }
 
-  /// Interpolates `reports` (must be sorted by time) at the configured
-  /// snapshot times.  Snapshots before the first report reuse the first
-  /// reported position.  An object that never reported yields a
-  /// well-defined *empty* trajectory (id set, zero snapshots): the server
-  /// has no belief to synchronize, and downstream consumers must not be
-  /// taken down by one silent device.
+  /// Interpolates `reports` at the configured snapshot times.  The stream
+  /// is treated as a *set* of observations: it is canonicalized first
+  /// (sorted by time; duplicate timestamps collapse to the last report in
+  /// arrival order), so the result is independent of arrival order and
+  /// dead reckoning never sees a zero-length interval.  Snapshots before
+  /// the first report reuse the first reported position.  An object that
+  /// never reported yields a well-defined *empty* trajectory (id set,
+  /// zero snapshots): the server has no belief to synchronize, and
+  /// downstream consumers must not be taken down by one silent device.
   Trajectory Synchronize(const std::string& id,
                          const std::vector<LocationReport>& reports) const;
 

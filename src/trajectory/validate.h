@@ -36,7 +36,9 @@ struct ValidationPolicy {
   /// is a teleport.  0 disables teleport detection.
   double max_jump = 0.0;
   /// Sigma assigned when a bad-sigma snapshot has no trusted neighbor to
-  /// copy from.
+  /// copy from.  Must be positive for repaired snapshots to pass the
+  /// validator's own sigma check; the validator clamps non-finite or
+  /// non-positive values back to this default.
   double sigma_floor = 1e-3;
   /// Extra sigma per snapshot of distance from the nearest trusted
   /// neighbor, applied to repaired locations: the same "uncertainty grows
@@ -75,7 +77,16 @@ struct ValidationReport {
 class TrajectoryValidator {
  public:
   explicit TrajectoryValidator(const ValidationPolicy& policy)
-      : policy_(policy) {}
+      : policy_(policy) {
+    // A repair that installs sigma <= 0 would itself fail the kBadSigma
+    // test — the validator must not manufacture the faults it exists to
+    // remove.  Same for a negative growth rate, which could walk an
+    // inflated sigma below the floor.
+    if (!(policy_.sigma_floor > 0.0)) {  // also catches NaN
+      policy_.sigma_floor = ValidationPolicy().sigma_floor;
+    }
+    if (!(policy_.sigma_growth >= 0.0)) policy_.sigma_growth = 0.0;
+  }
 
   const ValidationPolicy& policy() const { return policy_; }
 

@@ -365,6 +365,108 @@ TEST(CheckpointIoTest, RejectsTruncatedAndForeignInput) {
   EXPECT_EQ(ReadMinerCheckpoint(torn, &cp).code(), StatusCode::kDataLoss);
 }
 
+// Serializes the sample checkpoint and applies one find/replace, for
+// corruption tests that flip a single field.
+std::string CorruptedCheckpoint(const std::string& find,
+                                const std::string& replace) {
+  std::stringstream ss;
+  EXPECT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+  std::string text = ss.str();
+  const size_t pos = text.find(find);
+  EXPECT_NE(pos, std::string::npos) << find;
+  text.replace(pos, find.size(), replace);
+  return text;
+}
+
+TEST(CheckpointIoTest, RejectsAllocationBombCounts) {
+  // A flipped digit in a block count must come back as a typed Status,
+  // not as std::bad_alloc out of an unchecked reserve().
+  for (const char* count : {"scores,200000000", "scores,-3"}) {
+    MinerCheckpoint cp;
+    std::istringstream in(CorruptedCheckpoint("scores,", count));
+    // The oversized count either fails the plausibility bound or the
+    // row-by-row truncation check; both are kDataLoss.
+    EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss)
+        << count;
+  }
+}
+
+TEST(CheckpointIoTest, RejectsCorruptCellLists) {
+  const MinerCheckpoint sample = MakeSampleCheckpoint();
+  ASSERT_FALSE(sample.prev_queue.empty());
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(sample, ss).ok());
+  const std::string good = ss.str();
+  // Negative cell, CellId overflow, and a trailing ';' (lost cell) are
+  // all corruption, not formatting slack.
+  for (const std::string& bad_row : {"-7", "99999999999", "3;"}) {
+    std::string text = good;
+    const size_t row = text.rfind("3;4\n");
+    ASSERT_NE(row, std::string::npos);
+    text.replace(row, 3, bad_row);
+    MinerCheckpoint cp;
+    std::istringstream in(text);
+    EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss)
+        << bad_row;
+  }
+}
+
+TEST(CheckpointIoTest, RejectsNegativeWorkCounters) {
+  MinerCheckpoint cp;
+  std::istringstream in(
+      CorruptedCheckpoint("candidates_evaluated,", "candidates_evaluated,-1\n"
+                                                   "ignored,"));
+  EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointIoTest, FailedReadLeavesOutputUntouched) {
+  // The reader parses into a local and publishes on success only: a torn
+  // file must not leave the caller holding half a checkpoint.
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+  std::string text = ss.str();
+  text.resize(text.size() - 4);  // drop the 'end' trailer
+  MinerCheckpoint cp;
+  cp.iteration = 123;
+  cp.k = 45;
+  cp.scores.push_back({Pattern(CellId{9}), 0.5});
+  std::istringstream torn(text);
+  EXPECT_EQ(ReadMinerCheckpoint(torn, &cp).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(cp.iteration, 123);
+  EXPECT_EQ(cp.k, 45);
+  ASSERT_EQ(cp.scores.size(), 1u);
+  EXPECT_EQ(cp.scores[0].pattern, Pattern(CellId{9}));
+}
+
+TEST(CheckpointIoTest, V1HeaderLoadsWithZeroWorkCounters) {
+  // v1 files predate the cumulative counters; they must load (resume
+  // correctness is handled by the miner) with the counters at 0, not be
+  // rejected as foreign.
+  MinerCheckpoint sample = MakeSampleCheckpoint();
+  sample.candidates_evaluated = 0;
+  sample.candidates_pruned = 0;
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(sample, ss).ok());
+  std::string text = ss.str();
+  const size_t v2 = text.find("checkpoint,v2");
+  ASSERT_NE(v2, std::string::npos);
+  text.replace(v2, 13, "checkpoint,v1");
+  // v1 has no counter lines.
+  for (const char* key : {"candidates_evaluated,0\n", "candidates_pruned,0\n"}) {
+    const size_t pos = text.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    text.erase(pos, std::string(key).size());
+  }
+  MinerCheckpoint loaded;
+  std::istringstream in(text);
+  const Status s = ReadMinerCheckpoint(in, &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(loaded.iteration, sample.iteration);
+  EXPECT_EQ(loaded.candidates_evaluated, 0);
+  EXPECT_EQ(loaded.candidates_pruned, 0);
+  EXPECT_EQ(loaded.prev_queue, sample.prev_queue);
+}
+
 TEST(CheckpointIoTest, FileWrapperRoundTrips) {
   const std::string path = ::testing::TempDir() + "/tp_checkpoint_test.ckpt";
   const MinerCheckpoint cp = MakeSampleCheckpoint();

@@ -142,5 +142,52 @@ TEST(GridTest, CellsWithinEmptyForFarPoint) {
   EXPECT_TRUE(cells.empty());
 }
 
+TEST(GridTest, CellEdgesBelongToTheHigherCell) {
+  // Cells are half-open [lo, hi): a point exactly on a shared edge lands
+  // in the cell whose low edge it is.  The box's own max edge is the one
+  // exception — there is no higher cell, so it clamps inward.
+  const Grid grid = Grid::UnitSquare(4);
+  EXPECT_EQ(grid.CellOf(Point2(0.25, 0.0)), grid.At(1, 0));
+  EXPECT_EQ(grid.CellOf(Point2(0.0, 0.25)), grid.At(0, 1));
+  EXPECT_EQ(grid.CellOf(Point2(0.25, 0.25)), grid.At(1, 1));
+  EXPECT_EQ(grid.CellOf(Point2(0.5, 0.75)), grid.At(2, 3));
+  // Box corners and edges.
+  EXPECT_EQ(grid.CellOf(Point2(0.0, 0.0)), grid.At(0, 0));
+  EXPECT_EQ(grid.CellOf(Point2(1.0, 1.0)), grid.At(3, 3));
+  EXPECT_EQ(grid.CellOf(Point2(1.0, 0.0)), grid.At(3, 0));
+  EXPECT_EQ(grid.CellOf(Point2(0.0, 1.0)), grid.At(0, 3));
+}
+
+TEST(GridTest, CellOfJustInsideAnEdgeStaysInTheLowerCell) {
+  const Grid grid = Grid::UnitSquare(4);
+  const double just_below = std::nextafter(0.25, 0.0);
+  EXPECT_EQ(grid.CellOf(Point2(just_below, just_below)), grid.At(0, 0));
+  EXPECT_EQ(grid.CellOf(Point2(std::nextafter(1.0, 0.0), 0.1)),
+            grid.At(3, 0));
+}
+
+TEST(GridTest, CellOfNonFinitePointsIsDefinedAndClamped) {
+  // Casting NaN (or an out-of-int-range double) to int is UB; CellOf
+  // must clamp in double space instead.  NaN clamps like -inf.
+  const Grid grid = Grid::UnitSquare(4);
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(grid.CellOf(Point2(nan, 0.6)), grid.At(0, 2));
+  EXPECT_EQ(grid.CellOf(Point2(0.6, nan)), grid.At(2, 0));
+  EXPECT_EQ(grid.CellOf(Point2(nan, nan)), grid.At(0, 0));
+  EXPECT_EQ(grid.CellOf(Point2(inf, inf)), grid.At(3, 3));
+  EXPECT_EQ(grid.CellOf(Point2(-inf, -inf)), grid.At(0, 0));
+  // Finite but far beyond the int range once divided by the cell pitch.
+  EXPECT_EQ(grid.CellOf(Point2(1e300, -1e300)), grid.At(3, 0));
+}
+
+TEST(GridTest, CellsWithinHugeRadiusIsWholeGridNotUndefined) {
+  // A knows-nothing sigma hands CellsWithin a radius whose scaled value
+  // exceeds the int range; the scan bounds must clamp, not overflow.
+  const Grid grid = Grid::UnitSquare(4);
+  const auto cells = grid.CellsWithin(Point2(0.5, 0.5), 3e18);
+  EXPECT_EQ(static_cast<int>(cells.size()), grid.num_cells());
+}
+
 }  // namespace
 }  // namespace trajpattern

@@ -1,0 +1,74 @@
+// Replays every minimized divergence committed under tests/regressions/.
+//
+// The directory is globbed at runtime, so a `.repro` file cannot exist
+// without a matching test: dropping a file in is what creates its test,
+// and a file that no longer parses or that diverges again fails the
+// suite.  CI additionally runs this binary in the fuzz-smoke job.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/instance.h"
+#include "testing/mining_oracle.h"
+
+#ifndef TRAJPATTERN_REGRESSIONS_DIR
+#error "TRAJPATTERN_REGRESSIONS_DIR must be defined by the build"
+#endif
+
+namespace trajpattern {
+namespace {
+
+std::vector<std::string> ReproFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TRAJPATTERN_REGRESSIONS_DIR)) {
+    if (entry.path().extension() == ".repro") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(RegressionCorpusTest, DirectoryHoldsOnlyReproFilesAndDocs) {
+  for (const auto& entry :
+       std::filesystem::directory_iterator(TRAJPATTERN_REGRESSIONS_DIR)) {
+    const std::string ext = entry.path().extension().string();
+    EXPECT_TRUE(ext == ".repro" || ext == ".md")
+        << "unexpected file in regressions dir: " << entry.path();
+  }
+}
+
+TEST(RegressionCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_FALSE(ReproFiles().empty())
+      << "tests/regressions/ holds the minimized repros of every bug the "
+         "differential fuzzer has found; it must not be empty";
+}
+
+class RegressionReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegressionReplayTest, OraclePasses) {
+  FuzzInstance inst;
+  const Status s = ReadInstanceFile(GetParam(), &inst);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const OracleReport report = MiningOracle().Check(inst);
+  EXPECT_TRUE(report.ok()) << report.divergence;
+}
+
+std::string NameOf(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Repros, RegressionReplayTest,
+                         ::testing::ValuesIn(ReproFiles()), NameOf);
+
+}  // namespace
+}  // namespace trajpattern

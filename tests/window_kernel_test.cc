@@ -197,6 +197,80 @@ TEST(WindowKernelTest, PrunedScoresAreUpperBoundsBelowOmega) {
   EXPECT_EQ(stats.trajectories_skipped, stats8.trajectories_skipped);
 }
 
+TEST(WindowKernelTest, PruningThresholdExactlyAtAScoreKeepsItExact) {
+  // The abandon test is strict (< threshold): a candidate whose exact NM
+  // *equals* the threshold is still a legitimate top-k member and must
+  // come back bit-exact, including when the running partial sum lands on
+  // the threshold mid-scan.  Probed at ω = an exact score and one ulp to
+  // either side, wildcard-bearing patterns included.
+  const MiningSpace space(Grid::UnitSquare(6), 0.17);
+  const TrajectoryDataset d = UniformData(25, 10, 21);
+  NmEngine engine(d, space);
+  const std::vector<Pattern> batch = MixedPatterns(engine);
+  const std::vector<double> exact = engine.NmTotalBatch(batch, 1);
+
+  std::vector<double> finite;
+  for (double v : exact) {
+    if (std::isfinite(v)) finite.push_back(v);
+  }
+  ASSERT_GE(finite.size(), 2u);
+  std::sort(finite.begin(), finite.end(), std::greater<double>());
+  const double mid = finite[finite.size() / 2];
+
+  for (const double omega :
+       {mid, std::nextafter(mid, kNegInf),
+        std::nextafter(mid, std::numeric_limits<double>::infinity())}) {
+    BatchScoreStats stats;
+    const std::vector<double> pruned =
+        engine.NmTotalBatch(batch, 1, &stats, omega);
+    ASSERT_EQ(pruned.size(), exact.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      if (exact[i] >= omega) {
+        EXPECT_TRUE(BitEqual(pruned[i], exact[i]))
+            << "pattern " << i << " at/above omega came back inexact";
+      } else if (!BitEqual(pruned[i], exact[i])) {
+        EXPECT_GE(pruned[i], exact[i]);
+        EXPECT_LT(pruned[i], omega);
+      }
+    }
+  }
+}
+
+TEST(WindowKernelTest, PruningHandlesNegInfScoresAndColumns) {
+  // A trajectory pinned far outside a pattern's cells yields -inf window
+  // probabilities; the 4-accumulator max scan and the abandon test must
+  // treat those columns as "contributes nothing", not poison neighbors.
+  TrajectoryDataset d = RaggedData(3);
+  Trajectory far("far");
+  for (int s = 0; s < 6; ++s) {
+    far.Append(Point2(1e3 + s, 1e3), 1e-9);  // hopeless for any unit cell
+  }
+  d.Add(std::move(far));
+  const MiningSpace space(Grid::UnitSquare(5), 0.2);
+  NmEngine engine(d, space);
+  const std::vector<Pattern> batch = MixedPatterns(engine);
+  const std::vector<double> exact = engine.NmTotalBatch(batch, 1);
+  // Any threshold, including -inf itself (nothing compares below it, so
+  // nothing may be abandoned) must preserve the contract.
+  for (const double omega : {kNegInf, -1e12, exact[0]}) {
+    BatchScoreStats stats;
+    const std::vector<double> pruned =
+        engine.NmTotalBatch(batch, 1, &stats, omega);
+    const std::vector<double> pruned8 =
+        engine.NmTotalBatch(batch, 8, nullptr, omega);
+    EXPECT_TRUE(BitEqual(pruned, pruned8));
+    for (size_t i = 0; i < exact.size(); ++i) {
+      if (!BitEqual(pruned[i], exact[i])) {
+        EXPECT_GE(pruned[i], exact[i]);
+        EXPECT_LT(pruned[i], omega);
+      }
+    }
+    if (BitEqual(omega, kNegInf)) {
+      EXPECT_TRUE(BitEqual(pruned, exact));
+    }
+  }
+}
+
 TEST(WindowKernelTest, MinerOmegaPruningPreservesTopK) {
   const MiningSpace space(Grid::UnitSquare(6), 0.17);
   const TrajectoryDataset d = UniformData(30, 12, 21);
