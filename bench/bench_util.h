@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/miner.h"
@@ -139,6 +140,33 @@ inline std::string DefaultJsonPath(const std::string& filename) {
 #else
   return filename;
 #endif
+}
+
+/// Real hardware concurrency as the standard library reports it: 0 means
+/// "unknown" and is preserved.  `ResolveThreadCount(0)` folds unknown to
+/// 1 — the right pool size, but the wrong thing to *report* as the
+/// machine's shape, which is what the BENCH artifacts need.
+inline int HardwareThreads() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+/// "" when every entry of `threads_list` fits the machine; otherwise a
+/// warning for the console and the JSON artifact — rows that oversubscribe
+/// the hardware measure scheduler time-slicing, not parallel speedup, and
+/// an artifact that does not say so misreads as a scaling regression.
+inline std::string OversubscriptionWarning(const std::vector<int>& threads_list) {
+  const int hw = HardwareThreads();
+  if (hw == 0) {
+    return "hardware concurrency unknown; thread-sweep speedups are not "
+           "interpretable as scaling";
+  }
+  int worst = 0;
+  for (int t : threads_list) worst = std::max(worst, t);
+  if (worst <= hw) return "";
+  return "thread sweep requests " + std::to_string(worst) + " workers but "
+         "the machine has " + std::to_string(hw) +
+         " hardware threads; oversubscribed rows measure time-slicing, "
+         "not parallel speedup";
 }
 
 /// Shared knobs of the Fig. 4 scalability experiments: a ZebraNet-style

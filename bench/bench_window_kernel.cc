@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/simd_kernels.h"
 #include "io/obs_flags.h"
 #include "parallel/thread_pool.h"
 #include "stats/table.h"
@@ -141,9 +142,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Window-kernel shoot-out  (Fig. 4b point: S=%d, L=%d, G=%d, "
-      "candidates=%zu, reps=%d)\n",
+      "candidates=%zu, reps=%d, simd=%s)\n",
       cfg.num_trajectories, cfg.avg_length, cfg.grid_side * cfg.grid_side,
-      candidates.size(), reps);
+      candidates.size(), reps, trajpattern::simd::ActiveLevelName());
 
   // Warm every column once so the timed runs measure pure scoring.
   engine.set_window_kernel(WindowKernel::kGather);
@@ -272,7 +273,8 @@ int main(int argc, char** argv) {
   w.Key("candidates").UInt(candidates.size());
   w.Key("reps").Int(reps);
   w.EndObject();
-  w.Key("hardware_threads").Int(ResolveThreadCount(0));
+  w.Key("hardware_threads").Int(tb::HardwareThreads());
+  w.Key("simd").Str(trajpattern::simd::ActiveLevelName());
   w.Key("kernels").BeginObject();
   w.Key("gather_seconds").Double(gather_seconds);
   w.Key("streaming_seconds").Double(streaming_seconds);

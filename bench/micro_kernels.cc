@@ -11,6 +11,7 @@
 
 #include "core/miner.h"
 #include "core/nm_engine.h"
+#include "core/simd_kernels.h"
 #include "datagen/uniform_generator.h"
 #include "datagen/zebranet_generator.h"
 #include "index/grid_index.h"
@@ -40,6 +41,56 @@ void BM_ProbWithinDeltaRadial(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProbWithinDeltaRadial);
+
+void BM_NormalIntervalProbBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<double> means(n), sigmas(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    means[i] = rng.Uniform(0.0, 1.0);
+    sigmas[i] = rng.Uniform(0.001, 0.02);
+  }
+  for (auto _ : state) {
+    NormalIntervalProbBatch(means.data(), sigmas.data(), 0.30, 0.34,
+                            out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NormalIntervalProbBatch)->Arg(2400)->Arg(19200);
+
+void BM_SimdFusedMaxSum(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<double> w(n), t(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = -rng.Uniform(0.0, 30.0);
+    t[i] = -rng.Uniform(0.0, 30.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::FusedMaxSum(w.data(), t.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(simd::ActiveLevelName());
+}
+BENCHMARK(BM_SimdFusedMaxSum)->Arg(2400)->Arg(19200);
+
+void BM_SimdAddInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<double> dst(n), src(n);
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = -rng.Uniform(0.0, 30.0);
+    src[i] = -rng.Uniform(0.0, 30.0);
+  }
+  for (auto _ : state) {
+    simd::AddInto(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(simd::ActiveLevelName());
+}
+BENCHMARK(BM_SimdAddInto)->Arg(2400)->Arg(19200);
 
 void BM_GridCellOf(benchmark::State& state) {
   const Grid grid = Grid::UnitSquare(32);

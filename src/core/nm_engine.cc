@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <unordered_set>
 
+#include "core/simd_kernels.h"
 #include "obs/obs.h"
 #include "prob/log_space.h"
+#include "prob/normal.h"
 #include "stats/timer.h"
 
 namespace trajpattern {
@@ -19,33 +22,10 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr int32_t kNoSlot = -1;
 constexpr int32_t kStagedSlot = -2;
 
-/// max over [0, n) of w[k] + t[k], or of t[k] alone when `w` is null.
-/// Four independent accumulators break the loop-carried dependency of
-/// the naive scan (the sequential max is latency-bound); the result is
-/// still bit-identical to it because max is exactly associative on this
-/// domain — the columns are finite logs of probabilities, so no NaN and
-/// no -0.0 can appear, and reassociation cannot change the maximum.
-double FusedMaxSum(const double* w, const double* t, size_t n) {
-  double b0 = kNegInf, b1 = kNegInf, b2 = kNegInf, b3 = kNegInf;
-  size_t k = 0;
-  if (w != nullptr) {
-    for (; k + 4 <= n; k += 4) {
-      b0 = std::max(b0, w[k] + t[k]);
-      b1 = std::max(b1, w[k + 1] + t[k + 1]);
-      b2 = std::max(b2, w[k + 2] + t[k + 2]);
-      b3 = std::max(b3, w[k + 3] + t[k + 3]);
-    }
-    for (; k < n; ++k) b0 = std::max(b0, w[k] + t[k]);
-  } else {
-    for (; k + 4 <= n; k += 4) {
-      b0 = std::max(b0, t[k]);
-      b1 = std::max(b1, t[k + 1]);
-      b2 = std::max(b2, t[k + 2]);
-      b3 = std::max(b3, t[k + 3]);
-    }
-    for (; k < n; ++k) b0 = std::max(b0, t[k]);
-  }
-  return std::max(std::max(b0, b1), std::max(b2, b3));
+/// The fused last-column max scan; dispatched to AVX2 when available,
+/// bit-identical at every level (see simd_kernels.h).
+inline double FusedMaxSum(const double* w, const double* t, size_t n) {
+  return simd::FusedMaxSum(w, t, n);
 }
 
 }  // namespace
@@ -62,6 +42,14 @@ NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
   }
   offsets_.push_back(off);
   stride_ = flat_points_.size();
+  px_.reserve(stride_);
+  py_.reserve(stride_);
+  sigma_.reserve(stride_);
+  for (const auto& p : flat_points_) {
+    px_.push_back(p.mean.x);
+    py_.push_back(p.mean.y);
+    sigma_.push_back(p.sigma);
+  }
   cell_slot_.assign(static_cast<size_t>(space_.grid.num_cells()), kNoSlot);
 }
 
@@ -79,10 +67,35 @@ Status NmEngine::ValidateScorable(const Pattern& p) {
   return Status::Ok();
 }
 
-void NmEngine::ComputeColumnInto(CellId cell, double* out) const {
-  for (size_t g = 0; g < flat_points_.size(); ++g) {
-    out[g] = space_.LogProb(flat_points_[g], cell);
+void NmEngine::ComputeColumnInto(CellId cell, double* out,
+                                 ColumnScratch* scratch) const {
+  const size_t n = stride_;
+  const Point2 center = space_.grid.CenterOf(cell);
+  if (space_.model == IndifferenceModel::kRectangular) {
+    // Prob factors into independent x and y interval probabilities; each
+    // batched pass streams the SoA coordinate arrays.  The factors are
+    // the same doubles ProbWithinDelta multiplies, in the same order, so
+    // the column is bit-identical to the point-at-a-time path.
+    auto& fa = scratch->fa;
+    auto& fb = scratch->fb;
+    if (fa.size() < n) fa.resize(n);
+    if (fb.size() < n) fb.resize(n);
+    NormalIntervalProbBatch(px_.data(), sigma_.data(), center.x - space_.delta,
+                            center.x + space_.delta, fa.data(), n);
+    NormalIntervalProbBatch(py_.data(), sigma_.data(), center.y - space_.delta,
+                            center.y + space_.delta, fb.data(), n);
+    for (size_t g = 0; g < n; ++g) out[g] = SafeLog(fa[g] * fb[g]);
+    return;
   }
+  // Radial model: one cheap distance pass, then the batched Rice-CDF
+  // quadrature, then the log in place.
+  auto& dist = scratch->fa;
+  if (dist.size() < n) dist.resize(n);
+  for (size_t g = 0; g < n; ++g) {
+    dist[g] = Distance(flat_points_[g].mean, center);
+  }
+  RadialWithinProbBatch(dist.data(), sigma_.data(), space_.delta, out, n);
+  for (size_t g = 0; g < n; ++g) out[g] = SafeLog(out[g]);
 }
 
 int32_t NmEngine::EnsureColumn(CellId cell) const {
@@ -90,7 +103,8 @@ int32_t NmEngine::EnsureColumn(CellId cell) const {
   int32_t slot = cell_slot_[static_cast<size_t>(cell)];
   if (slot >= 0) return slot;
   arena_.resize((num_slots_ + 1) * stride_);
-  ComputeColumnInto(cell, arena_.data() + num_slots_ * stride_);
+  ComputeColumnInto(cell, arena_.data() + num_slots_ * stride_,
+                    &column_scratch_);
   slot = static_cast<int32_t>(num_slots_++);
   cell_slot_[static_cast<size_t>(cell)] = slot;
   return slot;
@@ -173,10 +187,10 @@ bool NmEngine::BestWindowSumStreaming(const std::vector<const double*>& cols,
     if (src == nullptr) continue;
     src += off + j;
     if (first) {
-      for (size_t k = 0; k < nwin; ++k) wsum[k] = src[k];
+      std::memcpy(wsum, src, nwin * sizeof(double));
       first = false;
     } else {
-      for (size_t k = 0; k < nwin; ++k) wsum[k] += src[k];
+      simd::AddInto(wsum, src, nwin);
     }
   }
   const double* tail = cols[last] + off + last;
@@ -239,10 +253,10 @@ double NmEngine::NmTotalResolved(const Pattern& p, ScoreScratch* scratch,
         if (src == nullptr) continue;
         src += j;
         if (first) {
-          for (size_t g = 0; g < nwin; ++g) wsum[g] = src[g];
+          std::memcpy(wsum, src, nwin * sizeof(double));
           first = false;
         } else {
-          for (size_t g = 0; g < nwin; ++g) wsum[g] += src[g];
+          simd::AddInto(wsum, src, nwin);
         }
       }
     }
@@ -356,10 +370,10 @@ double NmEngine::MatchTotalResolved(const Pattern& p,
         if (src == nullptr) continue;
         src += j;
         if (first) {
-          for (size_t g = 0; g < nwin; ++g) wsum[g] = src[g];
+          std::memcpy(wsum, src, nwin * sizeof(double));
           first = false;
         } else {
-          for (size_t g = 0; g < nwin; ++g) wsum[g] += src[g];
+          simd::AddInto(wsum, src, nwin);
         }
       }
     }
@@ -409,29 +423,102 @@ ThreadPool* NmEngine::PoolFor(int threads) const {
   return pool_.get();
 }
 
-size_t NmEngine::WarmCells(const std::vector<CellId>& cells,
-                           int num_threads) const {
+void NmEngine::WarmRectangularFactored(const std::vector<CellId>& missing,
+                                       size_t base, ThreadPool* pool) const {
+  const Grid& grid = space_.grid;
+  const double delta = space_.delta;
+  // First-seen-order dedup of the grid columns/rows the batch touches;
+  // dense maps because nx/ny are small next to the dataset.
+  std::vector<int32_t> col_slot(static_cast<size_t>(grid.nx()), -1);
+  std::vector<int32_t> row_slot(static_cast<size_t>(grid.ny()), -1);
+  std::vector<int> cols, rows;
+  for (CellId c : missing) {
+    const int col = grid.ColumnOf(c);
+    const int row = grid.RowOf(c);
+    if (col_slot[static_cast<size_t>(col)] < 0) {
+      col_slot[static_cast<size_t>(col)] = static_cast<int32_t>(cols.size());
+      cols.push_back(col);
+    }
+    if (row_slot[static_cast<size_t>(row)] < 0) {
+      row_slot[static_cast<size_t>(row)] = static_cast<int32_t>(rows.size());
+      rows.push_back(row);
+    }
+  }
+  // Phase 1: one batched 1-D interval-probability pass per distinct grid
+  // column/row.  `CenterOf` derives center.x purely from the column
+  // index and center.y purely from the row index, so every cell sharing
+  // a grid column shares these doubles bit-for-bit — this is where the
+  // erfc-bound cost collapses from O(cells) to O(cols + rows) passes.
+  std::vector<double> fx(cols.size() * stride_);
+  std::vector<double> fy(rows.size() * stride_);
+  ParallelFor(pool, cols.size() + rows.size(), [&](size_t i, int) {
+    if (i < cols.size()) {
+      const double cx = grid.CenterOf(grid.At(cols[i], 0)).x;
+      NormalIntervalProbBatch(px_.data(), sigma_.data(), cx - delta,
+                              cx + delta, fx.data() + i * stride_, stride_);
+    } else {
+      const size_t r = i - cols.size();
+      const double cy = grid.CenterOf(grid.At(0, rows[r])).y;
+      NormalIntervalProbBatch(py_.data(), sigma_.data(), cy - delta,
+                              cy + delta, fy.data() + r * stride_, stride_);
+    }
+  });
+  // Phase 2: per-cell product + log into the cell's own slab.  Multiplies
+  // the exact same doubles `ProbWithinDelta` would, so the columns are
+  // bit-identical to the unfactored path for any thread count and order.
+  ParallelFor(pool, missing.size(), [&](size_t i, int) {
+    const CellId c = missing[i];
+    const double* px =
+        fx.data() +
+        static_cast<size_t>(col_slot[static_cast<size_t>(grid.ColumnOf(c))]) *
+            stride_;
+    const double* py =
+        fy.data() +
+        static_cast<size_t>(row_slot[static_cast<size_t>(grid.RowOf(c))]) *
+            stride_;
+    double* out = arena_.data() + (base + i) * stride_;
+    for (size_t g = 0; g < stride_; ++g) out[g] = SafeLog(px[g] * py[g]);
+  });
+}
+
+size_t NmEngine::WarmCells(const std::vector<CellId>& cells, int num_threads,
+                           WarmStats* stats) const {
+  WarmStats ws;
   std::vector<CellId> missing;
   for (CellId c : cells) {
     if (c == kWildcardCell) continue;
     assert(space_.grid.IsValid(c));
     int32_t& slot = cell_slot_[static_cast<size_t>(c)];
-    if (slot != kNoSlot) continue;  // materialized, or staged just below
+    if (slot != kNoSlot) {  // materialized, or staged just below
+      ++ws.hits;
+      continue;
+    }
     slot = kStagedSlot;
     missing.push_back(c);
   }
+  ws.misses = missing.size();
+  if (stats != nullptr) *stats = ws;
   if (missing.empty()) return 0;
   // The arena is grown once, serially, so the workers below write into
   // disjoint pre-existing slabs and `arena_.data()` never moves while
-  // they run; slot assignment also stays on the calling thread, so the
-  // slot table never needs a lock and readers never see a torn update.
+  // they run; slot assignment also stays on the calling thread — a
+  // single ordered publish after the fills — so the slot table never
+  // needs a lock, readers never see a torn update, and the cell->slot
+  // assignment is a pure function of arrival order, independent of how
+  // the fills interleaved.
   const size_t base = num_slots_;
   arena_.resize((base + missing.size()) * stride_);
-  ParallelFor(PoolFor(ResolveThreadCount(num_threads)), missing.size(),
-              [&](size_t i, int) {
-                ComputeColumnInto(missing[i],
-                                  arena_.data() + (base + i) * stride_);
-              });
+  ThreadPool* pool = PoolFor(ResolveThreadCount(num_threads));
+  if (space_.model == IndifferenceModel::kRectangular) {
+    WarmRectangularFactored(missing, base, pool);
+  } else {
+    const int lanes = pool == nullptr ? 1 : pool->size();
+    std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
+    ParallelFor(pool, missing.size(), [&](size_t i, int worker) {
+      ComputeColumnInto(missing[i], arena_.data() + (base + i) * stride_,
+                        &scratch[static_cast<size_t>(worker)]);
+    });
+  }
   for (size_t i = 0; i < missing.size(); ++i) {
     cell_slot_[static_cast<size_t>(missing[i])] =
         static_cast<int32_t>(base + i);
@@ -462,7 +549,11 @@ std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
     for (const auto& p : patterns) {
       for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
     }
-    out_stats.cells_warmed = WarmCells(needed, threads);
+    WarmStats ws;
+    out_stats.cells_warmed = WarmCells(needed, threads, &ws);
+    out_stats.cells_hit = ws.hits;
+    TP_COUNTER_ADD("nm.warmup_hits", ws.hits);
+    TP_COUNTER_ADD("nm.warmup_misses", ws.misses);
   }
   out_stats.warmup_seconds = timer.Seconds();
   TP_COUNTER_ADD("nm.cells_warmed", out_stats.cells_warmed);

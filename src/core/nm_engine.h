@@ -24,8 +24,12 @@ struct BatchScoreStats {
   double warmup_seconds = 0.0;
   /// Seconds spent scoring candidates (parallel region).
   double scoring_seconds = 0.0;
-  /// Cell columns newly cached by this call's warm-up.
+  /// Cell columns newly cached by this call's warm-up (the incremental
+  /// miss set: cells no earlier batch touched).
   size_t cells_warmed = 0;
+  /// Warm-up requests satisfied by an already-resident column (the hit
+  /// side of the incremental warm-up; wildcards excluded).
+  size_t cells_hit = 0;
   /// Worker count the call actually ran with.
   int threads_used = 1;
   /// Candidates whose scan was abandoned early because the running
@@ -77,8 +81,11 @@ enum class WindowKernel {
 /// `Match`, ...) lazily fill the arena and therefore must only be
 /// called from one thread at a time.  The batch entry points
 /// (`NmTotalBatch`, `MatchTotalBatch`) pre-warm every column their
-/// candidate set needs while still serial, then fan the candidates out
-/// over an internal thread pool; workers only ever *read* the arena.
+/// candidate set needs before any scoring worker starts — the warm-up
+/// itself fans distinct cells out over the pool into disjoint slabs and
+/// publishes the slot table serially (see `WarmCells`) — then fan the
+/// candidates out over the same pool; scoring workers only ever *read*
+/// the arena.
 /// Batch results use the same per-pattern reduction order as the serial
 /// path (trajectory 0, 1, ...), so they are bit-identical to it
 /// regardless of the worker count.
@@ -163,13 +170,31 @@ class NmEngine {
   /// normalization).  Computed by dynamic programming per trajectory.
   double NmTotalWithGaps(const Pattern& p, int max_gap) const;
 
+  /// Hit/miss split of one `WarmCells` call: every non-wildcard entry of
+  /// the request either hit an already-resident (or already-staged,
+  /// for in-request duplicates) column or missed and was materialized.
+  struct WarmStats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
   /// Materializes the log-prob columns of `cells` that are not cached
-  /// yet (column computation runs on `num_threads` workers directly into
-  /// the pre-grown arena; slot assignment stays serial).  Returns the
-  /// number of columns added — 0, with the arena untouched, when every
-  /// cell is already warm.  This is the batch API's warm-up step,
-  /// exposed for callers that know their working set up front.
-  size_t WarmCells(const std::vector<CellId>& cells, int num_threads = 1) const;
+  /// yet.  Warm-up is parallel and incremental: the missing cells are
+  /// deduplicated against the resident set (so per-batch calls warm only
+  /// the delta), the arena is grown once, distinct columns are filled on
+  /// distinct `num_threads` workers — each into its own pre-reserved
+  /// slab, under the rectangular model via x/y-factored batched interval
+  /// probabilities — and a single serial, ordered publish step installs
+  /// the new slots into the dense CellId->slot table.  Column contents
+  /// depend only on (cell, dataset, space), so results are bit-identical
+  /// for any thread count and any warm order.  Returns the number of
+  /// columns added — 0, with the arena untouched, when every cell is
+  /// already warm.  This is the batch API's warm-up step, exposed for
+  /// callers that know their working set up front.  Not itself
+  /// thread-safe: like the other lazy-warming entry points, callers
+  /// serialize calls (the batch API does) and workers only read.
+  size_t WarmCells(const std::vector<CellId>& cells, int num_threads = 1,
+                   WarmStats* stats = nullptr) const;
 
   /// Cells whose center receives non-negligible probability from at least
   /// one snapshot: within `radius_sigmas * sigma + delta` of some mean.
@@ -197,6 +222,14 @@ class NmEngine {
     std::vector<double> wsum;
   };
 
+  /// Scratch of one column materialization (per warm-up worker): the 1-D
+  /// probability factors of the rectangular model, or the center
+  /// distances of the radial one.
+  struct ColumnScratch {
+    std::vector<double> fa;
+    std::vector<double> fb;
+  };
+
   /// Result of scoring one pattern with optional pruning: the score (or
   /// partial-sum bound) plus how many trajectory evaluations the
   /// early-abandon skipped (0 == not pruned).
@@ -204,8 +237,27 @@ class NmEngine {
                                         double prune_below,
                                         int64_t* trajectories_skipped) const;
 
-  /// Writes the log-prob column for `cell` into `out[0, TotalPoints())`.
-  void ComputeColumnInto(CellId cell, double* out) const;
+  /// Writes the log-prob column for `cell` into `out[0, TotalPoints())`,
+  /// column-at-a-time through the batched prob entry points
+  /// (`NormalIntervalProbBatch` / `RadialWithinProbBatch`) instead of
+  /// point-at-a-time.  `scratch` is caller-owned so parallel warm-up
+  /// workers each bring their own.
+  void ComputeColumnInto(CellId cell, double* out,
+                         ColumnScratch* scratch) const;
+
+  /// Fills the slabs [base, base + missing.size()) of the pre-grown
+  /// arena with the columns of `missing` under the rectangular model,
+  /// factored: the column of cell (cx, cy) is SafeLog(Px * Py) where Px
+  /// depends only on the grid column and Py only on the grid row, so the
+  /// 1-D interval probabilities (the erfc-bound part) are computed once
+  /// per distinct grid column/row in the batch and shared by every cell
+  /// in it.  Factor passes and per-cell product+log passes each fan out
+  /// over `pool`; each output depends only on its own inputs, so the
+  /// result is bit-identical at any thread count — and to the unfactored
+  /// `ComputeColumnInto` path, whose per-point products multiply the
+  /// exact same doubles.
+  void WarmRectangularFactored(const std::vector<CellId>& missing, size_t base,
+                               ThreadPool* pool) const;
 
   /// Slot of `cell`'s column, materializing it on miss (may grow the
   /// arena and therefore invalidate previously resolved base pointers —
@@ -277,6 +329,9 @@ class NmEngine {
   std::vector<size_t> offsets_;
   /// All snapshots, flattened in trajectory order.
   std::vector<TrajectoryPoint> flat_points_;
+  /// Structure-of-arrays view of `flat_points_` (means and sigmas), the
+  /// dense inputs the batched prob evaluations stream over.
+  std::vector<double> px_, py_, sigma_;
 
   /// Column arena: slot s holds the column of one cell in
   /// [s*stride_, (s+1)*stride_), stride_ == flat_points_.size().
@@ -293,6 +348,9 @@ class NmEngine {
   WindowKernel kernel_ = WindowKernel::kStreaming;
   mutable int64_t num_pattern_evaluations_ = 0;
   mutable std::unique_ptr<ThreadPool> pool_;
+  /// Column scratch of the serial lazy-warming paths (`EnsureColumn`);
+  /// parallel warm-up workers use per-worker instances instead.
+  mutable ColumnScratch column_scratch_;
 };
 
 /// Joint log probability that the window starting at `begin` in `points`

@@ -1,6 +1,8 @@
 #ifndef TRAJPATTERN_PROB_NORMAL_H_
 #define TRAJPATTERN_PROB_NORMAL_H_
 
+#include <cstddef>
+
 #include "geometry/point.h"
 
 namespace trajpattern {
@@ -11,6 +13,15 @@ double StdNormalCdf(double z);
 /// P(a <= X <= b) for X ~ N(mean, sigma^2).  Degenerates gracefully for
 /// sigma == 0 (point mass at `mean`).
 double NormalIntervalProb(double mean, double sigma, double a, double b);
+
+/// Batched `NormalIntervalProb` over one shared interval: out[i] =
+/// NormalIntervalProb(means[i], sigmas[i], a, b) for i in [0, n),
+/// bit-identical to the scalar calls (both run the same per-element
+/// arithmetic).  This is the column-at-a-time entry point the NmEngine
+/// warm-up uses: one call evaluates a whole cell column, hoisting the
+/// interval bounds and the per-call overhead out of the dataset loop.
+void NormalIntervalProbBatch(const double* means, const double* sigmas,
+                             double a, double b, double* out, size_t n);
 
 /// Exponentially scaled modified Bessel function I0(x) * exp(-|x|).
 /// Needed by the radial indifference model; stable for all x >= 0.
@@ -41,6 +52,14 @@ double ProbWithinDelta(const Point2& l, double sigma, const Point2& p,
 /// model (Rice distribution CDF).  Exposed for testing; prefer
 /// `ProbWithinDelta` with `kRadial`.
 double RadialWithinProb(double center_distance, double sigma, double delta);
+
+/// Batched `RadialWithinProb` over one shared delta: out[i] =
+/// RadialWithinProb(center_distances[i], sigmas[i], delta), bit-identical
+/// to the scalar calls.  Column-at-a-time counterpart of
+/// `NormalIntervalProbBatch` for the radial indifference model.
+void RadialWithinProbBatch(const double* center_distances,
+                           const double* sigmas, double delta, double* out,
+                           size_t n);
 
 }  // namespace trajpattern
 

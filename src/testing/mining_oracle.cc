@@ -407,6 +407,56 @@ OracleReport MiningOracle::Check(const FuzzInstance& inst) const {
     }
   }
 
+  // --- Oracle (e), warm-order determinism: column contents depend only
+  // on (cell, dataset, space), so engines warmed in shuffled orders and
+  // on different thread counts must score bit-identically to one warmed
+  // in canonical order on one thread — and re-warming the resident set
+  // must be a pure no-op that materializes nothing.
+  if (!alphabet.empty()) {
+    report.warm_order_checked = true;
+    const std::vector<Pattern> samples = SamplePatterns(inst, alphabet);
+    std::vector<Pattern> scorable;
+    for (const Pattern& p : samples) {
+      if (NmEngine::ValidateScorable(p).ok()) scorable.push_back(p);
+    }
+    NmEngine warm_ref(data, space);
+    const size_t warmed = warm_ref.WarmCells(alphabet, 1);
+    if (warmed != alphabet.size()) {
+      fail("first warm-up materialized " + std::to_string(warmed) + " of " +
+           std::to_string(alphabet.size()) + " distinct cells");
+      return report;
+    }
+    NmEngine::WarmStats rewarm;
+    if (warm_ref.WarmCells(alphabet, 1, &rewarm) != 0 ||
+        rewarm.misses != 0 || rewarm.hits != alphabet.size()) {
+      fail("re-warming the resident set was not a counted no-op: " +
+           std::to_string(rewarm.hits) + " hits, " +
+           std::to_string(rewarm.misses) + " misses");
+      return report;
+    }
+    const std::vector<double> want = warm_ref.NmTotalBatch(scorable, 1);
+    Rng rng(inst.seed ^ 0x77a3f2c9u);
+    for (const int threads : {1, inst.num_threads}) {
+      std::vector<CellId> shuffled = alphabet;
+      for (size_t i = shuffled.size(); i > 1; --i) {
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int>(i) - 1))]);
+      }
+      NmEngine engine(data, space);
+      engine.WarmCells(shuffled, threads);
+      const std::vector<double> got = engine.NmTotalBatch(scorable, threads);
+      for (size_t i = 0; i < scorable.size(); ++i) {
+        if (!BitEq(got[i], want[i])) {
+          fail("warm-order divergence on " + scorable[i].ToString() + " (" +
+               std::to_string(threads) + " threads, shuffled warm): " +
+               Hex(got[i]) + " vs " + Hex(want[i]));
+          return report;
+        }
+      }
+    }
+  }
+
   // --- Oracle (c), kill-at-iteration checkpoint/resume, v2 and v1.
   {
     MinerCheckpoint captured;

@@ -18,6 +18,7 @@ struct OracleReport {
   /// skipped coverage, not silently count it as passed.
   bool brute_force_checked = false;
   bool ingestion_checked = false;
+  bool warm_order_checked = false;
   /// Full miner executions performed.
   int mining_runs = 0;
 
@@ -42,6 +43,10 @@ struct OracleReport {
 ///      counters that neither double-count nor vanish.
 ///  (d) threads: 1 worker vs the instance's N workers, pruned and
 ///      unpruned — same top-k, same counters.
+///  (e) warm order: engines whose column cache was warmed in shuffled
+///      orders and on different thread counts score bit-identically to
+///      one warmed in canonical order on one thread, and re-warming the
+///      resident set materializes nothing (the incremental contract).
 ///
 /// Ingestion-bearing instances additionally check the synchronizer's
 /// order-independence (a report stream is a *set* of fixes: raw order

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "prob/log_space.h"
 #include "prob/normal.h"
@@ -92,6 +94,44 @@ TEST(RadialWithinProbTest, MonotoneInDelta) {
 TEST(RadialWithinProbTest, DegenerateSigmaIsIndicator) {
   EXPECT_DOUBLE_EQ(RadialWithinProb(0.5, 0.0, 1.0), 1.0);
   EXPECT_DOUBLE_EQ(RadialWithinProb(1.5, 0.0, 1.0), 0.0);
+}
+
+TEST(NormalIntervalProbBatchTest, BitIdenticalToScalarCalls) {
+  Rng rng(21);
+  const size_t n = 257;  // odd, so any internal blocking sees a tail
+  std::vector<double> means(n), sigmas(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    means[i] = rng.Uniform(-1.0, 2.0);
+    // Include degenerate sigma = 0 entries: the batch must take the
+    // same indicator branch the scalar call does.
+    sigmas[i] = i % 7 == 0 ? 0.0 : rng.Uniform(0.001, 0.05);
+  }
+  const double a = 0.30, b = 0.34;
+  NormalIntervalProbBatch(means.data(), sigmas.data(), a, b, out.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const double scalar = NormalIntervalProb(means[i], sigmas[i], a, b);
+    EXPECT_EQ(std::memcmp(&out[i], &scalar, sizeof(double)), 0) << "i=" << i;
+  }
+}
+
+TEST(NormalIntervalProbBatchTest, EmptyIsANoOp) {
+  NormalIntervalProbBatch(nullptr, nullptr, 0.0, 1.0, nullptr, 0);
+}
+
+TEST(RadialWithinProbBatchTest, BitIdenticalToScalarCalls) {
+  Rng rng(23);
+  const size_t n = 65;
+  std::vector<double> dist(n), sigmas(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    dist[i] = rng.Uniform(0.0, 0.2);
+    sigmas[i] = i % 5 == 0 ? 0.0 : rng.Uniform(0.001, 0.05);
+  }
+  const double delta = 0.05;
+  RadialWithinProbBatch(dist.data(), sigmas.data(), delta, out.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const double scalar = RadialWithinProb(dist[i], sigmas[i], delta);
+    EXPECT_EQ(std::memcmp(&out[i], &scalar, sizeof(double)), 0) << "i=" << i;
+  }
 }
 
 TEST(ProbWithinDeltaTest, RectangularFactorizes) {

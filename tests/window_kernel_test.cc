@@ -382,6 +382,98 @@ TEST(WindowKernelTest, RewarmingIsANoOp) {
   EXPECT_GT(stats.cells_warmed, 0u);
 }
 
+TEST(WindowKernelTest, WarmingEmptyCellListIsANoOp) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  const TrajectoryDataset d = UniformData(4, 5, 19);
+  NmEngine engine(d, space);
+  NmEngine::WarmStats stats;
+  EXPECT_EQ(engine.WarmCells({}, 4, &stats), 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(engine.num_cached_cells(), 0u);
+  // A wildcard-only request is equally empty: wildcards have no column.
+  EXPECT_EQ(engine.WarmCells({kWildcardCell, kWildcardCell}, 1, &stats), 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(WindowKernelTest, WarmStatsSplitHitsAndMisses) {
+  const MiningSpace space(Grid::UnitSquare(4), 0.25);
+  const TrajectoryDataset d = UniformData(6, 6, 17);
+  NmEngine engine(d, space);
+  const std::vector<CellId> cells = engine.TouchedCells();
+  ASSERT_GE(cells.size(), 2u);
+
+  NmEngine::WarmStats stats;
+  // Cold: an in-request duplicate counts as a hit (staged by the same
+  // call), the two distinct cells as misses.
+  EXPECT_EQ(engine.WarmCells({cells[0], cells[1], cells[0]}, 1, &stats), 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  // Warm: every request is a hit, nothing is materialized.
+  EXPECT_EQ(engine.WarmCells({cells[1], cells[0]}, 1, &stats), 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 2u);
+
+  // The batch stats surface the same split: a second identical batch
+  // warms nothing and reports every cell request as a hit.
+  BatchScoreStats cold, warm;
+  const std::vector<Pattern> patterns = MixedPatterns(engine);
+  engine.NmTotalBatch(patterns, 1, &cold);
+  engine.NmTotalBatch(patterns, 1, &warm);
+  EXPECT_EQ(warm.cells_warmed, 0u);
+  EXPECT_EQ(warm.cells_hit, cold.cells_hit + cold.cells_warmed);
+}
+
+TEST(WindowKernelTest, WarmOrderAndThreadCountDoNotChangeScores) {
+  const MiningSpace space(Grid::UnitSquare(5), 0.2);
+  const TrajectoryDataset d = UniformData(12, 9, 29);
+  NmEngine reference(d, space);
+  const std::vector<CellId> cells = reference.TouchedCells();
+  ASSERT_GE(cells.size(), 3u);
+  const std::vector<Pattern> patterns = MixedPatterns(reference);
+  reference.WarmCells(cells, 1);
+  const std::vector<double> want = reference.NmTotalBatch(patterns, 1);
+
+  Rng rng(31);
+  for (int threads : {1, 2, 4}) {
+    std::vector<CellId> shuffled = cells;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1],
+                shuffled[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int>(i) - 1))]);
+    }
+    NmEngine engine(d, space);
+    EXPECT_EQ(engine.WarmCells(shuffled, threads), cells.size());
+    EXPECT_TRUE(BitEqual(engine.NmTotalBatch(patterns, threads), want))
+        << threads << " threads, shuffled warm order";
+  }
+}
+
+TEST(WindowKernelTest, FactoredWarmupMatchesLazySerialPath) {
+  // WarmCells materializes rectangular columns through the x/y-factored
+  // path; the serial NmTotal entry points go through the unfactored
+  // per-cell computation.  Both must produce bit-identical scores — and
+  // under the radial model, where no factorization applies, the parallel
+  // warm-up must agree with the serial path too.
+  for (const IndifferenceModel model :
+       {IndifferenceModel::kRectangular, IndifferenceModel::kRadial}) {
+    const MiningSpace space(Grid::UnitSquare(4), 0.25, model);
+    const TrajectoryDataset d = UniformData(8, 7, 37);
+    NmEngine lazy(d, space);
+    const std::vector<Pattern> patterns = MixedPatterns(lazy);
+    std::vector<double> want(patterns.size());
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      want[i] = lazy.NmTotal(patterns[i]);
+    }
+    NmEngine warmed(d, space);
+    warmed.WarmCells(warmed.TouchedCells(), 4);
+    const std::vector<double> got = warmed.NmTotalBatch(patterns, 4);
+    EXPECT_TRUE(BitEqual(got, want))
+        << (model == IndifferenceModel::kRadial ? "radial" : "rectangular");
+  }
+}
+
 TEST(WindowKernelTest, CheckpointV2RoundTripsWorkCounters) {
   MinerCheckpoint cp;
   cp.iteration = 3;
