@@ -10,6 +10,9 @@
 //                   --out=/tmp/patterns.csv   (one line)
 //   trajpattern_cli --cmd=mine --in=/tmp/z.csv --faults=drop:0.05,corrupt:0.01
 //                   --max_jump=5 --checkpoint=/tmp/mine.ckpt   (one line)
+//   trajpattern_cli --cmd=mine --in=/tmp/z.csv --deadline_ms=5000
+//                   --memory_budget_mb=64 --checkpoint=/tmp/mine.ckpt
+//                   --checkpoint_retries=5   (one line)
 //   trajpattern_cli --cmd=score --in=/tmp/z.csv --patterns=/tmp/patterns.csv
 
 #include <algorithm>
@@ -18,6 +21,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/miner.h"
 #include "core/nm_engine.h"
@@ -31,6 +35,7 @@
 #include "io/flags.h"
 #include "io/obs_flags.h"
 #include "server/fault_injector.h"
+#include "server/mining_supervisor.h"
 #include "trajectory/validate.h"
 
 using namespace trajpattern;
@@ -182,12 +187,26 @@ int Mine(const Flags& flags) {
   opt.max_candidates_per_iteration =
       static_cast<size_t>(flags.GetInt("beam", 10000));
 
+  // Run control: --deadline_ms bounds wall-clock, --memory_budget_mb
+  // bounds the scoring arena.  Either stop returns best-so-far results
+  // with a typed stop reason instead of failing the run.
+  const int deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (deadline_ms > 0) opt.run.SetDeadlineAfterMillis(deadline_ms);
+  const int budget_mb = flags.GetInt("memory_budget_mb", 0);
+  if (budget_mb > 0) {
+    opt.run.memory_budget_bytes =
+        static_cast<size_t>(budget_mb) * 1024 * 1024;
+  }
+
   // --checkpoint=FILE: resume from FILE when it exists, and rewrite it
-  // after every grow iteration so a killed run loses at most one.
+  // after every grow iteration so a killed run loses at most one.  The
+  // run then goes through the MiningSupervisor, which retries failing
+  // checkpoint writes (--checkpoint_retries, exponential backoff) and
+  // auto-resumes a crashed attempt from the last good checkpoint.
   const std::string ckpt_path = flags.GetString("checkpoint", "");
-  MinerCheckpoint resume;
-  bool have_resume = false;
+  MiningResult result;
   if (!ckpt_path.empty()) {
+    MinerCheckpoint resume;
     const Status s = ReadMinerCheckpointFile(ckpt_path, &resume);
     if (s.ok()) {
       if (resume.k != opt.k) {
@@ -195,7 +214,6 @@ int Mine(const Flags& flags) {
                      ckpt_path.c_str(), resume.k, opt.k);
         return 1;
       }
-      have_resume = true;
       std::printf("resuming from %s (iteration %d, %zu scored patterns)\n",
                   ckpt_path.c_str(), resume.iteration, resume.scores.size());
     } else if (s.code() != StatusCode::kNotFound) {
@@ -203,24 +221,38 @@ int Mine(const Flags& flags) {
                    ckpt_path.c_str(), s.ToString().c_str());
       return 1;
     }
-    opt.checkpoint_sink = [&ckpt_path](const MinerCheckpoint& cp) {
-      const Status ws = WriteMinerCheckpointFile(cp, ckpt_path);
-      if (!ws.ok()) {
-        std::fprintf(stderr, "mine: checkpoint write failed: %s\n",
-                     ws.ToString().c_str());
-      }
-      return true;
-    };
+    SupervisorOptions sup;
+    sup.checkpoint_path = ckpt_path;
+    sup.checkpoint_retries = flags.GetInt("checkpoint_retries", 3);
+    sup.miner = opt;
+    MiningSupervisor supervisor(&engine, sup);
+    SupervisorReport report = supervisor.Run();
+    if (!report.status.ok()) {
+      std::fprintf(stderr, "mine: supervised run failed: %s\n",
+                   report.status.ToString().c_str());
+      if (report.result.patterns.empty()) return 1;
+    }
+    if (report.restarts > 0 || report.sink_deliveries_retried > 0) {
+      std::printf(
+          "supervisor: %d restarts, %lld checkpoint deliveries retried\n",
+          report.restarts,
+          static_cast<long long>(report.sink_deliveries_retried));
+    }
+    result = std::move(report.result);
+  } else {
+    result = MineTrajPatterns(engine, opt);
   }
-
-  const MiningResult result =
-      MineTrajPatterns(engine, opt, have_resume ? &resume : nullptr);
   std::printf(
       "mined %zu patterns in %.2fs (%lld scored, %d iterations%s)\n",
       result.patterns.size(), result.stats.seconds,
       static_cast<long long>(result.stats.candidates_evaluated),
       result.stats.iterations,
       result.stats.hit_candidate_cap ? ", beam capped" : "");
+  if (result.stats.aborted) {
+    std::printf("stopped early: %s (best-so-far top-k%s)\n",
+                StopReasonName(result.stats.stop_reason),
+                ckpt_path.empty() ? "" : ", resumable checkpoint on disk");
+  }
 
   const auto groups = GroupPatterns(
       result.patterns, grid, flags.GetDouble("gamma", suggestion.gamma));

@@ -32,15 +32,26 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
     for (int c = 0; c < engine.space().grid.num_cells(); ++c) alphabet[c] = c;
   }
 
+  StopReason level_stop = StopReason::kNone;
   auto score_level = [&](const std::vector<Pattern>& cands) {
     TP_TRACE_SPAN("match/score_level");
     BatchScoreStats bstats;
-    const std::vector<double> matches =
-        engine.MatchTotalBatch(cands, options.num_threads, &bstats);
+    const std::vector<double> matches = engine.MatchTotalBatch(
+        cands, options.num_threads, &bstats, &options.run);
     AccumulateBatch(bstats, &stats);
+    level_stop = bstats.stop;
+    if (level_stop != StopReason::kNone) {
+      // Discard the stopped level (partial outputs); the top-k stays at
+      // the last completed level.
+      return std::vector<double>();
+    }
     stats.candidates_generated += static_cast<int64_t>(cands.size());
     TP_COUNTER_ADD("match.candidates_evaluated", cands.size());
     return matches;
+  };
+  auto abort_run = [&stats](StopReason why) {
+    stats.stop_reason = why;
+    stats.aborted = true;
   };
 
   // Level 1.
@@ -50,10 +61,14 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
     singulars.reserve(alphabet.size());
     for (CellId c : alphabet) singulars.emplace_back(c);
     const std::vector<double> matches = score_level(singulars);
-    for (size_t i = 0; i < singulars.size(); ++i) {
-      ++stats.candidates_evaluated;
-      offer(singulars[i], matches[i]);
-      frontier.push_back({std::move(singulars[i]), matches[i]});
+    if (level_stop != StopReason::kNone) {
+      abort_run(level_stop);
+    } else {
+      for (size_t i = 0; i < singulars.size(); ++i) {
+        ++stats.candidates_evaluated;
+        offer(singulars[i], matches[i]);
+        frontier.push_back({std::move(singulars[i]), matches[i]});
+      }
     }
   }
   stats.levels = 1;
@@ -61,7 +76,12 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
   // Level-wise growth.  A pattern with match below omega cannot have a
   // super-pattern in the answer (Apriori), so frontiers carry only
   // survivors.
-  while (!frontier.empty()) {
+  while (!frontier.empty() && !stats.aborted) {
+    const StopReason sr = options.run.CheckStop();
+    if (sr != StopReason::kNone) {
+      abort_run(sr);
+      break;
+    }
     const double w = std::max(top_k.Omega(), options.min_match);
     std::vector<ScoredPattern> survivors;
     for (auto& sp : frontier) {
@@ -110,6 +130,10 @@ MatchMiningResult MineMatchPatterns(const NmEngine& engine,
     // Omega is only re-read at the next level boundary (w above), so
     // staging the whole level and batch-scoring it is exact.
     const std::vector<double> matches = score_level(cands);
+    if (level_stop != StopReason::kNone) {
+      abort_run(level_stop);
+      break;
+    }
     std::vector<ScoredPattern> next;
     next.reserve(cands.size());
     for (size_t i = 0; i < cands.size(); ++i) {

@@ -40,6 +40,11 @@ struct MatchMinerOptions {
   /// Each level's surviving candidates are scored through one
   /// `NmEngine::MatchTotalBatch`; results are identical for any value.
   int num_threads = 1;
+  /// Run control (cancellation/deadline/memory budget), polled per level
+  /// and by scoring workers mid-level; see common/run_context.h.  On a
+  /// stop the in-flight level is discarded and the run returns its exact
+  /// best-so-far top-k with the typed `stop_reason`.
+  RunContext run;
 };
 
 /// Counters for a match mining run.  Shared work/timing fields come from

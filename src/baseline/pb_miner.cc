@@ -40,14 +40,28 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
   // candidates carry their partial-sum upper bound, which the offer
   // below correctly rejects (bound < ω) and the extensibility bound
   // scales admissibly.
+  // Unified abort bookkeeping: every early stop — run-control stop
+  // surfaced by the engine, or the prefix cap — reports through the same
+  // stop_reason/aborted fields the core miner uses.
+  auto abort_run = [&stats](StopReason why) {
+    stats.stop_reason = why;
+    stats.aborted = true;
+  };
+  StopReason wave_stop = StopReason::kNone;
   auto score_wave = [&](const std::vector<Pattern>& wave) {
     TP_TRACE_SPAN("pb/score_wave");
     const double prune_below =
         options.omega_pruning ? top_k.Omega() : NmEngine::kNoPruning;
     BatchScoreStats bstats;
-    const std::vector<double> nms =
-        engine.NmTotalBatch(wave, options.num_threads, &bstats, prune_below);
+    const std::vector<double> nms = engine.NmTotalBatch(
+        wave, options.num_threads, &bstats, prune_below, &options.run);
     AccumulateBatch(bstats, &stats);
+    wave_stop = bstats.stop;
+    if (wave_stop != StopReason::kNone) {
+      // Discard the stopped wave entirely (its outputs are partial); the
+      // top-k stays at the last completed wave.
+      return std::vector<double>();
+    }
     stats.candidates_generated += static_cast<int64_t>(wave.size());
     TP_COUNTER_ADD("pb.candidates_evaluated", wave.size());
     TP_COUNTER_ADD("pb.candidates_pruned", bstats.candidates_pruned);
@@ -60,18 +74,28 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
     singulars.reserve(alphabet.size());
     for (CellId c : alphabet) singulars.emplace_back(c);
     const std::vector<double> nms = score_wave(singulars);
-    for (size_t i = 0; i < singulars.size(); ++i) {
-      ++stats.candidates_evaluated;
-      offer(singulars[i], nms[i]);
-      live.push_back({std::move(singulars[i]), nms[i]});
+    if (wave_stop != StopReason::kNone) {
+      abort_run(wave_stop);
+    } else {
+      for (size_t i = 0; i < singulars.size(); ++i) {
+        ++stats.candidates_evaluated;
+        offer(singulars[i], nms[i]);
+        live.push_back({std::move(singulars[i]), nms[i]});
+      }
     }
   }
   stats.peak_live_prefixes = live.size();
 
-  while (!live.empty()) {
+  while (!live.empty() && !stats.aborted) {
+    const StopReason sr = options.run.CheckStop();
+    if (sr != StopReason::kNone) {
+      abort_run(sr);
+      break;
+    }
     if (options.max_expanded_prefixes > 0 &&
         stats.prefixes_expanded >= options.max_expanded_prefixes) {
       stats.hit_prefix_cap = true;
+      abort_run(StopReason::kWorkCap);
       break;
     }
     ScoredPattern prefix = std::move(live.front());
@@ -95,6 +119,10 @@ PbMiningResult MinePbPatterns(const NmEngine& engine,
     exts.reserve(alphabet.size());
     for (CellId x : alphabet) exts.push_back(prefix.pattern.Concat(Pattern(x)));
     const std::vector<double> nms = score_wave(exts);
+    if (wave_stop != StopReason::kNone) {
+      abort_run(wave_stop);
+      break;
+    }
     for (size_t i = 0; i < exts.size(); ++i) {
       ++stats.candidates_evaluated;
       offer(exts[i], nms[i]);

@@ -38,6 +38,11 @@ struct PbMinerOptions {
   /// bound into an upper bound, so no prefix that exact PB would expand
   /// is ever cut — some useless ones may survive longer, never fewer.
   bool omega_pruning = false;
+  /// Run control (cancellation/deadline/memory budget), polled per wave
+  /// and by scoring workers mid-wave; see common/run_context.h.  On a
+  /// stop the in-flight wave is discarded and the run returns its exact
+  /// best-so-far top-k with the typed `stop_reason`.
+  RunContext run;
 };
 
 /// Counters for a PB run.  The shared work/timing fields live in
@@ -46,6 +51,9 @@ struct PbMinerOptions {
 struct PbMinerStats : MiningCounters {
   int64_t prefixes_expanded = 0;
   size_t peak_live_prefixes = 0;
+  /// The `max_expanded_prefixes` cap fired.  Reported through the shared
+  /// stop fields too: `stop_reason == kWorkCap` and `aborted` (same
+  /// vocabulary as the core miner's early stops).
   bool hit_prefix_cap = false;
   double seconds = 0.0;
 };

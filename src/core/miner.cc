@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "obs/obs.h"
@@ -42,8 +43,20 @@ void TrajPatternMiner::ScoreBatch(const std::vector<Pattern>& patterns) {
       options_.omega_pruning ? top_k_.Omega() : NmEngine::kNoPruning;
   BatchScoreStats bstats;
   const std::vector<double> nms =
-      engine_->NmTotalBatch(todo, options_.num_threads, &bstats, prune_below);
+      engine_->NmTotalBatch(todo, options_.num_threads, &bstats, prune_below,
+                            &options_.run);
   AccumulateBatch(bstats, &stats_);
+  if (bstats.stop != StopReason::kNone) {
+    // Discard the whole batch: under a mid-batch stop `nms` holds a mix
+    // of real scores and unclaimed defaults, and feeding any of it to
+    // the memo would fork this run from its uninterrupted twin.  Memo
+    // and top-k stay exactly at the last completed batch, which is what
+    // keeps the best-so-far answer exact and the last checkpoint a
+    // bit-identical resume point.
+    stats_.stop_reason = bstats.stop;
+    stats_.aborted = true;
+    return;
+  }
   TP_COUNTER_ADD("miner.candidates_evaluated", todo.size());
   TP_COUNTER_ADD("miner.candidates_pruned", bstats.candidates_pruned);
   TP_COUNTER_ADD("miner.trajectories_skipped", bstats.trajectories_skipped);
@@ -169,6 +182,22 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   }
   const int start_iteration = resume != nullptr ? resume->iteration : 0;
 
+  // The sink's view of the run.  `last_cp` always holds the checkpoint
+  // of the newest completed boundary; `sink_has_latest` says whether the
+  // sink already received it.  Until the first in-loop boundary that is
+  // the start boundary (post-singulars, pre-iteration), which the sink
+  // has never seen — if a stop fires mid-iteration before any boundary
+  // delivery, it is emitted below so an aborted run always leaves a
+  // resumable checkpoint behind.  (A stop during the singular batch
+  // itself predates any resumable state; such a run resumes from
+  // scratch.)
+  const bool has_sink = static_cast<bool>(options_.checkpoint_sink);
+  std::optional<MinerCheckpoint> last_cp;
+  bool sink_has_latest = false;
+  if (has_sink && !stats_.aborted) {
+    last_cp = MakeCheckpoint(start_iteration, prev_high, prev_queue);
+  }
+
   // `prev_high` is the H snapshot the checkpointed run's last generation
   // ran over — i.e. the `high_old` of its convergence test.  If the
   // rebuilt H equals it, the original run stopped at exactly this
@@ -182,7 +211,17 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
 
   // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
   for (int iter = start_iteration;
-       !resumed_after_convergence && iter < options_.max_iterations; ++iter) {
+       !stats_.aborted && !resumed_after_convergence &&
+       iter < options_.max_iterations;
+       ++iter) {
+    // Batch-boundary poll: catches a cancel/deadline that fired between
+    // iterations (workers additionally poll mid-batch).
+    const StopReason sr = options_.run.CheckStop();
+    if (sr != StopReason::kNone) {
+      stats_.stop_reason = sr;
+      stats_.aborted = true;
+      break;
+    }
     TP_TRACE_SPAN("miner/iteration");
     TP_COUNTER_INC("miner.iterations");
     ++stats_.iterations;
@@ -329,25 +368,42 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     }
 
     ScoreBatch(candidates);
+    // A stop mid-batch discarded the whole generation; the memo is still
+    // exactly the last boundary's, so `last_cp` stays valid.
+    if (stats_.aborted) break;
 
     // Re-threshold, relabel, prune (§4.1).
     std::unordered_set<Pattern, PatternHash> high_old = std::move(high);
     rebuild();
 
     const bool converged = high == high_old;
-    if (options_.checkpoint_sink) {
+    if (has_sink) {
       // The iteration boundary is the resumable point: the memo and the
       // frontier snapshots fully determine everything the next iteration
       // does.  A sink veto stops here; `Mine(checkpoint)` picks it up.
       TP_TRACE_SPAN("miner/checkpoint");
-      if (!options_.checkpoint_sink(
-              MakeCheckpoint(iter + 1, prev_high, prev_queue))) {
+      MinerCheckpoint cp = MakeCheckpoint(iter + 1, prev_high, prev_queue);
+      const bool keep_going = options_.checkpoint_sink(cp);
+      last_cp = std::move(cp);
+      sink_has_latest = true;
+      if (!keep_going) {
         stats_.aborted = true;
+        stats_.stop_reason = StopReason::kSinkVeto;
         break;
       }
     }
     if (converged) break;
     if (iter + 1 == options_.max_iterations) stats_.hit_iteration_cap = true;
+  }
+
+  // An abort before this segment's first boundary delivery leaves the
+  // sink without the start-boundary state; emit it now so every aborted
+  // run (past the singular batch) ends with a resumable checkpoint on
+  // record.  The veto answer is ignored — the run is already stopping.
+  if (stats_.aborted && stats_.stop_reason != StopReason::kSinkVeto &&
+      has_sink && last_cp.has_value() && !sink_has_latest) {
+    TP_TRACE_SPAN("miner/checkpoint");
+    (void)options_.checkpoint_sink(*last_cp);
   }
 
   MiningResult result;

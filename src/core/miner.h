@@ -117,6 +117,18 @@ struct MinerOptions {
   /// checkpoint copies the score memo, so the hook costs O(|memo|) per
   /// iteration; leave it empty when not needed.
   std::function<bool(const MinerCheckpoint&)> checkpoint_sink;
+
+  /// Run control: cooperative cancellation, wall-clock deadline, and
+  /// memory budget (see common/run_context.h).  Polled at every batch
+  /// boundary, and by every scoring/warm-up worker before claiming each
+  /// work item, so a stop takes effect mid-batch.  On a stop the
+  /// in-flight batch is discarded and the run returns the exact
+  /// best-so-far top-k as of the last completed batch, with the typed
+  /// reason in `MinerStats::stop_reason`; the last checkpoint the sink
+  /// received stays a valid resume point reproducing the uninterrupted
+  /// answer bit-identically.  A default-constructed context never stops
+  /// anything.
+  RunContext run;
 };
 
 /// Counters reported alongside a mining result.  The shared work/timing
@@ -132,8 +144,10 @@ struct MinerStats : MiningCounters {
   size_t cells_cached = 0;
   bool hit_iteration_cap = false;
   bool hit_candidate_cap = false;
-  /// The checkpoint sink asked to stop; the run can be resumed.
-  bool aborted = false;
+  // `aborted` and the typed `stop_reason` (sink veto, cancellation,
+  // deadline, memory budget, allocation failure) are inherited from
+  // MiningCounters; an aborted run can be resumed from the last
+  // checkpoint its sink received.
 };
 
 /// Output of a mining run: the k best patterns by NM, best first, plus

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <cstring>
+#include <new>
 #include <unordered_set>
+#include <utility>
 
 #include "core/simd_kernels.h"
 #include "obs/obs.h"
@@ -98,15 +100,74 @@ void NmEngine::ComputeColumnInto(CellId cell, double* out,
   for (size_t g = 0; g < n; ++g) out[g] = SafeLog(out[g]);
 }
 
+bool NmEngine::GrowArena(size_t new_alloc) const {
+  if (new_alloc <= allocated_slots_) return true;
+  if (alloc_fault_hook_ &&
+      alloc_fault_hook_(new_alloc * stride_ * sizeof(double))) {
+    return false;
+  }
+  try {
+    arena_.resize(new_alloc * stride_);
+    slot_cell_.resize(new_alloc, kWildcardCell);
+    slot_last_use_.resize(new_alloc, 0);
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+  allocated_slots_ = new_alloc;
+  peak_slots_ = std::max(peak_slots_, allocated_slots_);
+  return true;
+}
+
+size_t NmEngine::EvictLruSlots(size_t count, uint64_t protect_tick) const {
+  if (count == 0 || num_slots_ == 0) return 0;
+  // (stamp, cell) of every evictable resident slot; sorting gives
+  // LRU-first with a CellId tiebreak, so the victim set is a pure
+  // function of the request history — independent of thread count.
+  std::vector<std::pair<uint64_t, CellId>> order;
+  order.reserve(num_slots_);
+  for (size_t s = 0; s < allocated_slots_; ++s) {
+    const CellId c = slot_cell_[s];
+    if (c == kWildcardCell) continue;                 // free slab
+    if (slot_last_use_[s] == protect_tick) continue;  // current request
+    order.emplace_back(slot_last_use_[s], c);
+  }
+  std::sort(order.begin(), order.end());
+  const size_t n = std::min(count, order.size());
+  for (size_t i = 0; i < n; ++i) {
+    const CellId c = order[i].second;
+    const int32_t slot = cell_slot_[static_cast<size_t>(c)];
+    cell_slot_[static_cast<size_t>(c)] = kNoSlot;
+    slot_cell_[static_cast<size_t>(slot)] = kWildcardCell;
+    free_slots_.push_back(slot);
+    --num_slots_;
+    ++cells_evicted_;
+  }
+  TP_COUNTER_ADD("nm.cells_evicted", n);
+  return n;
+}
+
 int32_t NmEngine::EnsureColumn(CellId cell) const {
   assert(space_.grid.IsValid(cell));
   int32_t slot = cell_slot_[static_cast<size_t>(cell)];
-  if (slot >= 0) return slot;
-  arena_.resize((num_slots_ + 1) * stride_);
-  ComputeColumnInto(cell, arena_.data() + num_slots_ * stride_,
+  if (slot >= 0) {
+    slot_last_use_[static_cast<size_t>(slot)] = ++warm_tick_;
+    return slot;
+  }
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    // Serial lazy path has no Status channel; a growth failure (real or
+    // injected) surfaces as bad_alloc for the caller/supervisor.
+    if (!GrowArena(allocated_slots_ + 1)) throw std::bad_alloc();
+    slot = static_cast<int32_t>(allocated_slots_ - 1);
+  }
+  ComputeColumnInto(cell, arena_.data() + static_cast<size_t>(slot) * stride_,
                     &column_scratch_);
-  slot = static_cast<int32_t>(num_slots_++);
   cell_slot_[static_cast<size_t>(cell)] = slot;
+  slot_cell_[static_cast<size_t>(slot)] = cell;
+  slot_last_use_[static_cast<size_t>(slot)] = ++warm_tick_;
+  ++num_slots_;
   return slot;
 }
 
@@ -424,7 +485,9 @@ ThreadPool* NmEngine::PoolFor(int threads) const {
 }
 
 void NmEngine::WarmRectangularFactored(const std::vector<CellId>& missing,
-                                       size_t base, ThreadPool* pool) const {
+                                       const std::vector<int32_t>& slots,
+                                       ThreadPool* pool, const RunContext* run,
+                                       std::vector<char>* done) const {
   const Grid& grid = space_.grid;
   const double delta = space_.delta;
   // First-seen-order dedup of the grid columns/rows the batch touches;
@@ -451,45 +514,66 @@ void NmEngine::WarmRectangularFactored(const std::vector<CellId>& missing,
   // erfc-bound cost collapses from O(cells) to O(cols + rows) passes.
   std::vector<double> fx(cols.size() * stride_);
   std::vector<double> fy(rows.size() * stride_);
-  ParallelFor(pool, cols.size() + rows.size(), [&](size_t i, int) {
-    if (i < cols.size()) {
-      const double cx = grid.CenterOf(grid.At(cols[i], 0)).x;
-      NormalIntervalProbBatch(px_.data(), sigma_.data(), cx - delta,
-                              cx + delta, fx.data() + i * stride_, stride_);
-    } else {
-      const size_t r = i - cols.size();
-      const double cy = grid.CenterOf(grid.At(0, rows[r])).y;
-      NormalIntervalProbBatch(py_.data(), sigma_.data(), cy - delta,
-                              cy + delta, fy.data() + r * stride_, stride_);
-    }
-  });
+  // Under run control a factor pass can be skipped mid-batch; a cell's
+  // column is complete only if its grid-column factor, grid-row factor,
+  // AND product pass all ran, so factor completion is tracked too.
+  std::vector<char> part_done(run != nullptr ? cols.size() + rows.size() : 0,
+                              0);
+  ParallelFor(
+      pool, cols.size() + rows.size(),
+      [&](size_t i, int) {
+        if (i < cols.size()) {
+          const double cx = grid.CenterOf(grid.At(cols[i], 0)).x;
+          NormalIntervalProbBatch(px_.data(), sigma_.data(), cx - delta,
+                                  cx + delta, fx.data() + i * stride_, stride_);
+        } else {
+          const size_t r = i - cols.size();
+          const double cy = grid.CenterOf(grid.At(0, rows[r])).y;
+          NormalIntervalProbBatch(py_.data(), sigma_.data(), cy - delta,
+                                  cy + delta, fy.data() + r * stride_, stride_);
+        }
+        if (run != nullptr) part_done[i] = 1;
+      },
+      run);
   // Phase 2: per-cell product + log into the cell's own slab.  Multiplies
   // the exact same doubles `ProbWithinDelta` would, so the columns are
   // bit-identical to the unfactored path for any thread count and order.
-  ParallelFor(pool, missing.size(), [&](size_t i, int) {
-    const CellId c = missing[i];
-    const double* px =
-        fx.data() +
-        static_cast<size_t>(col_slot[static_cast<size_t>(grid.ColumnOf(c))]) *
-            stride_;
-    const double* py =
-        fy.data() +
-        static_cast<size_t>(row_slot[static_cast<size_t>(grid.RowOf(c))]) *
-            stride_;
-    double* out = arena_.data() + (base + i) * stride_;
-    for (size_t g = 0; g < stride_; ++g) out[g] = SafeLog(px[g] * py[g]);
-  });
+  ParallelFor(
+      pool, missing.size(),
+      [&](size_t i, int) {
+        const CellId c = missing[i];
+        const size_t ci =
+            static_cast<size_t>(col_slot[static_cast<size_t>(grid.ColumnOf(c))]);
+        const size_t ri =
+            static_cast<size_t>(row_slot[static_cast<size_t>(grid.RowOf(c))]);
+        if (run != nullptr &&
+            (!part_done[ci] || !part_done[cols.size() + ri])) {
+          return;  // a factor was skipped by the stop: leave the cell cold
+        }
+        const double* px = fx.data() + ci * stride_;
+        const double* py = fy.data() + ri * stride_;
+        double* out =
+            arena_.data() + static_cast<size_t>(slots[i]) * stride_;
+        for (size_t g = 0; g < stride_; ++g) out[g] = SafeLog(px[g] * py[g]);
+        if (done != nullptr) (*done)[i] = 1;
+      },
+      run);
 }
 
 size_t NmEngine::WarmCells(const std::vector<CellId>& cells, int num_threads,
-                           WarmStats* stats) const {
+                           WarmStats* stats, const RunContext* run) const {
   WarmStats ws;
+  // One LRU tick per request, stamped on every slot the request touches
+  // (hits now, publishes below), so budget eviction can tell "needed by
+  // the in-flight request" apart from "left behind by earlier ones".
+  const uint64_t tick = ++warm_tick_;
   std::vector<CellId> missing;
   for (CellId c : cells) {
     if (c == kWildcardCell) continue;
     assert(space_.grid.IsValid(c));
     int32_t& slot = cell_slot_[static_cast<size_t>(c)];
     if (slot != kNoSlot) {  // materialized, or staged just below
+      if (slot >= 0) slot_last_use_[static_cast<size_t>(slot)] = tick;
       ++ws.hits;
       continue;
     }
@@ -497,88 +581,236 @@ size_t NmEngine::WarmCells(const std::vector<CellId>& cells, int num_threads,
     missing.push_back(c);
   }
   ws.misses = missing.size();
-  if (stats != nullptr) *stats = ws;
-  if (missing.empty()) return 0;
-  // The arena is grown once, serially, so the workers below write into
-  // disjoint pre-existing slabs and `arena_.data()` never moves while
-  // they run; slot assignment also stays on the calling thread — a
-  // single ordered publish after the fills — so the slot table never
-  // needs a lock, readers never see a torn update, and the cell->slot
-  // assignment is a pure function of arrival order, independent of how
-  // the fills interleaved.
-  const size_t base = num_slots_;
-  arena_.resize((base + missing.size()) * stride_);
+  if (missing.empty()) {
+    if (stats != nullptr) *stats = ws;
+    return 0;
+  }
+  // Early-out path: revert the staging marks (nothing was published).
+  const auto bail = [&](StopReason why) -> size_t {
+    for (CellId c : missing) cell_slot_[static_cast<size_t>(c)] = kNoSlot;
+    ws.stop = why;
+    if (stats != nullptr) *stats = ws;
+    return 0;
+  };
+
+  // Memory budget: the resident set after this request must fit.  Shed
+  // LRU columns first — never ones this request just hit, they carry the
+  // current tick — and give up only if the request alone overflows.
+  if (run != nullptr && run->memory_budget_bytes > 0 && stride_ > 0) {
+    const size_t budget_slots =
+        static_cast<size_t>(run->memory_budget_bytes / column_bytes());
+    if (num_slots_ + missing.size() > budget_slots) {
+      ws.evicted =
+          EvictLruSlots(num_slots_ + missing.size() - budget_slots, tick);
+      if (num_slots_ + missing.size() > budget_slots) {
+        return bail(StopReason::kMemoryBudgetExceeded);
+      }
+    }
+  }
+  if (run != nullptr) {
+    const StopReason sr = run->CheckStop();
+    if (sr != StopReason::kNone) return bail(sr);
+  }
+
+  // Slot assignment: free-listed slabs first, then the arena is grown
+  // once, serially, so the workers below write into disjoint
+  // pre-existing slabs and `arena_.data()` never moves while they run;
+  // slot assignment also stays on the calling thread — a single ordered
+  // publish after the fills — so the slot table never needs a lock,
+  // readers never see a torn update, and the cell->slot assignment is a
+  // pure function of arrival order, independent of how the fills
+  // interleaved.
+  const size_t reuse = std::min(free_slots_.size(), missing.size());
+  const size_t grow_base = allocated_slots_;
+  if (!GrowArena(grow_base + (missing.size() - reuse))) {
+    return bail(StopReason::kAllocFailed);
+  }
+  std::vector<int32_t> slots(missing.size());
+  for (size_t i = 0; i < missing.size(); ++i) {
+    slots[i] = i < reuse
+                   ? free_slots_[free_slots_.size() - reuse + i]
+                   : static_cast<int32_t>(grow_base + (i - reuse));
+  }
+  free_slots_.resize(free_slots_.size() - reuse);
+
   ThreadPool* pool = PoolFor(ResolveThreadCount(num_threads));
+  // Without run control every fill completes; with it, `done` records
+  // which columns finished before a stop.
+  std::vector<char> done(missing.size(), run == nullptr ? 1 : 0);
   if (space_.model == IndifferenceModel::kRectangular) {
-    WarmRectangularFactored(missing, base, pool);
+    WarmRectangularFactored(missing, slots, pool, run,
+                            run == nullptr ? nullptr : &done);
   } else {
     const int lanes = pool == nullptr ? 1 : pool->size();
     std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
-    ParallelFor(pool, missing.size(), [&](size_t i, int worker) {
-      ComputeColumnInto(missing[i], arena_.data() + (base + i) * stride_,
-                        &scratch[static_cast<size_t>(worker)]);
-    });
+    ParallelFor(
+        pool, missing.size(),
+        [&](size_t i, int worker) {
+          ComputeColumnInto(missing[i],
+                            arena_.data() +
+                                static_cast<size_t>(slots[i]) * stride_,
+                            &scratch[static_cast<size_t>(worker)]);
+          if (run != nullptr) done[i] = 1;
+        },
+        run);
   }
+
+  // Ordered publish.  Columns a stop skipped revert to cold and their
+  // slabs go back to the free list; publishing only the completed subset
+  // is consistent because a column is a pure function of (cell, dataset,
+  // space) — whoever warms it later gets the identical bits.
+  size_t published = 0;
   for (size_t i = 0; i < missing.size(); ++i) {
-    cell_slot_[static_cast<size_t>(missing[i])] =
-        static_cast<int32_t>(base + i);
+    const size_t slot = static_cast<size_t>(slots[i]);
+    if (done[i]) {
+      cell_slot_[static_cast<size_t>(missing[i])] = slots[i];
+      slot_cell_[slot] = missing[i];
+      slot_last_use_[slot] = tick;
+      ++published;
+    } else {
+      cell_slot_[static_cast<size_t>(missing[i])] = kNoSlot;
+      free_slots_.push_back(slots[i]);
+    }
   }
-  num_slots_ += missing.size();
-  return missing.size();
+  num_slots_ += published;
+  if (run != nullptr && published < missing.size()) {
+    ws.stop = run->CheckStop();  // sticky: reports the stop that fired
+  }
+  if (stats != nullptr) *stats = ws;
+  return published;
 }
 
 std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
                                          int num_threads,
                                          BatchScoreStats* stats,
-                                         double prune_below,
-                                         KernelFn kernel) const {
+                                         double prune_below, KernelFn kernel,
+                                         const RunContext* run) const {
   const int threads = ResolveThreadCount(num_threads);
   BatchScoreStats out_stats;
   out_stats.threads_used = threads;
   std::vector<double> out(patterns.size());
-  WallTimer timer;
   TP_COUNTER_INC("nm.batches");
   TP_HISTOGRAM_OBSERVE("nm.batch_size", patterns.size(),
                        {10, 100, 1000, 10000, 100000});
-
-  {
-    // Warm-up: every column any candidate needs exists before a worker
-    // runs, so the scoring region below only reads the arena.
-    TP_TRACE_SPAN("nm/warmup");
-    std::vector<CellId> needed;
-    for (const auto& p : patterns) {
-      for (size_t j = 0; j < p.length(); ++j) needed.push_back(p[j]);
+  if (run != nullptr) {
+    const StopReason sr = run->CheckStop();
+    if (sr != StopReason::kNone) {
+      out_stats.stop = sr;
+      if (stats != nullptr) *stats = out_stats;
+      return out;
     }
-    WarmStats ws;
-    out_stats.cells_warmed = WarmCells(needed, threads, &ws);
-    out_stats.cells_hit = ws.hits;
-    TP_COUNTER_ADD("nm.warmup_hits", ws.hits);
-    TP_COUNTER_ADD("nm.warmup_misses", ws.misses);
   }
-  out_stats.warmup_seconds = timer.Seconds();
-  TP_COUNTER_ADD("nm.cells_warmed", out_stats.cells_warmed);
 
-  timer.Reset();
-  std::vector<int64_t> skipped(patterns.size(), 0);
-  {
-    TP_TRACE_SPAN("nm/scoring");
-    ThreadPool* pool = PoolFor(threads);
-    const int lanes = pool == nullptr ? 1 : pool->size();
-    std::vector<ScoreScratch> scratch(static_cast<size_t>(lanes));
-    ParallelFor(pool, patterns.size(), [&](size_t i, int worker) {
-      out[i] = (this->*kernel)(patterns[i],
-                               &scratch[static_cast<size_t>(worker)],
-                               prune_below, &skipped[i]);
-    });
+  // Chunking: with a memory budget the batch is split so each chunk's
+  // distinct-cell working set fits the arena budget (boundaries are a
+  // pure function of the pattern list and the budget — deterministic);
+  // without one the whole batch is one chunk, the exact pre-budget
+  // code path.
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (run != nullptr && run->memory_budget_bytes > 0 && stride_ > 0) {
+    const size_t budget_slots =
+        static_cast<size_t>(run->memory_budget_bytes / column_bytes());
+    std::unordered_set<CellId> chunk_cells;
+    std::vector<CellId> pat_cells;
+    size_t begin = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      pat_cells.clear();
+      for (size_t j = 0; j < patterns[i].length(); ++j) {
+        const CellId c = patterns[i][j];
+        if (c == kWildcardCell) continue;
+        if (std::find(pat_cells.begin(), pat_cells.end(), c) ==
+            pat_cells.end()) {
+          pat_cells.push_back(c);
+        }
+      }
+      if (pat_cells.size() > budget_slots) {
+        // A single pattern overflows the budget by itself: no chunking
+        // or eviction can ever score it.
+        out_stats.stop = StopReason::kMemoryBudgetExceeded;
+        if (stats != nullptr) *stats = out_stats;
+        return out;
+      }
+      size_t newly = 0;
+      for (CellId c : pat_cells) {
+        if (chunk_cells.count(c) == 0) ++newly;
+      }
+      if (i > begin && chunk_cells.size() + newly > budget_slots) {
+        chunks.emplace_back(begin, i);
+        chunk_cells.clear();
+        begin = i;
+      }
+      for (CellId c : pat_cells) chunk_cells.insert(c);
+    }
+    chunks.emplace_back(begin, patterns.size());
+  } else {
+    chunks.emplace_back(0, patterns.size());
   }
-  num_pattern_evaluations_ += static_cast<int64_t>(patterns.size());
+  out_stats.chunks = static_cast<int>(chunks.size());
+
+  ThreadPool* pool = PoolFor(threads);
+  const int lanes = pool == nullptr ? 1 : pool->size();
+  std::vector<ScoreScratch> scratch(static_cast<size_t>(lanes));
+  std::vector<int64_t> skipped(patterns.size(), 0);
+  WallTimer timer;
+  for (const auto& chunk : chunks) {
+    const size_t cb = chunk.first;
+    const size_t ce = chunk.second;
+    timer.Reset();
+    bool warm_stopped = false;
+    {
+      // Warm-up: every column any candidate of the chunk needs exists
+      // before a worker runs, so the scoring region below only reads
+      // the arena.
+      TP_TRACE_SPAN("nm/warmup");
+      std::vector<CellId> needed;
+      for (size_t i = cb; i < ce; ++i) {
+        for (size_t j = 0; j < patterns[i].length(); ++j) {
+          needed.push_back(patterns[i][j]);
+        }
+      }
+      WarmStats ws;
+      out_stats.cells_warmed += WarmCells(needed, threads, &ws, run);
+      out_stats.cells_hit += ws.hits;
+      out_stats.cells_evicted += ws.evicted;
+      TP_COUNTER_ADD("nm.warmup_hits", ws.hits);
+      TP_COUNTER_ADD("nm.warmup_misses", ws.misses);
+      if (ws.stop != StopReason::kNone) {
+        out_stats.stop = ws.stop;
+        warm_stopped = true;
+      }
+    }
+    out_stats.warmup_seconds += timer.Seconds();
+    if (warm_stopped) break;
+
+    timer.Reset();
+    {
+      TP_TRACE_SPAN("nm/scoring");
+      ParallelFor(
+          pool, ce - cb,
+          [&, cb](size_t i, int worker) {
+            out[cb + i] = (this->*kernel)(patterns[cb + i],
+                                          &scratch[static_cast<size_t>(worker)],
+                                          prune_below, &skipped[cb + i]);
+          },
+          run);
+    }
+    out_stats.scoring_seconds += timer.Seconds();
+    num_pattern_evaluations_ += static_cast<int64_t>(ce - cb);
+    if (run != nullptr) {
+      const StopReason sr = run->CheckStop();
+      if (sr != StopReason::kNone) {
+        out_stats.stop = sr;
+        break;
+      }
+    }
+  }
+  TP_COUNTER_ADD("nm.cells_warmed", out_stats.cells_warmed);
   for (int64_t s : skipped) {
     if (s > 0) {
       ++out_stats.candidates_pruned;
       out_stats.trajectories_skipped += s;
     }
   }
-  out_stats.scoring_seconds = timer.Seconds();
   TP_COUNTER_ADD("nm.candidates_scored", patterns.size());
   TP_COUNTER_ADD("nm.candidates_pruned", out_stats.candidates_pruned);
   TP_COUNTER_ADD("nm.trajectories_skipped", out_stats.trajectories_skipped);
@@ -589,16 +821,17 @@ std::vector<double> NmEngine::ScoreBatch(const std::vector<Pattern>& patterns,
 std::vector<double> NmEngine::NmTotalBatch(const std::vector<Pattern>& patterns,
                                            int num_threads,
                                            BatchScoreStats* stats,
-                                           double prune_below) const {
+                                           double prune_below,
+                                           const RunContext* run) const {
   return ScoreBatch(patterns, num_threads, stats, prune_below,
-                    &NmEngine::NmTotalCached);
+                    &NmEngine::NmTotalCached, run);
 }
 
 std::vector<double> NmEngine::MatchTotalBatch(
     const std::vector<Pattern>& patterns, int num_threads,
-    BatchScoreStats* stats) const {
+    BatchScoreStats* stats, const RunContext* run) const {
   return ScoreBatch(patterns, num_threads, stats, kNoPruning,
-                    &NmEngine::MatchTotalCached);
+                    &NmEngine::MatchTotalCached, run);
 }
 
 double NmEngine::NmTotalWithGaps(const Pattern& p, int max_gap) const {

@@ -2,10 +2,12 @@
 #define TRAJPATTERN_CORE_NM_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/mining_space.h"
 #include "core/pattern.h"
@@ -37,6 +39,16 @@ struct BatchScoreStats {
   size_t candidates_pruned = 0;
   /// Trajectory evaluations skipped by those abandons (the work saved).
   int64_t trajectories_skipped = 0;
+  /// Arena columns shed (LRU) to keep the run under its memory budget.
+  size_t cells_evicted = 0;
+  /// Sub-batches the call was split into to fit the budget (1 == the
+  /// whole batch ran as one chunk, the no-budget fast path).
+  int chunks = 1;
+  /// Why the call stopped early (`kNone` == it completed).  When set,
+  /// `out[i]` is only valid for items the call finished before the stop
+  /// fired; callers normally discard the whole batch and fall back to
+  /// their last consistent state.
+  StopReason stop = StopReason::kNone;
 };
 
 /// Folds one batch's accounting into a miner's running counters; every
@@ -48,6 +60,9 @@ inline void AccumulateBatch(const BatchScoreStats& batch, MiningCounters* c) {
   c->threads_used = batch.threads_used;
   c->candidates_pruned += static_cast<int64_t>(batch.candidates_pruned);
   c->trajectories_skipped += batch.trajectories_skipped;
+  c->cells_evicted += static_cast<int64_t>(batch.cells_evicted);
+  // stop_reason/aborted stay with the miner: whether a stopped batch
+  // aborts the run (and what is discarded) is the miner's decision.
 }
 
 /// Which window-scoring kernel `NmEngine` runs.  `kStreaming` is the
@@ -145,10 +160,21 @@ class NmEngine {
   /// (true NM <= bound < ω means low either way).  Abandonment points
   /// depend only on the trajectory order, so pruned results are also
   /// bit-identical across thread counts.
+  /// `run` (optional) threads the run-control contract through the call:
+  /// scoring workers poll its token/deadline before claiming each
+  /// candidate, warm-up polls it between phases, and a non-zero
+  /// `memory_budget_bytes` caps the column arena — the call splits the
+  /// batch into chunks whose working sets fit the budget and sheds
+  /// least-recently-used columns between chunks.  Chunk boundaries are a
+  /// pure function of the pattern list and the budget, and every chunk
+  /// uses the serial reduction order, so budgeted results stay
+  /// bit-identical to unbudgeted ones.  On an early stop the call
+  /// returns with `stats->stop` set and the output must be discarded.
   std::vector<double> NmTotalBatch(const std::vector<Pattern>& patterns,
                                    int num_threads = 1,
                                    BatchScoreStats* stats = nullptr,
-                                   double prune_below = kNoPruning) const;
+                                   double prune_below = kNoPruning,
+                                   const RunContext* run = nullptr) const;
 
   /// Match(P, T_i) in linear space: max over windows of the joint
   /// probability (Eq. 2, with the window max of [14]).  0 if too short.
@@ -162,7 +188,8 @@ class NmEngine {
   /// partial sum is a *lower* bound and supports no early abandon.
   std::vector<double> MatchTotalBatch(const std::vector<Pattern>& patterns,
                                       int num_threads = 1,
-                                      BatchScoreStats* stats = nullptr) const;
+                                      BatchScoreStats* stats = nullptr,
+                                      const RunContext* run = nullptr) const;
 
   /// §5 gap semantics: NM where up to `max_gap` unmatched snapshots may be
   /// skipped between consecutive pattern positions (a gap behaves like a
@@ -176,6 +203,14 @@ class NmEngine {
   struct WarmStats {
     size_t hits = 0;
     size_t misses = 0;
+    /// Columns shed (LRU, excluding ones this request touched) to fit
+    /// the run's memory budget.
+    size_t evicted = 0;
+    /// Why the warm-up stopped early (`kNone` == it completed).  On a
+    /// stop nothing half-filled is published: columns that finished
+    /// before the stop are installed, the rest stay cold, and the
+    /// return value counts only the published ones.
+    StopReason stop = StopReason::kNone;
   };
 
   /// Materializes the log-prob columns of `cells` that are not cached
@@ -193,8 +228,17 @@ class NmEngine {
   /// callers that know their working set up front.  Not itself
   /// thread-safe: like the other lazy-warming entry points, callers
   /// serialize calls (the batch API does) and workers only read.
+  /// `run` (optional) adds run control: the fill fan-out polls the
+  /// context before each column, a memory budget evicts
+  /// least-recently-used resident columns (never ones this request
+  /// needs) before growing the arena, and arena growth failure — real
+  /// `std::bad_alloc` or an injected fault — reports `kAllocFailed`
+  /// instead of throwing.  Columns are pure functions of (cell,
+  /// dataset, space), so publishing only the completed subset after a
+  /// stop keeps the cache consistent.
   size_t WarmCells(const std::vector<CellId>& cells, int num_threads = 1,
-                   WarmStats* stats = nullptr) const;
+                   WarmStats* stats = nullptr,
+                   const RunContext* run = nullptr) const;
 
   /// Cells whose center receives non-negligible probability from at least
   /// one snapshot: within `radius_sigmas * sigma + delta` of some mean.
@@ -212,6 +256,28 @@ class NmEngine {
   int64_t num_pattern_evaluations() const { return num_pattern_evaluations_; }
   /// Number of distinct cells with a cached log-prob column.
   size_t num_cached_cells() const { return num_slots_; }
+
+  /// Bytes of one cell column (the arena's allocation granularity).
+  size_t column_bytes() const { return stride_ * sizeof(double); }
+  /// Arena bytes backing currently resident columns.
+  size_t arena_resident_bytes() const { return num_slots_ * column_bytes(); }
+  /// Arena bytes allocated (resident + free-listed slabs awaiting
+  /// reuse).  This is the number a memory budget bounds; it never
+  /// exceeds a budget that was in force for the engine's whole life.
+  size_t arena_allocated_bytes() const {
+    return allocated_slots_ * column_bytes();
+  }
+  /// High-water mark of `arena_allocated_bytes()`.
+  size_t arena_peak_bytes() const { return peak_slots_ * column_bytes(); }
+  /// Columns shed by memory-budget eviction over the engine's life.
+  size_t cells_evicted() const { return cells_evicted_; }
+
+  /// Test hook: called with the would-be arena byte size before every
+  /// growth; returning true simulates an allocation failure
+  /// (`kAllocFailed`) without actually exhausting memory.
+  void set_alloc_fault_hook(std::function<bool(size_t)> hook) {
+    alloc_fault_hook_ = std::move(hook);
+  }
 
  private:
   /// Per-lane scratch reused across calls so the hot loops never
@@ -256,8 +322,15 @@ class NmEngine {
   /// result is bit-identical at any thread count — and to the unfactored
   /// `ComputeColumnInto` path, whose per-point products multiply the
   /// exact same doubles.
-  void WarmRectangularFactored(const std::vector<CellId>& missing, size_t base,
-                               ThreadPool* pool) const;
+  /// `slots[i]` is the (pre-reserved, possibly non-contiguous) arena
+  /// slot for `missing[i]`.  With a non-null `run`, both fan-outs poll
+  /// it and `done[i]` records whether cell i's column was fully
+  /// computed (its grid-column factor, grid-row factor, and product
+  /// pass all completed); without `run`, every column completes.
+  void WarmRectangularFactored(const std::vector<CellId>& missing,
+                               const std::vector<int32_t>& slots,
+                               ThreadPool* pool, const RunContext* run,
+                               std::vector<char>* done) const;
 
   /// Slot of `cell`'s column, materializing it on miss (may grow the
   /// arena and therefore invalidate previously resolved base pointers —
@@ -316,7 +389,19 @@ class NmEngine {
   /// the *Cached scorers.
   std::vector<double> ScoreBatch(const std::vector<Pattern>& patterns,
                                  int num_threads, BatchScoreStats* stats,
-                                 double prune_below, KernelFn kernel) const;
+                                 double prune_below, KernelFn kernel,
+                                 const RunContext* run) const;
+
+  /// Evicts up to `count` resident columns, least-recently-used first
+  /// (ties broken by CellId for determinism), skipping columns stamped
+  /// with the in-progress request's `protect_tick`.  Freed slabs go to
+  /// `free_slots_` for reuse.  Returns how many were evicted.
+  size_t EvictLruSlots(size_t count, uint64_t protect_tick) const;
+
+  /// Grows the arena to hold `new_alloc` slots (plus the slot-side
+  /// bookkeeping).  Returns false — leaving the arena untouched — on
+  /// `std::bad_alloc` or when the alloc fault hook injects a failure.
+  bool GrowArena(size_t new_alloc) const;
 
   /// The lazily built pool reused by batch calls; grown when a call asks
   /// for more workers than it has.  nullptr until the first parallel call.
@@ -335,13 +420,36 @@ class NmEngine {
 
   /// Column arena: slot s holds the column of one cell in
   /// [s*stride_, (s+1)*stride_), stride_ == flat_points_.size().
-  /// Warm-up appends slabs; batch workers only read.
+  /// Warm-up appends slabs (reusing free-listed ones first); batch
+  /// workers only read.
   mutable std::vector<double> arena_;
   /// Dense CellId -> arena slot map (-1 == not materialized), sized to
   /// the grid; replaces the hash probe of the old unordered_map cache.
   mutable std::vector<int32_t> cell_slot_;
-  /// Number of materialized columns (== num_cached_cells()).
+  /// Number of resident columns (== num_cached_cells()).  With a memory
+  /// budget this can shrink (eviction); without one it only grows.
   mutable size_t num_slots_ = 0;
+  /// Slots the arena is sized for (resident + free-listed).
+  mutable size_t allocated_slots_ = 0;
+  /// High-water mark of `allocated_slots_`.
+  mutable size_t peak_slots_ = 0;
+  /// Slabs freed by eviction (or unpublished after a stop), reused
+  /// before the arena grows again.
+  mutable std::vector<int32_t> free_slots_;
+  /// Reverse map: slot -> resident cell (-1 for free slots); sized with
+  /// the arena.  Lets eviction clear `cell_slot_` without a grid scan.
+  mutable std::vector<CellId> slot_cell_;
+  /// Per-slot LRU stamp: the `warm_tick_` of the last request that
+  /// touched the slot (hit or publish).  Eviction drops the smallest
+  /// stamps first, so a budgeted run sheds the cells the frontier left
+  /// behind.
+  mutable std::vector<uint64_t> slot_last_use_;
+  /// Monotone request counter driving `slot_last_use_`.
+  mutable uint64_t warm_tick_ = 0;
+  /// Lifetime count of budget evictions (for stats/benches).
+  mutable size_t cells_evicted_ = 0;
+  /// Test hook simulating arena allocation failure (see setter).
+  std::function<bool(size_t)> alloc_fault_hook_;
   /// Column length: one double per flattened snapshot.
   size_t stride_ = 0;
 

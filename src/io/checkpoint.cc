@@ -1,6 +1,7 @@
 #include "io/checkpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,7 +30,13 @@ bool ParseHexDouble(const std::string& s, double* v) {
   if (s.empty()) return false;
   char* end = nullptr;
   *v = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  if (end != s.c_str() + s.size()) return false;
+  // strtod happily parses "nan"/"nan(0x...)", but no real run ever
+  // writes one (NM values are finite or -inf) and a NaN smuggled in by
+  // corruption would poison every ω comparison after resume — reject it
+  // here at the trust boundary.  -inf stays accepted: it is the genuine
+  // initial ω.
+  return !std::isnan(*v);
 }
 
 bool ParseLong(const std::string& s, long* v) {

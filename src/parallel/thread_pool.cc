@@ -66,8 +66,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr rethrow;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    // Take the round's first failure out under the lock and rethrow it
+    // outside; clearing re-arms the pool for the next round.
+    rethrow = std::exchange(first_exception_, nullptr);
+  }
+  if (rethrow) std::rethrow_exception(rethrow);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -84,7 +91,16 @@ void ThreadPool::WorkerLoop() {
     {
       TP_TRACE_SPAN("pool/task");
       TP_COUNTER_INC("pool.tasks_executed");
-      task();
+      // A throwing task must not unwind the worker thread
+      // (std::terminate); capture the round's first exception for Wait()
+      // to rethrow on the submitting thread.
+      try {
+        task();
+      } catch (...) {
+        TP_COUNTER_INC("pool.task_exceptions");
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_exception_) first_exception_ = std::current_exception();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -95,9 +111,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t item, int worker)>& fn) {
+                 const std::function<void(size_t item, int worker)>& fn,
+                 const RunContext* run) {
   if (pool == nullptr || pool->size() <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (run != nullptr && run->StopRequested()) return;
+      fn(i, 0);
+    }
     return;
   }
   TP_TRACE_SPAN("pool/parallel_for");
@@ -105,6 +125,11 @@ void ParallelFor(ThreadPool* pool, size_t n,
   const int lanes =
       static_cast<int>(std::min(n, static_cast<size_t>(pool->size())));
   std::atomic<size_t> next{0};
+  // Lane failure: the first exception is kept, and `failed` stops every
+  // lane's claim loop so the batch drains quickly instead of running the
+  // remaining items for a result the caller will discard.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
   // Per-call completion latch: ParallelFor must not return while a lane
   // still holds references to the caller's stack.
   std::mutex mu;
@@ -112,15 +137,30 @@ void ParallelFor(ThreadPool* pool, size_t n,
   int done = 0;
   for (int w = 0; w < lanes; ++w) {
     pool->Submit([&, w] {
-      for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
-        fn(i, w);
+      try {
+        for (size_t i;
+             (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+          // Cooperative cancellation: poll before claiming, so a cancel
+          // or deadline takes effect mid-batch; the claimed item itself
+          // always runs to completion (all-or-nothing per item).
+          if (failed.load(std::memory_order_relaxed)) break;
+          if (run != nullptr && run->StopRequested()) break;
+          fn(i, w);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_exception) first_exception = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
       }
       std::lock_guard<std::mutex> lock(mu);
       if (++done == lanes) done_cv.notify_one();
     });
   }
-  std::unique_lock<std::mutex> lock(mu);
-  done_cv.wait(lock, [&] { return done == lanes; });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return done == lanes; });
+  }
+  if (first_exception) std::rethrow_exception(first_exception);
 }
 
 }  // namespace trajpattern

@@ -3,11 +3,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/run_context.h"
 
 namespace trajpattern {
 
@@ -18,7 +21,13 @@ int ResolveThreadCount(int num_threads);
 
 /// A small fixed-size worker pool.  Tasks are plain `void()` callables
 /// executed FIFO; `Wait` blocks until every submitted task has finished.
-/// Tasks must not throw (the library is assert-based, exception-free).
+///
+/// Exceptions: a task that throws no longer terminates the process on a
+/// pool thread.  The first exception of a Submit/Wait round is captured
+/// and rethrown by `Wait()` on the submitting thread (later ones are
+/// dropped — one round, one failure); remaining queued tasks still run,
+/// so the pool stays usable afterwards.  `ParallelFor` adds its own
+/// capture so its lanes never feed the pool-level slot.
 ///
 /// The pool is reusable across many Submit/Wait rounds — `NmEngine`
 /// keeps one alive across batch-scoring calls so mining iterations do
@@ -38,7 +47,8 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running, then
+  /// rethrows the first exception any task of this round threw.
   void Wait();
 
  private:
@@ -51,6 +61,9 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool stop_ = false;
+  /// First exception thrown by a task since the last Wait() (guarded by
+  /// mu_); cleared when Wait() takes it to rethrow.
+  std::exception_ptr first_exception_;
 };
 
 /// Runs `fn(item, worker)` for every `item` in [0, n), work-stealing off
@@ -59,8 +72,22 @@ class ThreadPool {
 /// buffers with it.  With a null pool, a single-thread pool, or n <= 1
 /// the loop runs inline on the calling thread (worker 0), which is the
 /// exact-serial fallback path.  Blocks until all items are done.
+///
+/// Cancellation: with a non-null `run`, every lane polls the context
+/// before claiming each item (one relaxed atomic load, plus a clock
+/// read when a deadline is armed).  Once a stop fires, unclaimed items
+/// are never run; claimed items always complete — an item is all or
+/// nothing, so the caller can tell exactly which outputs are valid (it
+/// usually discards the whole batch).  The serial inline path polls the
+/// same way.
+///
+/// Exceptions: if `fn` throws on any lane, the first exception is
+/// captured, the remaining items are abandoned (other lanes stop
+/// claiming), every lane is still joined, and the exception is rethrown
+/// here on the calling thread.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t item, int worker)>& fn);
+                 const std::function<void(size_t item, int worker)>& fn,
+                 const RunContext* run = nullptr);
 
 }  // namespace trajpattern
 

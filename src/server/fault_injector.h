@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "geometry/point.h"
+#include "prob/rng.h"
 #include "server/mobile_object_server.h"
 #include "trajectory/trajectory.h"
 
@@ -74,6 +75,48 @@ class FaultInjector {
 
  private:
   FaultInjectorOptions options_;
+};
+
+/// Shape of one call-level fault stream (see `FaultSchedule`).
+struct FaultScheduleOptions {
+  /// The first `fail_first` calls fail unconditionally — a transient
+  /// outage burst, the shape retry-with-backoff is built for.
+  int fail_first = 0;
+  /// After the burst, each call fails independently with this rate.
+  double fail_rate = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Deterministic fault stream for one call-level injection point —
+/// checkpoint-sink writes, worker-task exceptions, arena allocation —
+/// extending the report-level `FaultInjector` model to the mining run's
+/// own fault surfaces.  `ShouldFail()` advances the stream; the same
+/// options always yield the same fail/pass sequence, so crash, retry,
+/// and resume tests replay bit-identically.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(const FaultScheduleOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Advances the stream: true == this call should fail.
+  bool ShouldFail() {
+    const int64_t call = calls_++;
+    bool fail = call < options_.fail_first;
+    if (!fail && options_.fail_rate > 0.0) {
+      fail = rng_.Bernoulli(options_.fail_rate);
+    }
+    if (fail) ++failures_;
+    return fail;
+  }
+
+  int64_t calls() const { return calls_; }
+  int64_t failures() const { return failures_; }
+
+ private:
+  FaultScheduleOptions options_;
+  Rng rng_;
+  int64_t calls_ = 0;
+  int64_t failures_ = 0;
 };
 
 /// Parses a `--faults=` spec like "drop:0.05,corrupt:0.01,dup:0.02,

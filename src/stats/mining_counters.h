@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/run_context.h"
+
 namespace trajpattern {
 
 /// The work counters every miner reports, extracted so `MinerStats`,
@@ -21,12 +23,25 @@ struct MiningCounters {
   int64_t candidates_pruned = 0;
   /// Per-trajectory evaluations those abandons skipped (work saved).
   int64_t trajectories_skipped = 0;
+  /// Engine arena columns shed (LRU) to honor a memory budget (0 unless
+  /// the run carried one; see `RunContext::memory_budget_bytes`).
+  int64_t cells_evicted = 0;
   /// Time spent materializing cell columns (serial side of the batches).
   double warmup_seconds = 0.0;
   /// Time spent scoring candidates (the parallel region).
   double scoring_seconds = 0.0;
   /// Worker count the batches ran with (resolved from `num_threads`).
   int threads_used = 1;
+  /// Why the run stopped early (`kNone` == ran to its natural end).
+  /// Every early stop — sink veto, cancellation, deadline, memory
+  /// budget, allocation failure, work cap — reports through this one
+  /// field so the three miners' reports stay uniform.
+  StopReason stop_reason = StopReason::kNone;
+  /// True iff the run stopped before its natural end (any stop_reason
+  /// != kNone).  The result then holds the exact best-so-far top-k as
+  /// of the last completed batch, and — for the checkpointing miner —
+  /// the last checkpoint emitted is a valid resume point.
+  bool aborted = false;
 };
 
 }  // namespace trajpattern

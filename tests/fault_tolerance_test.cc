@@ -9,9 +9,11 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "core/miner.h"
 #include "core/nm_engine.h"
 #include "datagen/planted_generator.h"
@@ -19,6 +21,7 @@
 #include "io/checkpoint.h"
 #include "io/csv.h"
 #include "server/fault_injector.h"
+#include "server/mining_supervisor.h"
 #include "trajectory/validate.h"
 
 namespace trajpattern {
@@ -467,6 +470,117 @@ TEST(CheckpointIoTest, V1HeaderLoadsWithZeroWorkCounters) {
   EXPECT_EQ(loaded.prev_queue, sample.prev_queue);
 }
 
+// Renders the sample checkpoint in the v1 format (no work-counter
+// lines, v1 magic), the on-disk shape of pre-counter-era files.
+std::string SampleCheckpointAsV1() {
+  MinerCheckpoint sample = MakeSampleCheckpoint();
+  sample.candidates_evaluated = 0;
+  sample.candidates_pruned = 0;
+  std::stringstream ss;
+  EXPECT_TRUE(WriteMinerCheckpoint(sample, ss).ok());
+  std::string text = ss.str();
+  const size_t v2 = text.find("checkpoint,v2");
+  EXPECT_NE(v2, std::string::npos);
+  text.replace(v2, 13, "checkpoint,v1");
+  for (const char* key :
+       {"candidates_evaluated,0\n", "candidates_pruned,0\n"}) {
+    const size_t pos = text.find(key);
+    EXPECT_NE(pos, std::string::npos);
+    text.erase(pos, std::string(key).size());
+  }
+  return text;
+}
+
+// Corruption corpus over both checkpoint formats: every derived
+// corruption must come back as a typed Status — kDataLoss with a line
+// diagnostic, never a crash, a bad_alloc, or a half-loaded checkpoint.
+TEST(CheckpointCorpusTest, TruncationAtEveryByteIsTypedDataLoss) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+  for (const std::string& good : {ss.str(), SampleCheckpointAsV1()}) {
+    ASSERT_FALSE(good.empty());
+    // Up to size()-1: cutting only the trailing newline leaves a file
+    // std::getline still reads completely, which parses fine.
+    for (size_t cut = 0; cut + 1 < good.size(); ++cut) {
+      MinerCheckpoint cp;
+      cp.iteration = 99;  // canary: a failed read must not touch *cp
+      std::istringstream in(good.substr(0, cut));
+      EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss)
+          << "cut at byte " << cut;
+      EXPECT_EQ(cp.iteration, 99) << "cut at byte " << cut;
+    }
+  }
+}
+
+TEST(CheckpointCorpusTest, GarbageLinesAreTypedWithLineDiagnostic) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+  for (const std::string& good : {ss.str(), SampleCheckpointAsV1()}) {
+    // Count lines, then clobber each in turn with junk.
+    size_t lines = 0;
+    for (char c : good) lines += c == '\n' ? 1 : 0;
+    ASSERT_GT(lines, 5u);
+    for (size_t target = 0; target < lines; ++target) {
+      std::string text;
+      std::istringstream split(good);
+      std::string line;
+      for (size_t i = 0; std::getline(split, line); ++i) {
+        text += i == target ? "\x01garbage\xff,,," : line;
+        text += "\n";
+      }
+      MinerCheckpoint cp;
+      std::istringstream in(text);
+      const Status s = ReadMinerCheckpoint(in, &cp);
+      ASSERT_EQ(s.code(), StatusCode::kDataLoss) << "line " << target;
+      if (target > 0) {
+        // Non-header corruption names the offending line.
+        EXPECT_NE(s.ToString().find("checkpoint line"), std::string::npos)
+            << s.ToString();
+      }
+    }
+  }
+}
+
+TEST(CheckpointCorpusTest, NaNHexfloatsAreRejected) {
+  // strtod accepts "nan"/"nan(0x..)", but no real run writes one: a NaN
+  // omega or score smuggled in by corruption would poison every ω
+  // comparison after resume.
+  for (const char* nan_spelling : {"nan", "NAN", "nan(0x7ff8)"}) {
+    {
+      std::string text = CorruptedCheckpoint("omega,", std::string("omega,") +
+                                                           nan_spelling + "\n#");
+      MinerCheckpoint cp;
+      std::istringstream in(text);
+      EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss)
+          << nan_spelling;
+    }
+    {
+      // First score row's nm field.
+      std::stringstream ss;
+      ASSERT_TRUE(WriteMinerCheckpoint(MakeSampleCheckpoint(), ss).ok());
+      std::string text = ss.str();
+      const size_t row = text.find("3;4;5");
+      ASSERT_NE(row, std::string::npos);
+      const size_t line_start = text.rfind('\n', row) + 1;
+      text.replace(line_start, row - line_start, std::string(nan_spelling) + ",");
+      MinerCheckpoint cp;
+      std::istringstream in(text);
+      EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss)
+          << nan_spelling;
+    }
+  }
+}
+
+TEST(CheckpointCorpusTest, BinaryGarbageFilesAreTypedErrors) {
+  const std::string garbage1("\x00\xff\x7f\x01 not a checkpoint", 22);
+  for (const std::string& garbage :
+       {garbage1, std::string(4096, '\xee'), std::string("trajpattern")}) {
+    MinerCheckpoint cp;
+    std::istringstream in(garbage);
+    EXPECT_EQ(ReadMinerCheckpoint(in, &cp).code(), StatusCode::kDataLoss);
+  }
+}
+
 TEST(CheckpointIoTest, FileWrapperRoundTrips) {
   const std::string path = ::testing::TempDir() + "/tp_checkpoint_test.ckpt";
   const MinerCheckpoint cp = MakeSampleCheckpoint();
@@ -551,6 +665,140 @@ void RunKillAndResume(int num_threads) {
 TEST(CheckpointResumeTest, BitIdenticalSingleThread) { RunKillAndResume(1); }
 
 TEST(CheckpointResumeTest, BitIdenticalEightThreads) { RunKillAndResume(8); }
+
+// A deeper sweep workload: a 5-cell planted chain under min_length=2
+// needs 4 grow iterations, so the sweeps below have real mid-run
+// boundaries to kill at (MakeMiningData converges after one).
+TrajectoryDataset MakeDeepMiningData() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.35, 0.35), Point2(0.55, 0.55),
+                 Point2(0.75, 0.75), Point2(0.95, 0.95)};
+  opt.num_with_pattern = 30;
+  opt.num_background = 0;
+  opt.num_snapshots = 10;
+  opt.sigma = 0.005;
+  opt.seed = 7;
+  return GeneratePlantedPatterns(opt);
+}
+
+MinerOptions MakeDeepOptions(int num_threads) {
+  MinerOptions opt;
+  opt.k = 10;
+  opt.min_length = 2;
+  opt.max_pattern_length = 5;
+  opt.num_threads = num_threads;
+  return opt;
+}
+
+// Cancellation-driven variant of the kill sweep: instead of a sink veto,
+// the run's CancellationToken is tripped at every iteration boundary in
+// turn.  The aborted run must report the typed reason, and the last
+// sink-delivered checkpoint must resume — through the serialized file
+// format — to the uninterrupted answer, bit-identically.
+void RunCancellationKillSweep(int num_threads) {
+  const TrajectoryDataset data = MakeDeepMiningData();
+  const MiningSpace space(Grid::UnitSquare(8), 0.125);
+  const MinerOptions opt = MakeDeepOptions(num_threads);
+
+  NmEngine full_engine(data, space);
+  const MiningResult full = MineTrajPatterns(full_engine, opt);
+  ASSERT_FALSE(full.patterns.empty());
+  ASSERT_FALSE(full.stats.aborted);
+
+  for (int stop_after = 1; stop_after < full.stats.iterations; ++stop_after) {
+    MinerCheckpoint captured;
+    MinerOptions cancelled = opt;
+    // Copying options shares the cancellation flag (the caller's
+    // handle); each interrupted run gets a fresh context so the trip
+    // cannot leak into the resume run below.
+    cancelled.run = RunContext();
+    const CancellationToken token = cancelled.run.token;
+    cancelled.checkpoint_sink = [&captured, token,
+                                 stop_after](const MinerCheckpoint& cp) {
+      captured = cp;
+      if (cp.iteration == stop_after) token.Cancel();
+      return true;
+    };
+    NmEngine engine(data, space);
+    const MiningResult partial = MineTrajPatterns(engine, cancelled);
+    ASSERT_TRUE(partial.stats.aborted) << "stop_after " << stop_after;
+    EXPECT_EQ(partial.stats.stop_reason, StopReason::kCancelled);
+
+    std::stringstream ss;
+    ASSERT_TRUE(WriteMinerCheckpoint(captured, ss).ok());
+    MinerCheckpoint loaded;
+    ASSERT_TRUE(ReadMinerCheckpoint(ss, &loaded).ok());
+
+    NmEngine resume_engine(data, space);
+    const MiningResult resumed = MineTrajPatterns(resume_engine, opt, &loaded);
+    ASSERT_FALSE(resumed.stats.aborted);
+    ExpectBitIdentical(resumed, full);
+  }
+}
+
+TEST(CancellationKillSweepTest, BitIdenticalSingleThread) {
+  RunCancellationKillSweep(1);
+}
+
+TEST(CancellationKillSweepTest, BitIdenticalEightThreads) {
+  RunCancellationKillSweep(8);
+}
+
+// Supervisor-driven variant: the Kth checkpoint *write* throws (a crash
+// mid-persist, the classic torn-recovery scenario), for every K the
+// uninterrupted run passes through.  The supervisor must auto-resume
+// from the last durable checkpoint and still produce the uninterrupted
+// answer bit-identically.
+void RunSupervisorCrashSweep(int num_threads) {
+  const TrajectoryDataset data = MakeDeepMiningData();
+  const MiningSpace space(Grid::UnitSquare(8), 0.125);
+  const MinerOptions opt = MakeDeepOptions(num_threads);
+
+  NmEngine full_engine(data, space);
+  const MiningResult full = MineTrajPatterns(full_engine, opt);
+  ASSERT_FALSE(full.patterns.empty());
+  ASSERT_FALSE(full.stats.aborted);
+
+  const std::string path = ::testing::TempDir() + "/tp_crash_sweep_" +
+                           std::to_string(num_threads) + ".ckpt";
+  // The full run delivers one checkpoint per iteration plus nothing
+  // after convergence, so iterations bounds the write count.
+  for (int crash_at = 1; crash_at <= full.stats.iterations; ++crash_at) {
+    std::remove(path.c_str());
+    NmEngine engine(data, space);
+    SupervisorOptions sup;
+    sup.checkpoint_path = path;
+    sup.miner = opt;
+    sup.sleep_fn = [](double) {};
+    int writes = 0;
+    bool crashed = false;
+    sup.write_fn = [&writes, &crashed, crash_at](
+                       const MinerCheckpoint& cp, const std::string& p) {
+      if (++writes == crash_at && !crashed) {
+        crashed = true;
+        throw std::runtime_error("injected crash during checkpoint write");
+      }
+      return WriteMinerCheckpointFile(cp, p);
+    };
+    MiningSupervisor supervisor(&engine, sup);
+    const SupervisorReport report = supervisor.Run();
+    ASSERT_TRUE(report.status.ok())
+        << "crash_at " << crash_at << ": " << report.status.ToString();
+    ASSERT_TRUE(crashed);
+    EXPECT_EQ(report.restarts, 1) << "crash_at " << crash_at;
+    ASSERT_FALSE(report.result.stats.aborted);
+    ExpectBitIdentical(report.result, full);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SupervisorCrashSweepTest, BitIdenticalSingleThread) {
+  RunSupervisorCrashSweep(1);
+}
+
+TEST(SupervisorCrashSweepTest, BitIdenticalEightThreads) {
+  RunSupervisorCrashSweep(8);
+}
 
 TEST(CheckpointResumeTest, SinkAbortSetsStats) {
   const TrajectoryDataset data = MakeMiningData();
