@@ -3,8 +3,10 @@
 // NmEngine::NmTotal one-at-a-time against NmTotalBatch at 1/2/4/8 worker
 // threads (each batch cold, then re-scored warm to show the incremental
 // warm-up), verifies every batch result is bit-identical to serial, and
-// sweeps an end-to-end mining run over the same thread list.  Rows that
-// exceed the machine's hardware concurrency are flagged in the JSON
+// sweeps an end-to-end mining run over the same thread list.  The sweep
+// is clamped to the machine: by default only the serial row and rows
+// within hardware concurrency run; an explicit --threads_list keeps
+// oversubscribed rows but marks them "oversubscribed": true in the JSON
 // artifact.  Writes BENCH_parallel_scoring.json (override with
 // --json=PATH; --threads_list=1,2,4,8 --candidates=N to reshape).
 
@@ -84,8 +86,14 @@ int main(int argc, char** argv) {
   tb::Fig4Config cfg = tb::ParseFig4Config(flags);
   const size_t num_candidates =
       static_cast<size_t>(flags.GetInt("candidates", 4000));
-  const std::vector<int> threads_list =
-      ParseThreadsList(flags.GetString("threads_list", "1,2,4,8"));
+  // The sweep is clamped to the machine: the default list drops rows a
+  // 1-core runner cannot run in parallel; an explicit --threads_list
+  // keeps them but flags them "oversubscribed" in the artifact.
+  const std::vector<tb::ThreadSweepRow> sweep = tb::ClampThreadSweep(
+      ParseThreadsList(flags.GetString("threads_list", "1,2,4,8")),
+      flags.Has("threads_list"));
+  std::vector<int> threads_list;
+  for (const tb::ThreadSweepRow& r : sweep) threads_list.push_back(r.threads);
   const std::string json_path =
       flags.GetString("json", tb::DefaultJsonPath("BENCH_parallel_scoring.json"));
   const trajpattern::ObsOptions obs_opts = trajpattern::ParseObsOptions(flags);
@@ -123,6 +131,7 @@ int main(int argc, char** argv) {
   // (cells_warmed == 0, all hits) and spend ~nothing in the warm-up span.
   struct Row {
     int threads;
+    bool oversubscribed;
     BatchScoreStats stats;
     double seconds;
     bool identical;
@@ -140,20 +149,21 @@ int main(int argc, char** argv) {
     return true;
   };
   std::vector<Row> rows;
-  for (int threads : threads_list) {
+  for (const tb::ThreadSweepRow& sw : sweep) {
     NmEngine engine(data, space);
     WallTimer t;
     BatchScoreStats stats;
     const std::vector<double> scores =
-        engine.NmTotalBatch(candidates, threads, &stats);
+        engine.NmTotalBatch(candidates, sw.threads, &stats);
     const double seconds = t.Seconds();
     t.Reset();
     BatchScoreStats restats;
     const std::vector<double> rescores =
-        engine.NmTotalBatch(candidates, threads, &restats);
+        engine.NmTotalBatch(candidates, sw.threads, &restats);
     const double reseconds = t.Seconds();
-    rows.push_back({threads, stats, seconds, identical_to_serial(scores),
-                    restats, reseconds, identical_to_serial(rescores)});
+    rows.push_back({sw.threads, sw.oversubscribed, stats, seconds,
+                    identical_to_serial(scores), restats, reseconds,
+                    identical_to_serial(rescores)});
   }
 
   Table table({"threads", "batch (s)", "warmup (s)", "scoring (s)", "speedup",
@@ -182,13 +192,14 @@ int main(int argc, char** argv) {
   const MiningResult mine_serial = MineTrajPatterns(mine_serial_engine, mopt);
   struct MineRow {
     int requested;
+    bool oversubscribed;
     int used;
     double seconds;
     bool identical;
   };
   std::vector<MineRow> mine_rows;
-  for (int threads : threads_list) {
-    mopt.num_threads = threads;
+  for (const tb::ThreadSweepRow& sw : sweep) {
+    mopt.num_threads = sw.threads;
     NmEngine engine(data, space);
     const MiningResult run = MineTrajPatterns(engine, mopt);
     bool identical = mine_serial.patterns.size() == run.patterns.size();
@@ -198,8 +209,9 @@ int main(int argc, char** argv) {
           std::memcmp(&mine_serial.patterns[i].nm, &run.patterns[i].nm,
                       sizeof(double)) == 0;
     }
-    mine_rows.push_back(
-        {threads, run.stats.threads_used, run.stats.seconds, identical});
+    mine_rows.push_back({sw.threads, sw.oversubscribed,
+                         run.stats.threads_used, run.stats.seconds,
+                         identical});
   }
   std::printf("end-to-end mine: serial reference %.4f s\n",
               mine_serial.stats.seconds);
@@ -232,6 +244,7 @@ int main(int argc, char** argv) {
   for (const Row& r : rows) {
     w.BeginObject();
     w.Key("threads").Int(r.threads);
+    w.Key("oversubscribed").Bool(r.oversubscribed);
     w.Key("seconds").Double(r.seconds);
     w.Key("warmup_seconds").Double(r.stats.warmup_seconds);
     w.Key("scoring_seconds").Double(r.stats.scoring_seconds);
@@ -260,6 +273,7 @@ int main(int argc, char** argv) {
   for (const MineRow& r : mine_rows) {
     w.BeginObject();
     w.Key("threads_requested").Int(r.requested);
+    w.Key("oversubscribed").Bool(r.oversubscribed);
     w.Key("threads_used").Int(r.used);
     w.Key("seconds").Double(r.seconds);
     w.Key("speedup").Double(mine_serial.stats.seconds / r.seconds, 3);

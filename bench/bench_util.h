@@ -169,6 +169,38 @@ inline std::string OversubscriptionWarning(const std::vector<int>& threads_list)
          "not parallel speedup";
 }
 
+/// One row of a clamped thread sweep.
+struct ThreadSweepRow {
+  int threads = 1;
+  /// True iff the row asks for more workers than the machine has (or the
+  /// machine's shape is unknown): it measures scheduler time-slicing, not
+  /// parallel speedup, and downstream tooling filters it from scaling
+  /// plots.
+  bool oversubscribed = false;
+};
+
+/// Clamps a thread sweep to the machine.  The default sweeps
+/// (1/2/4/8-style) silently drop rows beyond `hardware_threads`, so a
+/// 1-core CI runner emits the serial row plus whatever parallel rows it
+/// can actually run — not 2/4/8-thread rows that misread as a scaling
+/// regression.  An *explicit* `--threads_list` keeps every requested row
+/// (deliberate oversubscription is a valid experiment) but flags the
+/// oversubscribed ones.  At least the serial row always survives.
+inline std::vector<ThreadSweepRow> ClampThreadSweep(
+    const std::vector<int>& requested, bool explicit_list) {
+  const int hw = HardwareThreads();
+  const int capacity = hw > 0 ? hw : 1;  // unknown shape: trust serial only
+  std::vector<ThreadSweepRow> out;
+  for (int t : requested) {
+    if (t < 1) continue;
+    const bool over = t > capacity;
+    if (over && !explicit_list) continue;
+    out.push_back({t, over});
+  }
+  if (out.empty()) out.push_back({1, false});
+  return out;
+}
+
 /// Shared knobs of the Fig. 4 scalability experiments: a ZebraNet-style
 /// workload mined over an `g x g` grid.  Defaults are sized so the whole
 /// suite completes on a small machine; pass --scale=N (or per-flag

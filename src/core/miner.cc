@@ -17,6 +17,197 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 }  // namespace
 
+void RebuildFrontier(const PatternScoreMap& scores, double omega,
+                     PatternSet* high, std::vector<Pattern>* queue) {
+  TP_TRACE_SPAN("miner/rebuild");
+  TP_GAUGE_SET("miner.omega", omega);
+  TP_TRACE_COUNTER("miner/omega", omega);
+  high->clear();
+  for (const auto& [p, nm] : scores) {
+    if (nm >= omega) high->insert(p);
+  }
+  queue->clear();
+  for (const auto& [p, nm] : scores) {
+    const bool keep = high->count(p) > 0 || p.length() == 1 ||
+                      high->count(p.DropFirst()) > 0 ||
+                      high->count(p.DropLast()) > 0;
+    if (keep) queue->push_back(p);
+  }
+  std::sort(queue->begin(), queue->end());
+  TP_GAUGE_SET("miner.queue_depth", queue->size());
+  TP_GAUGE_SET("miner.high_set_size", high->size());
+  TP_TRACE_COUNTER("miner/queue_depth", static_cast<double>(queue->size()));
+}
+
+std::vector<Pattern> GenerateCandidates(const MinerOptions& options,
+                                        const PatternScoreMap& scores,
+                                        const PatternSet& high,
+                                        const std::vector<Pattern>& queue,
+                                        const PatternSet& prev_high,
+                                        const PatternSet& prev_queue,
+                                        bool* hit_candidate_cap) {
+  // Candidate generation: P in H extended with every P' in Q, both
+  // orders.  Because one side is always high, every candidate respects
+  // the min-max seed rule (observation 3 of §4).
+  //
+  // In beam mode the generation itself must stay bounded: with a
+  // min-length constraint the threshold omega is -inf until k eligible
+  // patterns exist, which makes everything high and |H| x |Q| explode.
+  // We then walk both sets in NM-descending order (the most promising
+  // combinations first) and stop once enough candidates are staged for
+  // the beam to rank.
+  std::vector<Pattern> high_sorted(high.begin(), high.end());
+  std::vector<Pattern> queue_sorted = queue;
+  const bool beam = options.max_candidates_per_iteration > 0;
+  if (beam) {
+    auto by_nm_desc = [&](const Pattern& a, const Pattern& b) {
+      const double na = scores.at(a);
+      const double nb = scores.at(b);
+      if (na != nb) return na > nb;
+      return a < b;
+    };
+    std::sort(high_sorted.begin(), high_sorted.end(), by_nm_desc);
+    std::sort(queue_sorted.begin(), queue_sorted.end(), by_nm_desc);
+  } else {
+    std::sort(high_sorted.begin(), high_sorted.end());
+  }
+  const size_t generation_budget =
+      beam ? 4 * options.max_candidates_per_iteration
+           : std::numeric_limits<size_t>::max();
+  std::vector<Pattern> candidates;
+  std::unordered_set<Pattern, PatternHash> cand_seen;
+  // Wildcard joiners (§5): 0..d '*' positions between the two halves.
+  std::vector<Pattern> joiners;
+  joiners.emplace_back();  // plain concatenation
+  for (int g = 1; g <= options.max_wildcards; ++g) {
+    joiners.emplace_back(std::vector<CellId>(g, kWildcardCell));
+  }
+  // Stage the two concatenation orders of a pair; the length test runs
+  // BEFORE any pattern is materialized — with a depth cap most pairs
+  // are over-length, and allocating just to discard dominated the
+  // whole mining run.
+  auto stage_pair = [&](const Pattern& a, const Pattern& join,
+                        const Pattern& b) {
+    if (options.max_pattern_length > 0 &&
+        a.length() + join.length() + b.length() >
+            options.max_pattern_length) {
+      return;
+    }
+    for (Pattern cand : {a.Concat(join).Concat(b),
+                         b.Concat(join).Concat(a)}) {
+      if (scores.count(cand) > 0 || !cand_seen.insert(cand).second) {
+        continue;
+      }
+      candidates.push_back(std::move(cand));
+    }
+  };
+  // Frontier rule: a pair whose halves were BOTH already in last
+  // round's H and Q generated its candidates last round (exact mode
+  // stages every pair, so this is lossless there; in beam mode it
+  // avoids re-walking quadratically many known pairs every round).
+  const bool first_round = prev_high.empty() && prev_queue.empty();
+  std::vector<char> q_old(queue_sorted.size());
+  for (size_t j = 0; j < queue_sorted.size(); ++j) {
+    q_old[j] = prev_queue.count(queue_sorted[j]) > 0 ? 1 : 0;
+  }
+  for (const Pattern& p : high_sorted) {
+    if (candidates.size() >= generation_budget) break;
+    const bool p_old = !first_round && prev_high.count(p) > 0;
+    for (size_t j = 0; j < queue_sorted.size(); ++j) {
+      if (candidates.size() >= generation_budget) break;
+      if (p_old && q_old[j] != 0) continue;
+      const Pattern& q = queue_sorted[j];
+      for (const Pattern& join : joiners) stage_pair(p, join, q);
+    }
+  }
+
+  if (options.max_candidates_per_iteration > 0 &&
+      candidates.size() > options.max_candidates_per_iteration) {
+    // Beam fallback: keep the candidates whose worse half is best — the
+    // min-max property bounds a pattern's NM by the max of any cut, so
+    // a candidate with two strong halves is the most promising.  The
+    // beam is stratified by candidate length: ranking by bound alone
+    // would let the (always better-bounded) short candidates starve the
+    // long ones, and with a min-length constraint the threshold omega
+    // never tightens until long patterns exist at all.
+    if (hit_candidate_cap != nullptr) *hit_candidate_cap = true;
+    auto bound = [&](const Pattern& c) {
+      double best = kNegInf;
+      for (size_t cut = 1; cut < c.length(); ++cut) {
+        auto l = scores.find(c.SubPattern(0, cut));
+        auto r = scores.find(c.SubPattern(cut, c.length() - cut));
+        if (l != scores.end() && r != scores.end()) {
+          best = std::max(best, std::min(l->second, r->second));
+        }
+      }
+      return best;
+    };
+    std::map<size_t, std::vector<std::pair<double, Pattern>>> buckets;
+    for (Pattern& c : candidates) {
+      const size_t len = c.length();
+      buckets[len].emplace_back(bound(c), std::move(c));
+    }
+    for (auto& [len, bucket] : buckets) {
+      (void)len;
+      std::sort(bucket.begin(), bucket.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+    }
+    candidates.clear();
+    // Round-robin across length buckets, best-bound first within each.
+    std::vector<size_t> cursor_keys;
+    for (const auto& [len, bucket] : buckets) {
+      (void)bucket;
+      cursor_keys.push_back(len);
+    }
+    std::vector<size_t> offsets(cursor_keys.size(), 0);
+    while (candidates.size() < options.max_candidates_per_iteration) {
+      bool any = false;
+      for (size_t b = 0; b < cursor_keys.size() &&
+                         candidates.size() <
+                             options.max_candidates_per_iteration;
+           ++b) {
+        auto& bucket = buckets[cursor_keys[b]];
+        if (offsets[b] < bucket.size()) {
+          candidates.push_back(std::move(bucket[offsets[b]].second));
+          ++offsets[b];
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+  }
+  return candidates;
+}
+
+MinerCheckpoint MakeBaseCheckpoint(int completed_iterations, int k,
+                                   double omega,
+                                   const PatternScoreMap& scores,
+                                   const PatternSet& prev_high,
+                                   const PatternSet& prev_queue,
+                                   int64_t candidates_evaluated,
+                                   int64_t candidates_pruned) {
+  MinerCheckpoint cp;
+  cp.iteration = completed_iterations;
+  cp.k = k;
+  cp.omega = omega;
+  cp.scores.reserve(scores.size());
+  for (const auto& [p, nm] : scores) cp.scores.push_back({p, nm});
+  std::sort(cp.scores.begin(), cp.scores.end(),
+            [](const ScoredPattern& a, const ScoredPattern& b) {
+              return a.pattern < b.pattern;
+            });
+  cp.prev_high.assign(prev_high.begin(), prev_high.end());
+  std::sort(cp.prev_high.begin(), cp.prev_high.end());
+  cp.prev_queue.assign(prev_queue.begin(), prev_queue.end());
+  std::sort(cp.prev_queue.begin(), cp.prev_queue.end());
+  cp.candidates_evaluated = candidates_evaluated;
+  cp.candidates_pruned = candidates_pruned;
+  return cp;
+}
+
 TrajPatternMiner::TrajPatternMiner(const NmEngine* engine,
                                    const MinerOptions& options)
     : engine_(engine), options_(options), top_k_(options.k) {
@@ -82,23 +273,10 @@ MinerCheckpoint TrajPatternMiner::MakeCheckpoint(
     int completed_iterations,
     const std::unordered_set<Pattern, PatternHash>& prev_high,
     const std::unordered_set<Pattern, PatternHash>& prev_queue) const {
-  MinerCheckpoint cp;
-  cp.iteration = completed_iterations;
-  cp.k = options_.k;
-  cp.omega = top_k_.Omega();
-  cp.scores.reserve(scores_.size());
-  for (const auto& [p, nm] : scores_) cp.scores.push_back({p, nm});
-  std::sort(cp.scores.begin(), cp.scores.end(),
-            [](const ScoredPattern& a, const ScoredPattern& b) {
-              return a.pattern < b.pattern;
-            });
-  cp.prev_high.assign(prev_high.begin(), prev_high.end());
-  std::sort(cp.prev_high.begin(), cp.prev_high.end());
-  cp.prev_queue.assign(prev_queue.begin(), prev_queue.end());
-  std::sort(cp.prev_queue.begin(), cp.prev_queue.end());
-  cp.candidates_evaluated = stats_.candidates_evaluated;
-  cp.candidates_pruned = stats_.candidates_pruned;
-  return cp;
+  return MakeBaseCheckpoint(completed_iterations, options_.k, top_k_.Omega(),
+                            scores_, prev_high, prev_queue,
+                            stats_.candidates_evaluated,
+                            stats_.candidates_pruned);
 }
 
 MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
@@ -148,26 +326,8 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   std::unordered_set<Pattern, PatternHash> high;
   std::vector<Pattern> queue;
   auto rebuild = [&]() {
-    TP_TRACE_SPAN("miner/rebuild");
-    const double omega = top_k_.Omega();
-    TP_GAUGE_SET("miner.omega", omega);
-    TP_TRACE_COUNTER("miner/omega", omega);
-    high.clear();
-    for (const auto& [p, nm] : scores_) {
-      if (nm >= omega) high.insert(p);
-    }
-    queue.clear();
-    for (const auto& [p, nm] : scores_) {
-      const bool keep = high.count(p) > 0 || p.length() == 1 ||
-                        high.count(p.DropFirst()) > 0 ||
-                        high.count(p.DropLast()) > 0;
-      if (keep) queue.push_back(p);
-    }
-    std::sort(queue.begin(), queue.end());
+    RebuildFrontier(scores_, top_k_.Omega(), &high, &queue);
     stats_.peak_queue_size = std::max(stats_.peak_queue_size, queue.size());
-    TP_GAUGE_SET("miner.queue_depth", queue.size());
-    TP_GAUGE_SET("miner.high_set_size", high.size());
-    TP_TRACE_COUNTER("miner/queue_depth", static_cast<double>(queue.size()));
   };
   rebuild();
 
@@ -226,80 +386,12 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     TP_COUNTER_INC("miner.iterations");
     ++stats_.iterations;
 
-    // Candidate generation: P in H extended with every P' in Q, both
-    // orders.  Because one side is always high, every candidate respects
-    // the min-max seed rule (observation 3 of §4).
-    //
-    // In beam mode the generation itself must stay bounded: with a
-    // min-length constraint the threshold omega is -inf until k eligible
-    // patterns exist, which makes everything high and |H| x |Q| explode.
-    // We then walk both sets in NM-descending order (the most promising
-    // combinations first) and stop once enough candidates are staged for
-    // the beam to rank.
-    std::vector<Pattern> high_sorted(high.begin(), high.end());
-    std::vector<Pattern> queue_sorted = queue;
-    const bool beam = options_.max_candidates_per_iteration > 0;
-    if (beam) {
-      auto by_nm_desc = [&](const Pattern& a, const Pattern& b) {
-        const double na = scores_.at(a);
-        const double nb = scores_.at(b);
-        if (na != nb) return na > nb;
-        return a < b;
-      };
-      std::sort(high_sorted.begin(), high_sorted.end(), by_nm_desc);
-      std::sort(queue_sorted.begin(), queue_sorted.end(), by_nm_desc);
-    } else {
-      std::sort(high_sorted.begin(), high_sorted.end());
-    }
-    const size_t generation_budget =
-        beam ? 4 * options_.max_candidates_per_iteration
-             : std::numeric_limits<size_t>::max();
-    std::vector<Pattern> candidates;
-    std::unordered_set<Pattern, PatternHash> cand_seen;
-    // Wildcard joiners (§5): 0..d '*' positions between the two halves.
-    std::vector<Pattern> joiners;
-    joiners.emplace_back();  // plain concatenation
-    for (int g = 1; g <= options_.max_wildcards; ++g) {
-      joiners.emplace_back(std::vector<CellId>(g, kWildcardCell));
-    }
-    // Stage the two concatenation orders of a pair; the length test runs
-    // BEFORE any pattern is materialized — with a depth cap most pairs
-    // are over-length, and allocating just to discard dominated the
-    // whole mining run.
-    auto stage_pair = [&](const Pattern& a, const Pattern& join,
-                          const Pattern& b) {
-      if (options_.max_pattern_length > 0 &&
-          a.length() + join.length() + b.length() >
-              options_.max_pattern_length) {
-        return;
-      }
-      for (Pattern cand : {a.Concat(join).Concat(b),
-                           b.Concat(join).Concat(a)}) {
-        if (scores_.count(cand) > 0 || !cand_seen.insert(cand).second) {
-          continue;
-        }
-        candidates.push_back(std::move(cand));
-      }
-    };
-    // Frontier rule: a pair whose halves were BOTH already in last
-    // round's H and Q generated its candidates last round (exact mode
-    // stages every pair, so this is lossless there; in beam mode it
-    // avoids re-walking quadratically many known pairs every round).
-    const bool first_round = prev_high.empty() && prev_queue.empty();
-    std::vector<char> q_old(queue_sorted.size());
-    for (size_t j = 0; j < queue_sorted.size(); ++j) {
-      q_old[j] = prev_queue.count(queue_sorted[j]) > 0 ? 1 : 0;
-    }
-    for (const Pattern& p : high_sorted) {
-      if (candidates.size() >= generation_budget) break;
-      const bool p_old = !first_round && prev_high.count(p) > 0;
-      for (size_t j = 0; j < queue_sorted.size(); ++j) {
-        if (candidates.size() >= generation_budget) break;
-        if (p_old && q_old[j] != 0) continue;
-        const Pattern& q = queue_sorted[j];
-        for (const Pattern& join : joiners) stage_pair(p, join, q);
-      }
-    }
+    // Candidate generation (shared with the sharded miner — see
+    // `GenerateCandidates`): H x Q in both orders under the frontier
+    // rule, wildcard joiners, and the beam fallback.
+    std::vector<Pattern> candidates =
+        GenerateCandidates(options_, scores_, high, queue, prev_high,
+                           prev_queue, &stats_.hit_candidate_cap);
     prev_high = high;
     prev_queue.clear();
     prev_queue.insert(queue.begin(), queue.end());
@@ -307,65 +399,6 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     TP_COUNTER_ADD("miner.candidates_generated", candidates.size());
     TP_HISTOGRAM_OBSERVE("miner.iteration_candidates", candidates.size(),
                          {10, 100, 1000, 10000, 100000});
-
-    if (options_.max_candidates_per_iteration > 0 &&
-        candidates.size() > options_.max_candidates_per_iteration) {
-      // Beam fallback: keep the candidates whose worse half is best — the
-      // min-max property bounds a pattern's NM by the max of any cut, so
-      // a candidate with two strong halves is the most promising.  The
-      // beam is stratified by candidate length: ranking by bound alone
-      // would let the (always better-bounded) short candidates starve the
-      // long ones, and with a min-length constraint the threshold omega
-      // never tightens until long patterns exist at all.
-      stats_.hit_candidate_cap = true;
-      auto bound = [&](const Pattern& c) {
-        double best = kNegInf;
-        for (size_t cut = 1; cut < c.length(); ++cut) {
-          auto l = scores_.find(c.SubPattern(0, cut));
-          auto r = scores_.find(c.SubPattern(cut, c.length() - cut));
-          if (l != scores_.end() && r != scores_.end()) {
-            best = std::max(best, std::min(l->second, r->second));
-          }
-        }
-        return best;
-      };
-      std::map<size_t, std::vector<std::pair<double, Pattern>>> buckets;
-      for (Pattern& c : candidates) {
-        const size_t len = c.length();
-        buckets[len].emplace_back(bound(c), std::move(c));
-      }
-      for (auto& [len, bucket] : buckets) {
-        (void)len;
-        std::sort(bucket.begin(), bucket.end(),
-                  [](const auto& a, const auto& b) {
-                    if (a.first != b.first) return a.first > b.first;
-                    return a.second < b.second;
-                  });
-      }
-      candidates.clear();
-      // Round-robin across length buckets, best-bound first within each.
-      std::vector<size_t> cursor_keys;
-      for (const auto& [len, bucket] : buckets) {
-        (void)bucket;
-        cursor_keys.push_back(len);
-      }
-      std::vector<size_t> offsets(cursor_keys.size(), 0);
-      while (candidates.size() < options_.max_candidates_per_iteration) {
-        bool any = false;
-        for (size_t b = 0; b < cursor_keys.size() &&
-                           candidates.size() <
-                               options_.max_candidates_per_iteration;
-             ++b) {
-          auto& bucket = buckets[cursor_keys[b]];
-          if (offsets[b] < bucket.size()) {
-            candidates.push_back(std::move(bucket[offsets[b]].second));
-            ++offsets[b];
-            any = true;
-          }
-        }
-        if (!any) break;
-      }
-    }
 
     ScoreBatch(candidates);
     // A stop mid-batch discarded the whole generation; the memo is still
@@ -417,6 +450,11 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
 MiningResult MineTrajPatterns(const NmEngine& engine,
                               const MinerOptions& options,
                               const MinerCheckpoint* resume) {
+  if (options.num_shards > 0) {
+    // The sharded path (src/shard) produces the bit-identical top-k via
+    // N candidate-partitioned shards and a merging coordinator.
+    return MineShardedDispatch(engine, options, resume);
+  }
   TrajPatternMiner miner(&engine, options);
   return resume != nullptr ? miner.Mine(*resume) : miner.Mine();
 }

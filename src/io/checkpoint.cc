@@ -19,6 +19,7 @@ namespace {
 
 constexpr const char* kMagicV1 = "trajpattern_checkpoint,v1";
 constexpr const char* kMagicV2 = "trajpattern_checkpoint,v2";
+constexpr const char* kMagicV3 = "trajpattern_checkpoint,v3";
 
 std::string HexDouble(double v) {
   char buf[64];
@@ -113,7 +114,11 @@ class LineReader {
 Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
   TP_TRACE_SPAN("checkpoint/write");
   TP_COUNTER_INC("checkpoint.writes");
-  os << kMagicV2 << "\n";
+  // v3 exists only to carry shard slices; unsharded checkpoints keep
+  // writing v2 byte-for-byte, so older readers (and the committed v2
+  // fixtures) stay valid.
+  const bool v3 = !cp.shards.empty();
+  os << (v3 ? kMagicV3 : kMagicV2) << "\n";
   os << "iteration," << cp.iteration << "\n";
   os << "k," << cp.k << "\n";
   os << "omega," << HexDouble(cp.omega) << "\n";
@@ -135,6 +140,14 @@ Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os) {
     WriteCells(p, os);
     os << "\n";
   }
+  if (v3) {
+    os << "shards," << cp.shards.size() << "\n";
+    for (const MinerCheckpoint::ShardSlice& s : cp.shards) {
+      os << s.shard_id << "," << HexDouble(s.omega) << ","
+         << s.candidates_evaluated << "," << s.candidates_pruned << ","
+         << s.trajectories_skipped << "\n";
+    }
+  }
   os << "end\n";
   if (!os) return Status::DataLoss("checkpoint stream write failed");
   return Status::Ok();
@@ -148,11 +161,13 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
   MinerCheckpoint out;
   LineReader reader(is);
   std::string line;
-  if (!reader.Next(&line) || (line != kMagicV1 && line != kMagicV2)) {
+  if (!reader.Next(&line) ||
+      (line != kMagicV1 && line != kMagicV2 && line != kMagicV3)) {
     return Status::DataLoss(
         "not a trajpattern checkpoint (bad or missing header)");
   }
-  const bool v2 = line == kMagicV2;
+  const bool v3 = line == kMagicV3;
+  const bool v2 = line == kMagicV2 || v3;
   // Fixed "key,count-or-value" headers followed by their payload blocks.
   auto expect_keyed_long = [&](const std::string& key, long* value) {
     if (!reader.Next(&line)) return reader.Error("truncated before " + key);
@@ -239,6 +254,42 @@ Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp) {
       std::vector<CellId> cells;
       if (!ParseCells(line, &cells)) return reader.Error("malformed " + key + " row");
       block->emplace_back(std::move(cells));
+    }
+  }
+
+  // v3 appends the sharded-run slices: one
+  // "shard_id,omega,evaluated,pruned,skipped" row per shard.
+  if (v3) {
+    s = expect_keyed_long("shards", &count);
+    if (!s.ok()) return s;
+    // Shard counts are small by construction (in-process shards on one
+    // machine); anything large is corruption.
+    constexpr long kMaxShards = 65536;
+    if (count < 0 || count > kMaxShards) {
+      return reader.Error("implausible shards count");
+    }
+    out.shards.reserve(static_cast<size_t>(count));
+    for (long i = 0; i < count; ++i) {
+      if (!reader.Next(&line)) return reader.Error("truncated shards block");
+      std::vector<std::string> fields;
+      std::string field;
+      std::istringstream fs(line);
+      while (std::getline(fs, field, ',')) fields.push_back(field);
+      MinerCheckpoint::ShardSlice slice;
+      long shard_id, evaluated, pruned, skipped;
+      if (fields.size() != 5 || !ParseLong(fields[0], &shard_id) ||
+          !ParseHexDouble(fields[1], &slice.omega) ||
+          !ParseLong(fields[2], &evaluated) ||
+          !ParseLong(fields[3], &pruned) ||
+          !ParseLong(fields[4], &skipped) || shard_id < 0 ||
+          evaluated < 0 || pruned < 0 || skipped < 0) {
+        return reader.Error("malformed shard slice row");
+      }
+      slice.shard_id = static_cast<int>(shard_id);
+      slice.candidates_evaluated = evaluated;
+      slice.candidates_pruned = pruned;
+      slice.trajectories_skipped = skipped;
+      out.shards.push_back(slice);
     }
   }
 

@@ -15,22 +15,26 @@ namespace trajpattern {
 ///   iteration,<int>
 ///   k,<int>
 ///   omega,<hexfloat>
-///   candidates_evaluated,<int64>                            (v2 only)
-///   candidates_pruned,<int64>                               (v2 only)
+///   candidates_evaluated,<int64>                            (v2+)
+///   candidates_pruned,<int64>                               (v2+)
 ///   scores,<count>
 ///   <hexfloat NM>,<;-separated cells, '*' for wildcards>   x count
 ///   prev_high,<count>
 ///   <cells>                                                x count
 ///   prev_queue,<count>
 ///   <cells>                                                x count
+///   shards,<count>                                          (v3 only)
+///   <shard_id>,<hexfloat omega>,<evaluated>,<pruned>,<skipped> x count
 ///   end
 ///
-/// The reader also accepts v1 files (written before the cumulative work
-/// counters existed); their counters load as 0.  The writer always emits
-/// v2.  NM values are written as C99 hexfloats (`%a`), which round-trip
-/// IEEE doubles bit-exactly (including -inf) — the property the
-/// resumed-run bit-identity guarantee rests on.  Unknown versions and
-/// truncated files are rejected with a typed error, never half-loaded.
+/// The reader accepts v1 files (written before the cumulative work
+/// counters existed; counters load as 0), v2, and v3.  The writer emits
+/// v3 only when the checkpoint carries shard slices (a sharded run —
+/// see src/shard); unsharded checkpoints stay v2 byte-for-byte.  NM
+/// values are written as C99 hexfloats (`%a`), which round-trip IEEE
+/// doubles bit-exactly (including -inf) — the property the resumed-run
+/// bit-identity guarantee rests on.  Unknown versions and truncated
+/// files are rejected with a typed error, never half-loaded.
 Status WriteMinerCheckpoint(const MinerCheckpoint& cp, std::ostream& os);
 Status ReadMinerCheckpoint(std::istream& is, MinerCheckpoint* cp);
 

@@ -1,0 +1,86 @@
+#include "shard/shard_coordinator.h"
+
+#include <cassert>
+#include <limits>
+#include <string>
+
+#include "obs/obs.h"
+#include "stats/timer.h"
+
+namespace trajpattern {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(int k, int num_shards, bool omega_exchange,
+                                   size_t min_length)
+    : global_(k),
+      last_threshold_(static_cast<size_t>(num_shards), kNegInf),
+      dispatch_local_omega_(static_cast<size_t>(num_shards), kNegInf),
+      omega_exchange_(omega_exchange),
+      min_length_(min_length) {
+  assert(k > 0);
+  assert(num_shards > 0);
+  locals_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) locals_.emplace_back(k);
+}
+
+double ShardCoordinator::AcquirePruneThreshold(int shard) {
+  assert(shard >= 0 && shard < num_shards());
+  const double local = locals_[shard].Omega();
+  dispatch_local_omega_[shard] = local;
+  const double threshold = omega_exchange_ ? global_.Omega() : local;
+  // The broadcast contract: a shard's threshold never loosens.  Both
+  // heaps only improve, and with the exchange on the global ω dominates
+  // every local ω, so a violation here means heap state was corrupted.
+  assert(threshold >= last_threshold_[shard]);
+  last_threshold_[shard] = threshold;
+  return threshold;
+}
+
+ShardCoordinator::MergeOutcome ShardCoordinator::Merge(
+    int shard, const std::vector<Pattern>& patterns,
+    const std::vector<double>& nms, double threshold_used) {
+  assert(shard >= 0 && shard < num_shards());
+  assert(patterns.size() == nms.size());
+  WallTimer timer;
+  TP_TRACE_SPAN("shard/merge");
+  MergeOutcome outcome;
+  TopKPatterns& local = locals_[shard];
+  const double dispatch_local = dispatch_local_omega_[shard];
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    // A result below the round's threshold is an abandoned candidate's
+    // partial-sum bound.  It is offered like any other value — the heaps
+    // reject it (bound < threshold <= current ω), which is exactly what
+    // keeps pruned candidates out of the answer without special-casing.
+    if (nms[i] < threshold_used) {
+      ++outcome.pruned_results;
+      if (nms[i] >= dispatch_local) ++outcome.exchange_wins;
+    }
+    if (!Eligible(patterns[i])) continue;
+    local.Offer(patterns[i], nms[i]);
+    global_.Offer(patterns[i], nms[i]);
+  }
+  exchange_pruning_wins_ += outcome.exchange_wins;
+  TP_COUNTER_ADD("shard.exchange_pruning_wins", outcome.exchange_wins);
+  TP_HISTOGRAM_OBSERVE("shard.merge_latency_ms", timer.Seconds() * 1e3,
+                       {0.01, 0.1, 1, 10, 100, 1000});
+  TP_GAUGE_SET("shard.global_omega", global_.Omega());
+  // Per-shard gauges carry a dynamic name, so they go straight to the
+  // registry (the TP_* macros cache one handle per call site).
+  TP_OBS_ONLY(obs::MetricsRegistry::Global()
+                  .GetGauge("shard." + std::to_string(shard) + ".omega")
+                  ->Set(local.Omega()));
+  return outcome;
+}
+
+void ShardCoordinator::Seed(int shard, const Pattern& pattern, double nm) {
+  assert(shard >= 0 && shard < num_shards());
+  if (!Eligible(pattern)) return;
+  locals_[shard].Offer(pattern, nm);
+  global_.Offer(pattern, nm);
+}
+
+}  // namespace trajpattern

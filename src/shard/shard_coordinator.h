@@ -1,0 +1,109 @@
+#ifndef TRAJPATTERN_SHARD_SHARD_COORDINATOR_H_
+#define TRAJPATTERN_SHARD_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.h"
+#include "core/top_k.h"
+
+namespace trajpattern {
+
+/// Merges per-shard scoring results into one global top-k and hands the
+/// tightened threshold back to the shards (the cross-shard ω exchange).
+///
+/// One coordinator serves one sharded mining run.  Every shard owns a
+/// local `TopKPatterns` here (its "what would I prune with on my own"
+/// view) next to the run-wide global heap; after each scoring round the
+/// miner merges each shard's results serially, in shard order, through
+/// `Merge` — the heaps are plain data behind a single-threaded protocol,
+/// which is what makes the merged top-k deterministic: the final k best
+/// under the strict `BetterScored` total order are unique no matter how
+/// offers interleave, and the serial merge makes even the intermediate
+/// states a pure function of (round, shard, index).
+///
+/// Exchange semantics: `AcquirePruneThreshold(s)` is what shard `s`
+/// passes to `NmTotalBatch(prune_below=...)` for its next round —
+/// the *global* ω when the exchange is on, the shard's local ω when it
+/// is off.  The global heap has seen a superset of every local heap's
+/// offers, so ω_global >= ω_local(s) always holds and the exchange can
+/// only prune more.  Exactness is the PR 3 monotone-bound argument:
+/// thresholds only ever tighten (`last_threshold` asserts it), an
+/// abandoned candidate's memoized partial sum is an upper bound on its
+/// exact NM that is already below the threshold in force, so it can
+/// neither enter any top-k nor flip a high/low classification.
+class ShardCoordinator {
+ public:
+  /// `k` patterns per heap, `num_shards` local heaps, `min_length` the
+  /// run's answer-eligibility floor (0 = every pattern eligible).
+  ShardCoordinator(int k, int num_shards, bool omega_exchange,
+                   size_t min_length);
+
+  int num_shards() const { return static_cast<int>(locals_.size()); }
+
+  /// The threshold shard `shard` must prune its next scoring round with;
+  /// also snapshots the shard's local ω at dispatch time (the baseline
+  /// `Merge` attributes exchange pruning wins against).  Asserts the
+  /// per-shard broadcast never loosens.
+  double AcquirePruneThreshold(int shard);
+
+  /// Outcome of merging one shard's round (see `Merge`).
+  struct MergeOutcome {
+    /// Results below the threshold the round actually pruned with — the
+    /// abandoned candidates whose memo value is a bound, not an exact NM.
+    int64_t pruned_results = 0;
+    /// Of those, the ones at or above the shard's *local* ω at dispatch:
+    /// only the exchanged (global) threshold could have abandoned them
+    /// at that point, so they are the exchange's attributable win.
+    int64_t exchange_wins = 0;
+  };
+
+  /// Serially folds `patterns[i] -> nms[i]` (the shard's scored round,
+  /// in staged order) into the shard-local and global heaps.
+  /// `threshold_used` is the prune threshold the round ran with (from
+  /// `AcquirePruneThreshold`, or -inf when pruning was off).  Not
+  /// thread-safe by design: the miner calls it from the coordinator
+  /// thread only, after the round's scoring workers have been joined.
+  MergeOutcome Merge(int shard, const std::vector<Pattern>& patterns,
+                     const std::vector<double>& nms, double threshold_used);
+
+  /// Resume path: re-offers one memoized (pattern, nm) to the heaps
+  /// without metrics side effects.  Offer order cannot matter (strict
+  /// total order), so re-seeding from the sorted checkpoint memo rebuilds
+  /// the exact heaps the interrupted run held.
+  void Seed(int shard, const Pattern& pattern, double nm);
+
+  /// The merged run-wide threshold (the k-th best eligible NM seen).
+  double global_omega() const { return global_.Omega(); }
+  /// Shard `shard`'s own threshold (what it would prune with unexchanged).
+  double local_omega(int shard) const { return locals_[shard].Omega(); }
+  /// The last threshold `AcquirePruneThreshold(shard)` handed out (-inf
+  /// before the first call); tests assert its monotonicity.
+  double last_threshold(int shard) const { return last_threshold_[shard]; }
+
+  const TopKPatterns& global_top_k() const { return global_; }
+
+  /// Total exchange pruning wins across the run (also exported as the
+  /// `shard.exchange_pruning_wins` counter).
+  int64_t exchange_pruning_wins() const { return exchange_pruning_wins_; }
+
+ private:
+  bool Eligible(const Pattern& p) const {
+    return min_length_ == 0 || p.length() >= min_length_;
+  }
+
+  TopKPatterns global_;
+  std::vector<TopKPatterns> locals_;
+  /// Per-shard threshold last handed to the shard (monotonicity guard).
+  std::vector<double> last_threshold_;
+  /// Per-shard local ω snapshotted at the last `AcquirePruneThreshold`
+  /// (the attribution baseline for `MergeOutcome::exchange_wins`).
+  std::vector<double> dispatch_local_omega_;
+  bool omega_exchange_;
+  size_t min_length_;
+  int64_t exchange_pruning_wins_ = 0;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_SHARD_SHARD_COORDINATOR_H_

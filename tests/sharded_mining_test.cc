@@ -1,0 +1,685 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/planted_generator.h"
+#include "datagen/uniform_generator.h"
+#include "io/checkpoint.h"
+#include "server/mining_supervisor.h"
+#include "shard/shard_coordinator.h"
+#include "shard/sharded_miner.h"
+
+namespace trajpattern {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+MiningSpace SmallSpace(int n = 3, double delta = 0.15) {
+  return MiningSpace(Grid::UnitSquare(n), delta);
+}
+
+TrajectoryDataset SmallData(uint64_t seed = 11) {
+  const UniformGeneratorOptions gopt{.num_objects = 6,
+                                     .num_snapshots = 10,
+                                     .sigma = 0.02,
+                                     .seed = seed};
+  return GenerateUniformObjects(gopt);
+}
+
+/// A workload with real structure, so pruning and the exchange have
+/// something to bite on.
+TrajectoryDataset PlantedData() {
+  PlantedPatternOptions popt;
+  popt.pattern = {Point2(0.125, 0.125), Point2(0.375, 0.375),
+                  Point2(0.625, 0.625)};
+  popt.num_with_pattern = 20;
+  popt.num_background = 10;
+  popt.num_snapshots = 12;
+  popt.embed_noise = 0.002;
+  popt.sigma = 0.01;
+  popt.seed = 7;
+  return GeneratePlantedPatterns(popt);
+}
+
+MinerOptions BaseOptions() {
+  MinerOptions opt;
+  opt.k = 8;
+  opt.max_pattern_length = 3;
+  opt.omega_pruning = true;
+  return opt;
+}
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The sharding contract is *bit*-identity, not tolerance: same patterns
+/// in the same order with memcmp-equal NM doubles.
+void ExpectBitIdentical(const std::vector<ScoredPattern>& got,
+                        const std::vector<ScoredPattern>& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pattern, want[i].pattern)
+        << label << " rank " << i << ": got "
+        << got[i].pattern.ToString() << " want "
+        << want[i].pattern.ToString();
+    EXPECT_TRUE(BitEq(got[i].nm, want[i].nm))
+        << label << " rank " << i << ": nm bits differ ("
+        << got[i].nm << " vs " << want[i].nm << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the sharded answer
+// ---------------------------------------------------------------------------
+
+// The headline contract: for every shard count, exchange setting, salt,
+// and thread count, the global top-k equals the classic unsharded run's
+// bit for bit.
+TEST(ShardedMiningTest, ShardSweepBitIdenticalToUnsharded) {
+  const TrajectoryDataset d = SmallData();
+  const MiningSpace space = SmallSpace();
+  NmEngine baseline_engine(d, space);
+  MinerOptions base = BaseOptions();
+  const MiningResult want = MineTrajPatterns(baseline_engine, base);
+  ASSERT_FALSE(want.stats.aborted);
+
+  for (int shards : {1, 2, 3, 5}) {
+    for (bool exchange : {true, false}) {
+      MinerOptions opt = base;
+      opt.num_shards = shards;
+      opt.omega_exchange = exchange;
+      NmEngine engine(d, space);
+      const MiningResult got = MineTrajPatterns(engine, opt);
+      EXPECT_FALSE(got.stats.aborted);
+      ExpectBitIdentical(got.patterns, want.patterns,
+                         "shards=" + std::to_string(shards) +
+                             " exchange=" + std::to_string(exchange));
+    }
+  }
+}
+
+// Pruning off entirely (no thresholds at all) must still agree — the
+// partition changes who scores what, never what a score is.
+TEST(ShardedMiningTest, BitIdenticalWithPruningDisabled) {
+  const TrajectoryDataset d = SmallData(12);
+  const MiningSpace space = SmallSpace();
+  NmEngine baseline_engine(d, space);
+  MinerOptions base = BaseOptions();
+  base.omega_pruning = false;
+  const MiningResult want = MineTrajPatterns(baseline_engine, base);
+
+  MinerOptions opt = base;
+  opt.num_shards = 3;
+  NmEngine engine(d, space);
+  const MiningResult got = MineTrajPatterns(engine, opt);
+  ExpectBitIdentical(got.patterns, want.patterns, "pruning off");
+}
+
+// The §5 variants ride through the shard path unchanged: min-length
+// eligibility lives in the coordinator's heaps, wildcards in generation.
+TEST(ShardedMiningTest, WildcardsAndMinLengthBitIdentical) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  NmEngine baseline_engine(d, space);
+  MinerOptions base;
+  base.k = 6;
+  base.min_length = 2;
+  base.max_pattern_length = 4;
+  base.max_wildcards = 1;
+  base.omega_pruning = true;
+  const MiningResult want = MineTrajPatterns(baseline_engine, base);
+  ASSERT_FALSE(want.patterns.empty());
+  for (const auto& sp : want.patterns) {
+    EXPECT_GE(sp.pattern.length(), base.min_length);
+  }
+
+  MinerOptions opt = base;
+  opt.num_shards = 3;
+  opt.num_threads = 4;
+  NmEngine engine(d, space);
+  const MiningResult got = MineTrajPatterns(engine, opt);
+  ExpectBitIdentical(got.patterns, want.patterns, "wildcards+min_length");
+}
+
+// The salt reshuffles candidate->shard assignment and the round size
+// changes how often ω is exchanged; neither may change the answer.
+TEST(ShardedMiningTest, SaltThreadAndRoundSizeInvariance) {
+  const TrajectoryDataset d = SmallData(13);
+  const MiningSpace space = SmallSpace();
+  MinerOptions base = BaseOptions();
+  base.num_shards = 3;
+
+  NmEngine baseline_engine(d, space);
+  const MiningResult want = MineTrajPatterns(baseline_engine, base);
+
+  for (uint64_t salt : {uint64_t{0x9e3779b9}, uint64_t{0xdeadbeef}}) {
+    for (int threads : {1, 4}) {
+      for (size_t round : {size_t{3}, size_t{1000}}) {
+        MinerOptions opt = base;
+        opt.shard_salt = salt;
+        opt.num_threads = threads;
+        opt.shard_round_size = round;
+        NmEngine engine(d, space);
+        const MiningResult got = MineTrajPatterns(engine, opt);
+        ExpectBitIdentical(got.patterns, want.patterns,
+                           "salt=" + std::to_string(salt) +
+                               " threads=" + std::to_string(threads) +
+                               " round=" + std::to_string(round));
+      }
+    }
+  }
+}
+
+// MineTrajPatterns(num_shards=N) and driving ShardedMiner directly are
+// the same run.
+TEST(ShardedMiningTest, DispatchRoutesThroughShardedMiner) {
+  const TrajectoryDataset d = SmallData(14);
+  const MiningSpace space = SmallSpace();
+  MinerOptions opt = BaseOptions();
+  opt.num_shards = 2;
+
+  NmEngine engine_a(d, space);
+  const MiningResult via_dispatch = MineTrajPatterns(engine_a, opt);
+
+  NmEngine engine_b(d, space);
+  ShardedMiner miner(&engine_b, opt);
+  const MiningResult direct = miner.Mine();
+
+  ExpectBitIdentical(via_dispatch.patterns, direct.patterns, "dispatch");
+  EXPECT_EQ(miner.shard_reports().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard statistics (satellite: no double counting)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMiningTest, ShardSliceCountersSumToGlobalStats) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  NmEngine engine(d, space);
+  MinerOptions opt = BaseOptions();
+  opt.k = 6;
+  opt.max_pattern_length = 4;
+  opt.num_shards = 3;
+  opt.num_threads = 4;
+
+  ShardedMiner miner(&engine, opt);
+  const MiningResult result = miner.Mine();
+  ASSERT_FALSE(result.stats.aborted);
+
+  const auto& reports = miner.shard_reports();
+  ASSERT_EQ(reports.size(), 3u);
+  int64_t evaluated = 0, pruned = 0, skipped = 0, evicted = 0;
+  size_t cells = 0;
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(reports[static_cast<size_t>(s)].shard_id, s);
+    const MiningCounters& c = reports[static_cast<size_t>(s)].counters;
+    evaluated += c.candidates_evaluated;
+    pruned += c.candidates_pruned;
+    skipped += c.trajectories_skipped;
+    evicted += c.cells_evicted;
+    cells += reports[static_cast<size_t>(s)].cells_cached;
+  }
+  // Fleet-wide totals are the sum of the shard slices — each batch's
+  // counters folded exactly once into its shard and once globally.
+  EXPECT_EQ(evaluated, result.stats.candidates_evaluated);
+  EXPECT_EQ(pruned, result.stats.candidates_pruned);
+  EXPECT_EQ(skipped, result.stats.trajectories_skipped);
+  EXPECT_EQ(evicted, result.stats.cells_evicted);
+  EXPECT_EQ(cells, result.stats.cells_cached);
+  EXPECT_GT(result.stats.candidates_evaluated, 0);
+}
+
+// Exchange ON can only prune more: fully-evaluated candidates
+// (scored minus early-abandoned) with the exchange must not exceed the
+// local-ω-only run's, and its wins counter stays consistent.
+TEST(ShardedMiningTest, ExchangePrunesAtLeastAsMuchAsLocal) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  MinerOptions base = BaseOptions();
+  base.k = 6;
+  base.max_pattern_length = 4;
+  base.num_shards = 4;
+  base.shard_round_size = 4;  // exchange often, so ON has room to win
+
+  MinerOptions on = base;
+  on.omega_exchange = true;
+  NmEngine engine_on(d, space);
+  ShardedMiner miner_on(&engine_on, on);
+  const MiningResult r_on = miner_on.Mine();
+
+  MinerOptions off = base;
+  off.omega_exchange = false;
+  NmEngine engine_off(d, space);
+  ShardedMiner miner_off(&engine_off, off);
+  const MiningResult r_off = miner_off.Mine();
+
+  ExpectBitIdentical(r_on.patterns, r_off.patterns, "exchange on/off");
+  const int64_t full_on =
+      r_on.stats.candidates_evaluated - r_on.stats.candidates_pruned;
+  const int64_t full_off =
+      r_off.stats.candidates_evaluated - r_off.stats.candidates_pruned;
+  EXPECT_LE(full_on, full_off);
+  EXPECT_GE(miner_on.exchange_pruning_wins(), 0);
+  // With the exchange off no prune can be attributed to it.
+  EXPECT_EQ(miner_off.exchange_pruning_wins(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator unit tests
+// ---------------------------------------------------------------------------
+
+// The k best under the strict BetterScored total order are unique, so
+// adversarially tied scores merged in different shard orders / chunkings
+// still produce the identical global top-k.
+TEST(ShardCoordinatorTest, MergeDeterminismUnderAdversarialTies) {
+  // Nine patterns, only three distinct scores — plenty of ties.
+  std::vector<Pattern> patterns;
+  std::vector<double> nms;
+  for (CellId c = 0; c < 9; ++c) {
+    patterns.emplace_back(c);
+    nms.push_back(1.0 + static_cast<double>(c % 3));
+  }
+
+  ShardCoordinator a(4, 3, true, 0);
+  for (int s = 0; s < 3; ++s) {
+    std::vector<Pattern> part(patterns.begin() + 3 * s,
+                              patterns.begin() + 3 * (s + 1));
+    std::vector<double> pnms(nms.begin() + 3 * s, nms.begin() + 3 * (s + 1));
+    a.Merge(s, part, pnms, -kInf);
+  }
+
+  // Same offers, reversed shard order, one item at a time.
+  ShardCoordinator b(4, 3, true, 0);
+  for (int s = 2; s >= 0; --s) {
+    for (int i = 2; i >= 0; --i) {
+      const size_t idx = static_cast<size_t>(3 * s + i);
+      b.Merge(s, {patterns[idx]}, {nms[idx]}, -kInf);
+    }
+  }
+
+  const auto sorted_a = a.global_top_k().Sorted();
+  const auto sorted_b = b.global_top_k().Sorted();
+  ASSERT_EQ(sorted_a.size(), 4u);
+  ExpectBitIdentical(sorted_a, sorted_b, "tie merge order");
+  EXPECT_TRUE(BitEq(a.global_omega(), b.global_omega()));
+}
+
+TEST(ShardCoordinatorTest, BroadcastThresholdNeverLoosens) {
+  ShardCoordinator c(2, 2, /*omega_exchange=*/true, 0);
+  // Heap not yet full: threshold is -inf.
+  EXPECT_EQ(c.AcquirePruneThreshold(0), -kInf);
+
+  c.Merge(0, {Pattern(CellId{0}), Pattern(CellId{1})}, {1.0, 2.0}, -kInf);
+  const double t1 = c.AcquirePruneThreshold(0);
+  EXPECT_TRUE(BitEq(t1, 1.0));  // global ω after {1.0, 2.0} with k=2
+
+  // Shard 1's better results tighten the *global* threshold shard 0 sees.
+  c.Merge(1, {Pattern(CellId{2}), Pattern(CellId{3})}, {5.0, 6.0}, t1);
+  const double t2 = c.AcquirePruneThreshold(0);
+  EXPECT_TRUE(BitEq(t2, 5.0));
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(c.last_threshold(0), t1);
+
+  // Global ω dominates every shard-local ω, always.
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_GE(c.global_omega(), c.local_omega(s));
+  }
+}
+
+TEST(ShardCoordinatorTest, ExchangeOffHandsOutLocalOmega) {
+  ShardCoordinator c(1, 2, /*omega_exchange=*/false, 0);
+  c.Merge(0, {Pattern(CellId{0})}, {1.0}, -kInf);
+  c.Merge(1, {Pattern(CellId{1})}, {9.0}, -kInf);
+  // Shard 0 must see only its own ω (1.0), not the global 9.0.
+  EXPECT_TRUE(BitEq(c.AcquirePruneThreshold(0), 1.0));
+  EXPECT_TRUE(BitEq(c.AcquirePruneThreshold(1), 9.0));
+  EXPECT_TRUE(BitEq(c.global_omega(), 9.0));
+}
+
+TEST(ShardCoordinatorTest, AttributesExchangeWins) {
+  ShardCoordinator c(1, 2, /*omega_exchange=*/true, 0);
+  // Shard 1 sets the global ω high; shard 0's local heap is still empty.
+  c.Merge(1, {Pattern(CellId{9})}, {10.0}, -kInf);
+  const double t = c.AcquirePruneThreshold(0);
+  EXPECT_TRUE(BitEq(t, 10.0));
+  // A result pruned under the exchanged 10.0 but at/above shard 0's local
+  // ω (-inf) is attributable only to the exchange.
+  const auto outcome =
+      c.Merge(0, {Pattern(CellId{0})}, {3.0}, t);
+  EXPECT_EQ(outcome.pruned_results, 1);
+  EXPECT_EQ(outcome.exchange_wins, 1);
+  EXPECT_EQ(c.exchange_pruning_wins(), 1);
+}
+
+TEST(ShardCoordinatorTest, MinLengthGatesHeapEligibility) {
+  ShardCoordinator c(1, 1, true, /*min_length=*/2);
+  c.Merge(0, {Pattern(CellId{0})}, {100.0}, -kInf);  // singular: ineligible
+  EXPECT_EQ(c.global_omega(), -kInf);
+  c.Merge(0, {Pattern(std::vector<CellId>{0, 1})}, {1.0}, -kInf);
+  EXPECT_TRUE(BitEq(c.global_omega(), 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v3 and resume
+// ---------------------------------------------------------------------------
+
+MinerCheckpoint SampleShardedCheckpoint() {
+  MinerCheckpoint cp;
+  cp.iteration = 2;
+  cp.k = 4;
+  cp.omega = 0.125;
+  cp.scores = {{Pattern(CellId{3}), 0.5},
+               {Pattern(std::vector<CellId>{1, 2}), 0.25}};
+  cp.prev_high = {Pattern(CellId{3})};
+  cp.prev_queue = {Pattern(CellId{3}), Pattern(std::vector<CellId>{1, 2})};
+  cp.candidates_evaluated = 10;
+  cp.candidates_pruned = 4;
+  for (int s = 0; s < 3; ++s) {
+    MinerCheckpoint::ShardSlice slice;
+    slice.shard_id = s;
+    slice.omega = s == 0 ? -kInf : 0.5 * s;
+    slice.candidates_evaluated = 3 + s;
+    slice.candidates_pruned = s;
+    slice.trajectories_skipped = 2 * s;
+    cp.shards.push_back(slice);
+  }
+  return cp;
+}
+
+TEST(ShardedCheckpointTest, V3RoundTripPreservesSlices) {
+  const MinerCheckpoint cp = SampleShardedCheckpoint();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(cp, ss).ok());
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_EQ(first_line, "trajpattern_checkpoint,v3");
+  ss.seekg(0);
+
+  MinerCheckpoint back;
+  ASSERT_TRUE(ReadMinerCheckpoint(ss, &back).ok());
+  ASSERT_EQ(back.shards.size(), cp.shards.size());
+  for (size_t s = 0; s < cp.shards.size(); ++s) {
+    EXPECT_EQ(back.shards[s].shard_id, cp.shards[s].shard_id);
+    EXPECT_TRUE(BitEq(back.shards[s].omega, cp.shards[s].omega));
+    EXPECT_EQ(back.shards[s].candidates_evaluated,
+              cp.shards[s].candidates_evaluated);
+    EXPECT_EQ(back.shards[s].candidates_pruned,
+              cp.shards[s].candidates_pruned);
+    EXPECT_EQ(back.shards[s].trajectories_skipped,
+              cp.shards[s].trajectories_skipped);
+  }
+  EXPECT_EQ(back.scores.size(), cp.scores.size());
+}
+
+TEST(ShardedCheckpointTest, UnshardedCheckpointStaysV2) {
+  MinerCheckpoint cp = SampleShardedCheckpoint();
+  cp.shards.clear();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(cp, ss).ok());
+  std::string first_line;
+  std::getline(ss, first_line);
+  // The v3 format exists only to carry slices; classic runs keep writing
+  // v2, so committed fixtures and older readers stay valid.
+  EXPECT_EQ(first_line, "trajpattern_checkpoint,v2");
+  ss.seekg(0);
+  MinerCheckpoint back;
+  ASSERT_TRUE(ReadMinerCheckpoint(ss, &back).ok());
+  EXPECT_TRUE(back.shards.empty());
+}
+
+TEST(ShardedCheckpointTest, MalformedShardSliceRejected) {
+  const MinerCheckpoint cp = SampleShardedCheckpoint();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(cp, ss).ok());
+  std::string text = ss.str();
+
+  // Drop a field from the first slice row.
+  std::string corrupt = text;
+  const size_t pos = corrupt.find("shards,3");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t row = corrupt.find('\n', pos) + 1;
+  const size_t row_end = corrupt.find('\n', row);
+  corrupt.replace(row, row_end - row, "0,0x1p-3");
+  std::istringstream bad(corrupt);
+  MinerCheckpoint out;
+  EXPECT_FALSE(ReadMinerCheckpoint(bad, &out).ok());
+
+  // Truncate the slice block: count says 3, file holds fewer.
+  std::string truncated = text.substr(0, row_end + 1) + "end\n";
+  std::istringstream bad2(truncated);
+  EXPECT_FALSE(ReadMinerCheckpoint(bad2, &out).ok());
+}
+
+// Interrupt a sharded run at an iteration boundary, round-trip the
+// checkpoint through the serializer, resume — the final answer and the
+// whole-run counters must match the uninterrupted twin.
+TEST(ShardedMiningTest, ResumeMidRunBitIdentical) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  MinerOptions base = BaseOptions();
+  base.k = 6;
+  base.max_pattern_length = 4;
+  base.num_shards = 3;
+
+  NmEngine engine_full(d, space);
+  const MiningResult uninterrupted = MineTrajPatterns(engine_full, base);
+  ASSERT_FALSE(uninterrupted.stats.aborted);
+
+  // Veto at the first iteration boundary.
+  MinerCheckpoint captured;
+  MinerOptions vetoed = base;
+  vetoed.checkpoint_sink = [&](const MinerCheckpoint& cp) {
+    captured = cp;
+    return cp.iteration < 1;
+  };
+  NmEngine engine_a(d, space);
+  const MiningResult first_leg = MineTrajPatterns(engine_a, vetoed);
+  ASSERT_TRUE(first_leg.stats.aborted);
+  EXPECT_EQ(first_leg.stats.stop_reason, StopReason::kSinkVeto);
+  ASSERT_EQ(captured.iteration, 1);
+  ASSERT_EQ(captured.shards.size(), 3u);
+
+  // Round-trip the resume state through the v3 serializer, as a real
+  // crash-recovery would.
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMinerCheckpoint(captured, ss).ok());
+  MinerCheckpoint restored;
+  ASSERT_TRUE(ReadMinerCheckpoint(ss, &restored).ok());
+
+  NmEngine engine_b(d, space);
+  ShardedMiner miner(&engine_b, base);
+  const MiningResult resumed = miner.Mine(restored);
+  ASSERT_FALSE(resumed.stats.aborted);
+  ExpectBitIdentical(resumed.patterns, uninterrupted.patterns, "resume");
+  // Whole-run accounting survives the restart, per shard and globally.
+  EXPECT_EQ(resumed.stats.candidates_evaluated,
+            uninterrupted.stats.candidates_evaluated);
+  EXPECT_EQ(resumed.stats.candidates_pruned,
+            uninterrupted.stats.candidates_pruned);
+  int64_t evaluated = 0;
+  for (const ShardReport& r : miner.shard_reports()) {
+    evaluated += r.counters.candidates_evaluated;
+  }
+  EXPECT_EQ(evaluated, resumed.stats.candidates_evaluated);
+}
+
+// A classic v2 (unsharded) checkpoint is a valid resume point for a
+// sharded run: the heaps are re-derived from the memo either way.
+TEST(ShardedMiningTest, ResumesFromUnshardedCheckpoint) {
+  const TrajectoryDataset d = SmallData(15);
+  const MiningSpace space = SmallSpace();
+  MinerOptions base = BaseOptions();
+
+  NmEngine engine_full(d, space);
+  const MiningResult uninterrupted = MineTrajPatterns(engine_full, base);
+
+  MinerCheckpoint captured;
+  MinerOptions vetoed = base;  // unsharded first leg
+  vetoed.checkpoint_sink = [&](const MinerCheckpoint& cp) {
+    captured = cp;
+    return cp.iteration < 1;
+  };
+  NmEngine engine_a(d, space);
+  (void)MineTrajPatterns(engine_a, vetoed);
+  ASSERT_TRUE(captured.shards.empty());
+
+  MinerOptions sharded = base;
+  sharded.num_shards = 2;
+  NmEngine engine_b(d, space);
+  const MiningResult resumed = MineTrajPatterns(engine_b, sharded, &captured);
+  ExpectBitIdentical(resumed.patterns, uninterrupted.patterns,
+                     "v2 resume into sharded");
+}
+
+// ---------------------------------------------------------------------------
+// Run control across the shard fan-out
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMiningTest, PreCancelledRunStopsAtFirstShardBoundary) {
+  const TrajectoryDataset d = SmallData(16);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MinerOptions opt = BaseOptions();
+  opt.num_shards = 3;
+  opt.run.token.Cancel();
+  const MiningResult result = MineTrajPatterns(engine, opt);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_EQ(result.stats.stop_reason, StopReason::kCancelled);
+  // Cancelled before the first round merged: nothing may leak out.
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(ShardedMiningTest, ExpiredDeadlineStopsShardedRun) {
+  const TrajectoryDataset d = SmallData(16);
+  const MiningSpace space = SmallSpace();
+  NmEngine engine(d, space);
+  MinerOptions opt = BaseOptions();
+  opt.num_shards = 2;
+  opt.run.SetDeadlineAfterMillis(0.0);
+  const MiningResult result = MineTrajPatterns(engine, opt);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_EQ(result.stats.stop_reason, StopReason::kDeadlineExceeded);
+}
+
+// A cancel at an iteration boundary truncates the run exactly there:
+// the aborted result equals a run capped at that many iterations.
+TEST(ShardedMiningTest, CancelAtIterationBoundaryMatchesIterationCap) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  MinerOptions base = BaseOptions();
+  base.k = 6;
+  // min_length makes singulars ineligible, so the high set cannot be
+  // stable after iteration 1 — the run is guaranteed to reach the
+  // iteration-2 boundary where the cancel takes effect.
+  base.min_length = 2;
+  base.max_pattern_length = 4;
+  base.num_shards = 3;
+
+  MinerOptions cancelled = base;
+  CancellationToken token = cancelled.run.token;
+  cancelled.checkpoint_sink = [&](const MinerCheckpoint& cp) {
+    if (cp.iteration >= 1) token.Cancel();
+    return true;
+  };
+  NmEngine engine_a(d, space);
+  const MiningResult got = MineTrajPatterns(engine_a, cancelled);
+  ASSERT_TRUE(got.stats.aborted);
+  EXPECT_EQ(got.stats.stop_reason, StopReason::kCancelled);
+
+  MinerOptions capped = base;
+  capped.max_iterations = 1;
+  // Token copies share their flag; the reference run needs its own.
+  capped.run = RunContext{};
+  NmEngine engine_b(d, space);
+  const MiningResult want = MineTrajPatterns(engine_b, capped);
+  ExpectBitIdentical(got.patterns, want.patterns, "cancel at boundary");
+}
+
+// The memory budget splits across shard arenas; a sufficient (if tight)
+// budget may evict columns but never changes the mined answer.
+TEST(ShardedMiningTest, SplitMemoryBudgetKeepsAnswerExact) {
+  const TrajectoryDataset d = SmallData(17);
+  const MiningSpace space = SmallSpace();
+  MinerOptions base = BaseOptions();
+  base.num_shards = 3;
+
+  NmEngine engine_free(d, space);
+  const MiningResult want = MineTrajPatterns(engine_free, base);
+  ASSERT_FALSE(want.stats.aborted);
+
+  NmEngine engine(d, space);
+  MinerOptions opt = base;
+  // Room for ~8 resident columns per shard — enough to score any
+  // max_pattern_length=3 candidate, tight enough to exercise the split.
+  opt.run.memory_budget_bytes =
+      static_cast<uint64_t>(3) * 8 * engine.column_bytes();
+  const MiningResult got = MineTrajPatterns(engine, opt);
+  ASSERT_FALSE(got.stats.aborted)
+      << "budget run stopped: "
+      << StopReasonName(got.stats.stop_reason);
+  ExpectBitIdentical(got.patterns, want.patterns, "memory budget");
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor integration
+// ---------------------------------------------------------------------------
+
+// MiningSupervisor routes through MineTrajPatterns, so a supervised
+// sharded run checkpoints v3 files and resumes them across "process
+// lifetimes" bit-identically.
+TEST(ShardedMiningTest, SupervisorResumesShardedRunFromV3File) {
+  const TrajectoryDataset d = PlantedData();
+  const MiningSpace space(Grid::UnitSquare(4), 0.08);
+  MinerOptions base = BaseOptions();
+  base.k = 6;
+  base.max_pattern_length = 4;
+  base.num_shards = 2;
+
+  NmEngine engine_full(d, space);
+  const MiningResult uninterrupted = MineTrajPatterns(engine_full, base);
+
+  // "First process": abort after one iteration, leaving the v3 file.
+  const std::string path =
+      ::testing::TempDir() + "/sharded_supervisor_cp.txt";
+  MinerOptions vetoed = base;
+  MinerCheckpoint captured;
+  vetoed.checkpoint_sink = [&](const MinerCheckpoint& cp) {
+    captured = cp;
+    return cp.iteration < 1;
+  };
+  NmEngine engine_a(d, space);
+  (void)MineTrajPatterns(engine_a, vetoed);
+  ASSERT_EQ(captured.shards.size(), 2u);
+  ASSERT_TRUE(WriteMinerCheckpointFile(captured, path).ok());
+
+  // "Second process": the supervisor finds and resumes the file.
+  SupervisorOptions sopt;
+  sopt.checkpoint_path = path;
+  sopt.miner = base;
+  NmEngine engine_b(d, space);
+  MiningSupervisor supervisor(&engine_b, sopt);
+  const SupervisorReport report = supervisor.Run();
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_TRUE(report.resumed_from_checkpoint);
+  ExpectBitIdentical(report.result.patterns, uninterrupted.patterns,
+                     "supervised sharded resume");
+
+  // The file the supervisor left behind is itself a readable v3
+  // checkpoint with both slices.
+  MinerCheckpoint final_cp;
+  ASSERT_TRUE(ReadMinerCheckpointFile(path, &final_cp).ok());
+  EXPECT_EQ(final_cp.shards.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trajpattern
