@@ -280,6 +280,7 @@ int main(int argc, char** argv) {
   w.EndObject();
   w.Key("resume_bit_identical").Bool(resume_identical);
   tb::StampMetrics(&w);
+  tb::StampObsArtifacts(&w, obs_opts);
   w.EndObject();
   if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

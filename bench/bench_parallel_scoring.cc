@@ -283,6 +283,7 @@ int main(int argc, char** argv) {
   w.EndArray();
   w.EndObject();
   tb::StampMetrics(&w);
+  tb::StampObsArtifacts(&w, obs_opts);
   w.EndObject();
   if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

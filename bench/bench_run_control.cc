@@ -259,6 +259,7 @@ int main(int argc, char** argv) {
   w.Key("bit_identical_to_baseline").Bool(supervisor_identical);
   w.EndObject();
   tb::StampMetrics(&w);
+  tb::StampObsArtifacts(&w, obs_opts);
   w.EndObject();
   if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

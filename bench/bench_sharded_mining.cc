@@ -254,6 +254,7 @@ int main(int argc, char** argv) {
       .Bool(exchange_wins_everywhere);
   w.Key("exchange_strictly_better_aggregate").Bool(exchange_wins_aggregate);
   tb::StampMetrics(&w);
+  tb::StampObsArtifacts(&w, obs_opts);
   w.EndObject();
   if (!w.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -12,6 +12,8 @@
 #include "datagen/zebranet_generator.h"
 #include "geometry/grid.h"
 #include "io/flags.h"
+#include "io/obs_flags.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "stats/timer.h"
 
@@ -128,6 +130,22 @@ class JsonWriter {
 inline void StampMetrics(JsonWriter* w) {
   w->Key("metrics").Raw(
       obs::ToJson(obs::MetricsRegistry::Global().Snapshot()));
+}
+
+/// Stamps the run's observability artifact paths into the JSON, as a
+/// top-level `"obs_artifacts"` member: which journal/trace/metrics files
+/// this bench run produced, so a result can be replayed against its own
+/// run journal.  Keys are always present ("" = not requested) so
+/// downstream readers see one schema; the journal path is taken from the
+/// live journal when it is streaming (it knows the actual open path).
+inline void StampObsArtifacts(JsonWriter* w, const ObsOptions& o) {
+  const std::string live = obs::RunJournal::Global().path();
+  w->Key("obs_artifacts").BeginObject();
+  w->Key("journal").Str(live.empty() ? o.journal_path : live);
+  w->Key("trace").Str(o.trace_path);
+  w->Key("metrics").Str(o.metrics_path);
+  w->Key("metrics_prom").Str(o.metrics_prometheus_path);
+  w->EndObject();
 }
 
 /// Default location for a bench's JSON artifact: the repo root (injected

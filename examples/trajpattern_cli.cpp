@@ -36,8 +36,10 @@
 #include "io/csv.h"
 #include "io/flags.h"
 #include "io/obs_flags.h"
+#include "obs/flight_recorder.h"
 #include "server/fault_injector.h"
 #include "server/mining_supervisor.h"
+#include "server/status_server.h"
 #include "trajectory/validate.h"
 
 using namespace trajpattern;
@@ -150,7 +152,7 @@ int RunFaultPipeline(const Flags& flags, const std::string& spec,
   return 0;
 }
 
-int Mine(const Flags& flags) {
+int Mine(const Flags& flags, const ObsOptions& obs_opts) {
   const std::string in = flags.GetString("in", "");
   if (in.empty()) {
     std::fprintf(stderr, "mine: --in=<file.csv> is required\n");
@@ -237,6 +239,7 @@ int Mine(const Flags& flags) {
     SupervisorOptions sup;
     sup.checkpoint_path = ckpt_path;
     sup.checkpoint_retries = flags.GetInt("checkpoint_retries", 3);
+    sup.flight_record_dir = obs_opts.flight_dir;
     sup.miner = opt;
     MiningSupervisor supervisor(&engine, sup);
     SupervisorReport report = supervisor.Run();
@@ -251,9 +254,21 @@ int Mine(const Flags& flags) {
           report.restarts,
           static_cast<long long>(report.sink_deliveries_retried));
     }
+    for (const std::string& path : report.flight_records) {
+      std::printf("flight record: %s\n", path.c_str());
+    }
     result = std::move(report.result);
   } else {
     result = MineTrajPatterns(engine, opt);
+    // Unsupervised runs dump their own abort post-mortems (supervised
+    // ones go through the MiningSupervisor's recorder above).
+    if (result.stats.stop_reason != StopReason::kNone &&
+        !obs_opts.flight_dir.empty()) {
+      const std::string path = obs::WriteFlightRecord(
+          obs_opts.flight_dir, "abort",
+          StopReasonName(result.stats.stop_reason));
+      if (!path.empty()) std::printf("flight record: %s\n", path.c_str());
+    }
   }
   std::printf(
       "mined %zu patterns in %.2fs (%lld scored, %d iterations%s)\n",
@@ -335,12 +350,25 @@ int main(int argc, char** argv) {
   // a Chrome trace of the run, --metrics=F a registry snapshot.
   const ObsOptions obs_opts = ParseObsOptions(flags);
   StartObservability(obs_opts);
+  // --status_port=N serves /metrics /healthz /runz /tracez for the
+  // process lifetime (0 = ephemeral port, printed so an operator or
+  // wrapper script can find it).
+  if (obs_opts.status_port >= 0) {
+    const Status s = StartGlobalStatusServer(obs_opts.status_port);
+    if (!s.ok()) {
+      std::fprintf(stderr, "obs: status server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("status server on http://127.0.0.1:%d\n",
+                GlobalStatusServer()->port());
+  }
   int rc = -1;
   if (cmd == "generate") rc = Generate(flags);
-  if (cmd == "mine") rc = Mine(flags);
+  if (cmd == "mine") rc = Mine(flags, obs_opts);
   if (cmd == "score") rc = Score(flags);
   if (rc >= 0) {
     if (!FlushObservability(obs_opts) && rc == 0) rc = 1;
+    StopGlobalStatusServer();
     return rc;
   }
   std::printf(
@@ -354,6 +382,7 @@ int main(int argc, char** argv) {
       "--repair=0|1 --max_jump --sigma_growth --checkpoint=F]\n"
       "  score:    --in=F --patterns=F [--grid --delta]\n"
       "  all:      [--trace=F.json --metrics=F.json --metrics-prom=F.prom "
-      "--trace-buffer=N]\n");
+      "--trace-buffer=N]\n"
+      "            [--journal=F.jsonl --status_port=N --flight_dir=D]\n");
   return cmd == "help" ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "stats/timer.h"
 
@@ -283,6 +284,13 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   WallTimer timer;
   TP_TRACE_SPAN("miner/mine");
 
+  // Journal the run lifecycle (no-ops when the journal is inactive).
+  // Events fire only at iteration boundaries, so this costs nothing on
+  // the scoring hot path and never perturbs the top-k.
+  obs::RunJournal& journal = obs::RunJournal::Global();
+  const int64_t jrun =
+      journal.BeginRun(options_.k, /*num_shards=*/0, resume != nullptr);
+
   if (resume != nullptr) {
     // Restore the score memo and re-derive the top-k/ω from it (the k
     // best eligible patterns under the strict BetterScored order are
@@ -369,6 +377,11 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
                                          start_iteration > 0 &&
                                          high == prev_high;
 
+  // Journal baselines: ω-tightening and eviction events carry deltas
+  // against these.
+  double journal_omega = top_k_.Omega();
+  int64_t journal_evicted = stats_.cells_evicted;
+
   // Growing loop (§4): extend high patterns, rescore, re-threshold, prune.
   for (int iter = start_iteration;
        !stats_.aborted && !resumed_after_convergence &&
@@ -409,6 +422,36 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
     std::unordered_set<Pattern, PatternHash> high_old = std::move(high);
     rebuild();
 
+    if (journal.active()) {
+      if (stats_.cells_evicted > journal_evicted) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kCellsEvicted;
+        ev.run_id = jrun;
+        ev.iteration = iter + 1;
+        ev.cells_evicted = stats_.cells_evicted - journal_evicted;
+        journal.Emit(ev);
+        journal_evicted = stats_.cells_evicted;
+      }
+      if (top_k_.Omega() > journal_omega) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kOmegaTightened;
+        ev.run_id = jrun;
+        ev.iteration = iter + 1;
+        ev.omega = top_k_.Omega();
+        journal.Emit(ev);
+        journal_omega = top_k_.Omega();
+      }
+      obs::JournalEvent ev;
+      ev.type = obs::JournalEventType::kRoundCommitted;
+      ev.run_id = jrun;
+      ev.iteration = iter + 1;
+      ev.omega = top_k_.Omega();
+      ev.candidates_evaluated = stats_.candidates_evaluated;
+      ev.candidates_pruned = stats_.candidates_pruned;
+      ev.frontier_depth = static_cast<int64_t>(queue.size());
+      journal.Emit(ev);
+    }
+
     const bool converged = high == high_old;
     if (has_sink) {
       // The iteration boundary is the resumable point: the memo and the
@@ -419,6 +462,14 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
       const bool keep_going = options_.checkpoint_sink(cp);
       last_cp = std::move(cp);
       sink_has_latest = true;
+      if (journal.active()) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kCheckpointWritten;
+        ev.run_id = jrun;
+        ev.iteration = iter + 1;
+        ev.omega = top_k_.Omega();
+        journal.Emit(ev);
+      }
       if (!keep_going) {
         stats_.aborted = true;
         stats_.stop_reason = StopReason::kSinkVeto;
@@ -437,6 +488,15 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
       has_sink && last_cp.has_value() && !sink_has_latest) {
     TP_TRACE_SPAN("miner/checkpoint");
     (void)options_.checkpoint_sink(*last_cp);
+    if (journal.active()) {
+      obs::JournalEvent ev;
+      ev.type = obs::JournalEventType::kCheckpointWritten;
+      ev.run_id = jrun;
+      ev.iteration = last_cp->iteration;
+      ev.omega = last_cp->omega;
+      ev.detail = "tail";
+      journal.Emit(ev);
+    }
   }
 
   MiningResult result;
@@ -444,6 +504,17 @@ MiningResult TrajPatternMiner::Run(const MinerCheckpoint* resume) {
   stats_.seconds = timer.Seconds();
   stats_.cells_cached = engine_->num_cached_cells();
   result.stats = stats_;
+  if (journal.active()) {
+    obs::JournalEvent ev;
+    ev.type = obs::JournalEventType::kRunStopped;
+    ev.run_id = jrun;
+    ev.iteration = stats_.iterations;
+    ev.omega = top_k_.Omega();
+    ev.candidates_evaluated = stats_.candidates_evaluated;
+    ev.candidates_pruned = stats_.candidates_pruned;
+    ev.stop_reason = StopReasonName(stats_.stop_reason);
+    journal.Emit(ev);
+  }
   return result;
 }
 

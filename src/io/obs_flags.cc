@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,6 +16,9 @@ ObsOptions ParseObsOptions(const Flags& flags) {
   const int buffer = flags.GetInt(
       "trace-buffer", static_cast<int>(ObsOptions{}.trace_buffer_events));
   if (buffer > 0) o.trace_buffer_events = static_cast<size_t>(buffer);
+  o.journal_path = flags.GetString("journal", "");
+  o.status_port = flags.GetInt("status_port", -1);
+  o.flight_dir = flags.GetString("flight_dir", "");
   return o;
 }
 
@@ -22,6 +26,16 @@ void StartObservability(const ObsOptions& options) {
   if (!options.trace_path.empty()) {
     obs::TraceRecorder::Global().Start(options.trace_buffer_events);
     obs::TraceRecorder::Global().SetThreadName("trajp-main");
+  }
+  if (!options.journal_path.empty() &&
+      !obs::RunJournal::Global().Open(options.journal_path)) {
+    std::fprintf(stderr, "obs: failed to open journal %s\n",
+                 options.journal_path.c_str());
+  }
+  // A flight dir implies the journal's in-memory tail must be tracking
+  // even without a JSONL file — the dump's event source.
+  if (!options.flight_dir.empty()) {
+    obs::RunJournal::Global().EnableLiveTracking();
   }
 }
 
@@ -58,6 +72,7 @@ bool FlushObservability(const ObsOptions& options) {
       ok = false;
     }
   }
+  if (!options.journal_path.empty()) obs::RunJournal::Global().Close();
   return ok;
 }
 

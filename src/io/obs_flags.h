@@ -12,8 +12,13 @@ namespace trajpattern {
 ///   --metrics=<file>  write a metrics-registry snapshot as JSON
 ///   --metrics-prom=<file>  same snapshot, Prometheus text format
 ///   --trace-buffer=<events-per-thread>  ring capacity (default 131072)
-/// Empty paths mean "off"; all four default to off so existing
-/// invocations are unchanged.
+///   --journal=<file>  stream run-lifecycle events as JSONL
+///   --status_port=<port>  serve /metrics /healthz /runz /tracez over
+///       HTTP (0 = ephemeral; the binary wires the server itself — see
+///       status_server.h — so this layer stays free of socket code)
+///   --flight_dir=<dir>  where crash flight records are dumped
+/// Empty paths / port -1 mean "off"; everything defaults to off so
+/// existing invocations are unchanged.
 struct ObsOptions {
   std::string trace_path;
   std::string metrics_path;
@@ -21,6 +26,9 @@ struct ObsOptions {
   // Generous enough that a full Fig. 4 sweep (a span per score wave)
   // keeps its earliest miner spans; ~6 MiB per recording thread.
   size_t trace_buffer_events = 1u << 17;
+  std::string journal_path;
+  int status_port = -1;
+  std::string flight_dir;
 };
 
 /// Reads the observability flags out of an already-parsed `Flags`.

@@ -40,6 +40,18 @@ void TraceRecorder::Start(size_t events_per_thread) {
   enabled_.store(true, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Registry counter mirroring ring overwrites as they happen; handle
+/// cached so the overflow path stays one relaxed add.
+void CountDroppedEvent() {
+  static Counter* const dropped =
+      MetricsRegistry::Global().GetCounter("trace.dropped_events");
+  dropped->Increment();
+}
+
+}  // namespace
+
 void TraceRecorder::RecordSpan(const char* name, const char* cat, double ts_us,
                                double dur_us) {
   ThreadBuffer* b = ThisThreadBuffer();
@@ -56,6 +68,7 @@ void TraceRecorder::RecordSpan(const char* name, const char* cat, double ts_us,
   } else {
     b->ring[b->next] = e;  // overwrite oldest (ring)
     b->next = (b->next + 1) % b->capacity;
+    CountDroppedEvent();
   }
   ++b->total;
 }
@@ -75,6 +88,7 @@ void TraceRecorder::RecordCounter(const char* name, double value) {
   } else {
     b->ring[b->next] = e;
     b->next = (b->next + 1) % b->capacity;
+    CountDroppedEvent();
   }
   ++b->total;
 }
@@ -110,8 +124,27 @@ uint64_t TraceRecorder::dropped_events() const {
   return dropped;
 }
 
-bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
-  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+void TraceRecorder::AppendEventJson(const TraceEvent& e, std::string* out) {
+  char buf[384];
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
+                  e.name, e.cat, e.tid, e.ts_us, e.dur_us);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
+                  "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
+                  "\"args\": {\"value\": %.17g}}",
+                  e.name, e.cat, e.tid, e.ts_us, e.value);
+  }
+  *out += buf;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"droppedEvents\": " +
+                    std::to_string(dropped_events()) +
+                    ",\n\"traceEvents\": [\n";
   bool first = true;
   auto sep = [&]() {
     if (!first) out += ",\n";
@@ -133,23 +166,14 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
   }
   for (const TraceEvent& e : Collect()) {
     sep();
-    char buf[384];
-    if (e.phase == 'X') {
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
-                    "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
-                    e.name, e.cat, e.tid, e.ts_us, e.dur_us);
-    } else {
-      std::snprintf(buf, sizeof(buf),
-                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
-                    "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, "
-                    "\"args\": {\"value\": %.17g}}",
-                    e.name, e.cat, e.tid, e.ts_us, e.value);
-    }
-    out += buf;
+    AppendEventJson(e, &out);
   }
   out += "\n]\n}\n";
-  return WriteFileAtomicish(path, out);
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteFileAtomicish(path, ChromeTraceJson());
 }
 
 }  // namespace trajpattern::obs

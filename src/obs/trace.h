@@ -65,12 +65,22 @@ class TraceRecorder {
 
   /// Every recorded event, oldest-first per thread.
   std::vector<TraceEvent> Collect() const;
-  /// Events lost to ring overflow since `Start()`.
+  /// Events lost to ring overflow since `Start()`.  Overwrites are also
+  /// counted into the `trace.dropped_events` registry counter as they
+  /// happen, so `/metrics` surfaces an overflowing ring live.
   uint64_t dropped_events() const;
+
+  /// Serializes one recorded event as a Chrome `trace_event` object
+  /// (shared by the trace export and the crash flight recorder).
+  static void AppendEventJson(const TraceEvent& e, std::string* out);
 
   /// Chrome `trace_event` JSON (open in chrome://tracing or Perfetto):
   /// one "M" thread-name metadata event per thread plus the recorded
-  /// "X"/"C" events.  False on I/O failure.
+  /// "X"/"C" events.  The header carries `"droppedEvents"` — the ring
+  /// overflow count — so a truncated trace says so instead of silently
+  /// losing its oldest spans.
+  std::string ChromeTraceJson() const;
+  /// `ChromeTraceJson` to a file; false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
 
  private:

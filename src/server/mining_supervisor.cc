@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "io/checkpoint.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
 #include "obs/obs.h"
 
 namespace trajpattern {
@@ -41,9 +43,14 @@ bool MiningSupervisor::DeliverCheckpoint(const MinerCheckpoint& cp,
       // (full disk flushing, NFS hiccup, injected fault burst) usually
       // clear within a few doublings.
       report->backoff_ms_total += backoff;
+      TP_HISTOGRAM_OBSERVE("supervisor.backoff_ms", backoff,
+                           {1, 2, 5, 10, 50, 100, 1000});
       options_.sleep_fn(backoff);
       backoff *= options_.backoff_multiplier;
-      if (attempt == 1) ++report->sink_deliveries_retried;
+      if (attempt == 1) {
+        ++report->sink_deliveries_retried;
+        TP_COUNTER_INC("supervisor.deliveries_retried");
+      }
     }
     ++report->sink_attempts;
     TP_COUNTER_INC("supervisor.sink_attempts");
@@ -65,6 +72,15 @@ SupervisorReport MiningSupervisor::Run() {
   SupervisorReport report;
   TP_TRACE_SPAN("supervisor/run");
 
+  // Post-mortem dumper: no-op when no flight_record_dir is configured
+  // (WriteFlightRecord refuses an empty dir).
+  auto dump_flight = [this, &report](const char* trigger,
+                                     const std::string& detail) {
+    const std::string path = obs::WriteFlightRecord(
+        options_.flight_record_dir, trigger, detail);
+    if (!path.empty()) report.flight_records.push_back(path);
+  };
+
   // Crash recovery across process lifetimes: a checkpoint already on
   // disk is a previous (crashed or stopped) run of this path — resume
   // it.  kNotFound means a fresh start; anything else (truncated,
@@ -83,6 +99,8 @@ SupervisorReport MiningSupervisor::Run() {
       return report;
     }
   }
+  TP_GAUGE_SET("supervisor.resumed_from_checkpoint",
+               report.resumed_from_checkpoint ? 1.0 : 0.0);
 
   MinerOptions opts = options_.miner;
   bool sink_dead = false;
@@ -105,11 +123,20 @@ SupervisorReport MiningSupervisor::Run() {
       // in-memory copy of what was last delivered (the file may sit on
       // the same failing medium as the sink).
       TP_COUNTER_INC("supervisor.restarts");
+      {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kSupervisorRestart;
+        ev.detail = e.what();
+        obs::RunJournal::Global().Emit(ev);
+      }
       if (attempt >= options_.max_restarts) {
+        dump_flight("crash",
+                    std::string("beyond max_restarts: ") + e.what());
         report.status = Status::FailedPrecondition(
             std::string("mining crashed beyond max_restarts: ") + e.what());
         return report;
       }
+      dump_flight("crash", e.what());
       ++report.restarts;
       MinerCheckpoint cp;
       if (ReadMinerCheckpointFile(options_.checkpoint_path, &cp).ok()) {
@@ -129,6 +156,11 @@ SupervisorReport MiningSupervisor::Run() {
         "checkpoint sink failed after " +
         std::to_string(1 + std::max(0, options_.checkpoint_retries)) +
         " attempts per delivery; stopped at the last durable boundary");
+  }
+  // Every non-clean stop — sink veto, cancel, deadline, memory budget,
+  // allocation failure, work cap — leaves a post-mortem artifact.
+  if (report.result.stats.stop_reason != StopReason::kNone) {
+    dump_flight("abort", StopReasonName(report.result.stats.stop_reason));
   }
   return report;
 }

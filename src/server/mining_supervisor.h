@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/miner.h"
@@ -31,6 +32,12 @@ struct SupervisorOptions {
   /// exception, allocation failure, ...).  Each restart resumes from the
   /// last good checkpoint; a crash loop past this budget fails the run.
   int max_restarts = 3;
+
+  /// Crash flight recorder: when non-empty, every crash/restart and
+  /// every non-clean StopReason dumps a `flight_<ts>.json` post-mortem
+  /// (journal tail + trace tail + metrics snapshot) into this directory.
+  /// Empty = off.
+  std::string flight_record_dir;
 
   /// The mining run to supervise.  `miner.checkpoint_sink` must be
   /// empty — the supervisor owns the sink (it installs the
@@ -70,6 +77,9 @@ struct SupervisorReport {
   /// Cumulative backoff the sink retries asked for (what `sleep_fn`
   /// received).
   double backoff_ms_total = 0.0;
+  /// Flight-record artifacts written for this run (crash/restart and
+  /// non-clean-stop dumps), in the order they were produced.
+  std::vector<std::string> flight_records;
 };
 
 /// Crash-safe checkpoint supervision around `MineTrajPatterns`:

@@ -1,0 +1,238 @@
+#include "server/status_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace trajpattern {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::RunJournal;
+using obs::RunSnapshot;
+using obs::TraceRecorder;
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Pulls the `shard.*` metric family out of a registry snapshot: the
+/// exchanged global ω, each shard's last local ω (the PR 8 gauges), and
+/// the merge-latency histogram — the "which shard is lagging" view.
+void AppendShardsJson(const MetricsSnapshot& snap, std::string* out) {
+  *out += "{\"global_omega\": ";
+  auto global = snap.gauges.find("shard.global_omega");
+  *out += global == snap.gauges.end() ? "null" : Num(global->second);
+
+  *out += ", \"merge_latency_ms\": ";
+  auto hist = snap.histograms.find("shard.merge_latency_ms");
+  if (hist == snap.histograms.end() || hist->second.count == 0) {
+    *out += "null";
+  } else {
+    *out += "{\"count\": " + std::to_string(hist->second.count) +
+            ", \"sum\": " + Num(hist->second.sum) +
+            ", \"mean\": " + Num(hist->second.sum / hist->second.count) + "}";
+  }
+
+  *out += ", \"per_shard\": [";
+  bool first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    // "shard.<s>.omega" with a purely numeric <s>.
+    if (name.rfind("shard.", 0) != 0) continue;
+    const size_t dot = name.find('.', 6);
+    if (dot == std::string::npos || name.substr(dot) != ".omega") continue;
+    const std::string id = name.substr(6, dot - 6);
+    if (id.empty() ||
+        id.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    if (!first) *out += ", ";
+    first = false;
+    *out += "{\"shard\": " + id + ", \"omega\": " + Num(value);
+    auto pruned = snap.counters.find("shard." + id + ".candidates_pruned");
+    if (pruned != snap.counters.end()) {
+      *out += ", \"candidates_pruned\": " + std::to_string(pruned->second);
+    }
+    *out += "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string StatusServer::RunzJson() {
+  std::string out = "{\n\"runs\": [\n";
+  const std::vector<RunSnapshot> runs = RunJournal::Global().Runs();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i != 0) out += ",\n";
+    obs::AppendRunSnapshotJson(runs[i], &out);
+  }
+  out += "\n],\n\"shards\": ";
+  AppendShardsJson(MetricsRegistry::Global().Snapshot(), &out);
+  out += ",\n\"journal_events\": " +
+         std::to_string(RunJournal::Global().events_emitted());
+  out += "\n}\n";
+  return out;
+}
+
+std::string StatusServer::HandlePath(const std::string& path) {
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    return HttpResponse(
+        200, "OK", "text/plain; version=0.0.4",
+        obs::ToPrometheusText(MetricsRegistry::Global().Snapshot()));
+  }
+  if (path == "/runz") {
+    return HttpResponse(200, "OK", "application/json", RunzJson());
+  }
+  if (path == "/tracez") {
+    return HttpResponse(200, "OK", "application/json",
+                        TraceRecorder::Global().ChromeTraceJson());
+  }
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "not found; try /healthz /metrics /runz /tracez\n");
+}
+
+Status StatusServer::Start(const StatusServerOptions& options) {
+  if (running()) {
+    return Status::FailedPrecondition("status server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::FailedPrecondition("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::FailedPrecondition(
+        "bind failed on port " + std::to_string(options.port) + ": " +
+        std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::FailedPrecondition("listen failed");
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::FailedPrecondition("getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  // `/runz` must have run data even when no --journal file was asked
+  // for, so serving implies live run tracking.
+  RunJournal::Global().EnableLiveTracking();
+
+  listen_fd_.store(fd);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void StatusServer::Serve() {
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) {
+      // Stop() shut the listener down (or a transient accept error on a
+      // dying socket); either way the serve loop is done.
+      if (listen_fd_.load() < 0) return;
+      continue;
+    }
+    // Read the request head.  One recv is almost always the whole "GET
+    // /path HTTP/1.x" head; keep reading only until the blank line.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n") == std::string::npos && req.size() < 16384) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<size_t>(n));
+    }
+    std::string path = "/";
+    const size_t sp1 = req.find(' ');
+    if (sp1 != std::string::npos) {
+      const size_t sp2 = req.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    const std::string resp = HandlePath(path);
+    size_t sent = 0;
+    while (sent < resp.size()) {
+      const ssize_t n =
+          ::send(conn, resp.data() + sent, resp.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+void StatusServer::Stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    // Unblock accept(): shutdown wakes it on Linux; close invalidates
+    // the fd so any racing accept fails immediately.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (thread_.joinable()) thread_.join();
+  port_ = -1;
+}
+
+StatusServer* GlobalStatusServer() {
+  static StatusServer* const server = new StatusServer();
+  return server;
+}
+
+Status StartGlobalStatusServer(int port) {
+  StatusServer* server = GlobalStatusServer();
+  if (server->running()) return Status::Ok();
+  StatusServerOptions options;
+  options.port = port;
+  return server->Start(options);
+}
+
+void StopGlobalStatusServer() { GlobalStatusServer()->Stop(); }
+
+}  // namespace trajpattern

@@ -4,6 +4,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "stats/timer.h"
 
@@ -64,6 +65,16 @@ ShardCoordinator::MergeOutcome ShardCoordinator::Merge(
     global_.Offer(patterns[i], nms[i]);
   }
   exchange_pruning_wins_ += outcome.exchange_wins;
+  if (journal_run_id_ > 0 && global_.Omega() > journal_omega_ &&
+      obs::RunJournal::Global().active()) {
+    obs::JournalEvent ev;
+    ev.type = obs::JournalEventType::kOmegaTightened;
+    ev.run_id = journal_run_id_;
+    ev.shard = shard;
+    ev.omega = global_.Omega();
+    obs::RunJournal::Global().Emit(ev);
+    journal_omega_ = global_.Omega();
+  }
   TP_COUNTER_ADD("shard.exchange_pruning_wins", outcome.exchange_wins);
   TP_HISTOGRAM_OBSERVE("shard.merge_latency_ms", timer.Seconds() * 1e3,
                        {0.01, 0.1, 1, 10, 100, 1000});

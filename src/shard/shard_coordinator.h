@@ -2,6 +2,7 @@
 #define TRAJPATTERN_SHARD_SHARD_COORDINATOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/pattern.h"
@@ -87,6 +88,12 @@ class ShardCoordinator {
   /// `shard.exchange_pruning_wins` counter).
   int64_t exchange_pruning_wins() const { return exchange_pruning_wins_; }
 
+  /// Journal attribution: with a run id set, every merge that strictly
+  /// raises the global ω emits a kOmegaTightened journal event naming
+  /// the shard whose round did it — mid-iteration tightening is visible
+  /// in the ω time series, not just iteration boundaries.
+  void set_journal_run_id(int64_t run_id) { journal_run_id_ = run_id; }
+
  private:
   bool Eligible(const Pattern& p) const {
     return min_length_ == 0 || p.length() >= min_length_;
@@ -102,6 +109,10 @@ class ShardCoordinator {
   bool omega_exchange_;
   size_t min_length_;
   int64_t exchange_pruning_wins_ = 0;
+  /// Journal run to attribute ω-tightening merges to (0 = none).
+  int64_t journal_run_id_ = 0;
+  /// The global ω as of the last journaled tightening.
+  double journal_omega_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace trajpattern

@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "stats/timer.h"
 
@@ -194,6 +195,14 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
   WallTimer timer;
   TP_TRACE_SPAN("shard/mine");
 
+  // Journal the run lifecycle; the coordinator additionally journals
+  // mid-iteration ω tightenings as merges land (attributed to the shard
+  // whose round raised the global ω).
+  obs::RunJournal& journal = obs::RunJournal::Global();
+  const int64_t jrun =
+      journal.BeginRun(options_.k, num_shards_, resume != nullptr);
+  coordinator_.set_journal_run_id(jrun);
+
   if (resume != nullptr) {
     // Restore the memo and re-derive every heap from it: the global and
     // shard-local top-k sets are the k best eligible offers under the
@@ -277,6 +286,9 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
                                          start_iteration > 0 &&
                                          high == prev_high;
 
+  // Eviction events carry per-round deltas against this baseline.
+  int64_t journal_evicted = stats_.cells_evicted;
+
   for (int iter = start_iteration;
        !stats_.aborted && !resumed_after_convergence &&
        iter < options_.max_iterations;
@@ -310,6 +322,27 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
     PatternSet high_old = std::move(high);
     rebuild();
 
+    if (journal.active()) {
+      if (stats_.cells_evicted > journal_evicted) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kCellsEvicted;
+        ev.run_id = jrun;
+        ev.iteration = iter + 1;
+        ev.cells_evicted = stats_.cells_evicted - journal_evicted;
+        journal.Emit(ev);
+        journal_evicted = stats_.cells_evicted;
+      }
+      obs::JournalEvent ev;
+      ev.type = obs::JournalEventType::kRoundCommitted;
+      ev.run_id = jrun;
+      ev.iteration = iter + 1;
+      ev.omega = coordinator_.global_omega();
+      ev.candidates_evaluated = stats_.candidates_evaluated;
+      ev.candidates_pruned = stats_.candidates_pruned;
+      ev.frontier_depth = static_cast<int64_t>(queue.size());
+      journal.Emit(ev);
+    }
+
     const bool converged = high == high_old;
     if (has_sink) {
       TP_TRACE_SPAN("miner/checkpoint");
@@ -318,6 +351,14 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
       const bool keep_going = options_.checkpoint_sink(cp);
       last_cp = std::move(cp);
       sink_has_latest = true;
+      if (journal.active()) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kCheckpointWritten;
+        ev.run_id = jrun;
+        ev.iteration = iter + 1;
+        ev.omega = coordinator_.global_omega();
+        journal.Emit(ev);
+      }
       if (!keep_going) {
         stats_.aborted = true;
         stats_.stop_reason = StopReason::kSinkVeto;
@@ -332,6 +373,15 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
       has_sink && last_cp.has_value() && !sink_has_latest) {
     TP_TRACE_SPAN("miner/checkpoint");
     (void)options_.checkpoint_sink(*last_cp);
+    if (journal.active()) {
+      obs::JournalEvent ev;
+      ev.type = obs::JournalEventType::kCheckpointWritten;
+      ev.run_id = jrun;
+      ev.iteration = last_cp->iteration;
+      ev.omega = last_cp->omega;
+      ev.detail = "tail";
+      journal.Emit(ev);
+    }
   }
 
   reports_.clear();
@@ -358,6 +408,17 @@ MiningResult ShardedMiner::Run(const MinerCheckpoint* resume) {
       std::min(num_shards_, ResolveThreadCount(options_.num_threads)) *
       shard_threads_;
   result.stats = stats_;
+  if (journal.active()) {
+    obs::JournalEvent ev;
+    ev.type = obs::JournalEventType::kRunStopped;
+    ev.run_id = jrun;
+    ev.iteration = stats_.iterations;
+    ev.omega = coordinator_.global_omega();
+    ev.candidates_evaluated = stats_.candidates_evaluated;
+    ev.candidates_pruned = stats_.candidates_pruned;
+    ev.stop_reason = StopReasonName(stats_.stop_reason);
+    journal.Emit(ev);
+  }
   return result;
 }
 

@@ -1,0 +1,588 @@
+// The live-introspection layer end to end: the run journal's JSONL
+// contract (valid lines, monotonic sequence numbers, replayable ω
+// convergence), the status server's four endpoints over real sockets,
+// /runz reflecting a live sharded run mid-flight, the crash flight
+// recorder's kill-at-boundary sweep (every non-clean StopReason leaves a
+// valid post-mortem), and — the overriding contract — introspection
+// never changes mining answers.
+//
+// The journal and server are process-wide singletons, so these tests are
+// written to tolerate state left by earlier tests in this binary (run
+// tables accumulate; live tracking, once enabled, is sticky).  Order
+// matters only for the first test, which pins the inactive default.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/run_context.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/planted_generator.h"
+#include "geometry/grid.h"
+#include "json_check.h"
+#include "obs/flight_recorder.h"
+#include "obs/journal.h"
+#include "server/fault_injector.h"
+#include "server/mining_supervisor.h"
+#include "server/status_server.h"
+
+namespace trajpattern {
+namespace {
+
+using obs::JournalEvent;
+using obs::JournalEventType;
+using obs::RunJournal;
+using obs::RunSnapshot;
+
+// ------------------------------------------------------------- fixtures
+
+TrajectoryDataset MakeMiningData() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.45, 0.45), Point2(0.75, 0.75)};
+  opt.num_with_pattern = 12;
+  opt.num_background = 6;
+  opt.num_snapshots = 12;
+  opt.seed = 7;
+  return GeneratePlantedPatterns(opt);
+}
+
+// A 5-cell planted chain under min_length=2: several grow iterations, so
+// the journal has real boundaries to record.
+TrajectoryDataset MakeDeepMiningData() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.35, 0.35), Point2(0.55, 0.55),
+                 Point2(0.75, 0.75), Point2(0.95, 0.95)};
+  opt.num_with_pattern = 30;
+  opt.num_background = 0;
+  opt.num_snapshots = 10;
+  opt.sigma = 0.005;
+  opt.seed = 7;
+  return GeneratePlantedPatterns(opt);
+}
+
+MiningSpace MakeSpace() { return MiningSpace(Grid::UnitSquare(8), 0.125); }
+
+MinerOptions MakeOptions() {
+  MinerOptions opt;
+  opt.k = 10;
+  opt.max_pattern_length = 4;
+  return opt;
+}
+
+MinerOptions MakeDeepOptions() {
+  MinerOptions opt;
+  opt.k = 10;
+  opt.min_length = 2;
+  opt.max_pattern_length = 5;
+  return opt;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredPattern>& a,
+                        const std::vector<ScoredPattern>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pattern, b[i].pattern) << "rank " << i;
+    EXPECT_EQ(std::memcmp(&a[i].nm, &b[i].nm, sizeof(double)), 0)
+        << "rank " << i;
+  }
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts `"key": <number>` from a JSON line; nan when absent.
+double NumField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::strtod(line.c_str() + pos + needle.size(), nullptr);
+}
+
+bool HasEvent(const std::string& line, const char* type) {
+  return line.find(std::string("\"event\": \"") + type + "\"") !=
+         std::string::npos;
+}
+
+// Minimal blocking HTTP client for the raw-socket leg of the server
+// tests (HandlePath covers the handlers; this covers the wire).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string out;
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    if (send(fd, req.data(), req.size(), 0) ==
+        static_cast<ssize_t>(req.size())) {
+      char buf[4096];
+      ssize_t n;
+      while ((n = read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+    }
+  }
+  close(fd);
+  return out;
+}
+
+std::string HttpBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// --------------------------------------------------------- journal basics
+
+TEST(RunJournalTest, InactiveByDefaultCostsNothingAndTracksNothing) {
+  // Must run before anything in this binary touches the journal: the
+  // default is off, BeginRun hands back the "don't bother" id, and Emit
+  // is a no-op.
+  RunJournal& j = RunJournal::Global();
+  ASSERT_FALSE(j.active());
+  EXPECT_EQ(j.BeginRun(5, 0, false), 0);
+  JournalEvent ev;
+  ev.type = JournalEventType::kRoundCommitted;
+  j.Emit(ev);
+  EXPECT_EQ(j.events_emitted(), 0u);
+  EXPECT_TRUE(j.Runs().empty());
+  EXPECT_TRUE(j.TailLines(16).empty());
+  EXPECT_EQ(j.path(), "");
+}
+
+TEST(RunJournalTest, StreamsValidJsonlWithMonotonicSeqs) {
+  const std::string path = TempPath("tp_journal_basic.jsonl");
+  RunJournal& j = RunJournal::Global();
+  ASSERT_TRUE(j.Open(path));
+  EXPECT_TRUE(j.active());
+  EXPECT_EQ(j.path(), path);
+
+  const TrajectoryDataset data = MakeDeepMiningData();
+  NmEngine engine(data, MakeSpace());
+  const MiningResult result = MineTrajPatterns(engine, MakeDeepOptions());
+  ASSERT_FALSE(result.stats.aborted);
+  j.Close();
+  EXPECT_FALSE(j.active());  // no live tracking was requested
+
+  std::string text;
+  ASSERT_TRUE(test::ReadFileToString(path, &text));
+  const std::vector<std::string> lines = SplitLines(text);
+  ASSERT_GE(lines.size(), 3u);  // started, >= 1 round, stopped
+
+  double prev_seq = 0.0;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+    const double seq = NumField(line, "seq");
+    EXPECT_GT(seq, prev_seq) << "sequence numbers must be monotonic";
+    prev_seq = seq;
+  }
+  EXPECT_TRUE(HasEvent(lines.front(), "run_started")) << lines.front();
+  EXPECT_TRUE(HasEvent(lines.back(), "run_stopped")) << lines.back();
+  EXPECT_NE(lines.back().find("\"stop_reason\": \"none\""), std::string::npos)
+      << lines.back();
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, ReplayReconstructsMonotoneOmegaConvergence) {
+  // The journal's reason to exist: reading the round_committed /
+  // omega_tightened series back must yield the non-decreasing ω
+  // time series the threshold contract guarantees.
+  const std::string path = TempPath("tp_journal_omega.jsonl");
+  RunJournal& j = RunJournal::Global();
+  ASSERT_TRUE(j.Open(path));
+
+  const TrajectoryDataset data = MakeDeepMiningData();
+  NmEngine engine(data, MakeSpace());
+  const MiningResult result = MineTrajPatterns(engine, MakeDeepOptions());
+  ASSERT_FALSE(result.stats.aborted);
+  j.Close();
+
+  std::string text;
+  ASSERT_TRUE(test::ReadFileToString(path, &text));
+  double omega = -std::numeric_limits<double>::infinity();
+  int rounds = 0;
+  double prev_iteration = 0.0;
+  for (const std::string& line : SplitLines(text)) {
+    if (!HasEvent(line, "round_committed") &&
+        !HasEvent(line, "omega_tightened")) {
+      continue;
+    }
+    const double o = NumField(line, "omega");
+    if (!std::isnan(o)) {
+      EXPECT_GE(o, omega) << "omega regressed in replay: " << line;
+      omega = std::max(omega, o);
+    }
+    if (HasEvent(line, "round_committed")) {
+      ++rounds;
+      const double iter = NumField(line, "iteration");
+      EXPECT_GT(iter, prev_iteration) << line;
+      prev_iteration = iter;
+      // Cumulative counters ride along on every round.
+      EXPECT_FALSE(std::isnan(NumField(line, "evaluated")));
+      EXPECT_FALSE(std::isnan(NumField(line, "frontier")));
+    }
+  }
+  EXPECT_EQ(rounds, result.stats.iterations);
+  // The final journal ω is the answer's kth score (the run's threshold).
+  EXPECT_GT(rounds, 1);
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, ShardedRunJournalsPerShardTightenings) {
+  const std::string path = TempPath("tp_journal_sharded.jsonl");
+  RunJournal& j = RunJournal::Global();
+  ASSERT_TRUE(j.Open(path));
+
+  const TrajectoryDataset data = MakeDeepMiningData();
+  NmEngine engine(data, MakeSpace());
+  MinerOptions opt = MakeDeepOptions();
+  opt.num_shards = 2;
+  opt.omega_pruning = true;
+  const MiningResult result = MineTrajPatterns(engine, opt);
+  ASSERT_FALSE(result.stats.aborted);
+  j.Close();
+
+  std::string text;
+  ASSERT_TRUE(test::ReadFileToString(path, &text));
+  const std::vector<std::string> lines = SplitLines(text);
+  // The run advertises its shard count at start...
+  EXPECT_NE(lines.front().find("\"shards\": 2"), std::string::npos)
+      << lines.front();
+  // ...and the coordinator journals at least one per-shard ω tightening
+  // (a 2-shard planted-pattern run always tightens from -inf).
+  int tightenings_with_shard = 0;
+  for (const std::string& line : lines) {
+    if (HasEvent(line, "omega_tightened") &&
+        !std::isnan(NumField(line, "shard"))) {
+      ++tightenings_with_shard;
+    }
+    EXPECT_TRUE(test::IsValidJson(line)) << line;
+  }
+  EXPECT_GT(tightenings_with_shard, 0);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------- introspection changes nothing
+
+TEST(IntrospectionIdentityTest, JournalAndServerNeverChangeAnswers) {
+  const TrajectoryDataset data = MakeDeepMiningData();
+  const MiningSpace space = MakeSpace();
+  const MinerOptions base = MakeDeepOptions();
+  MinerOptions sharded = base;
+  sharded.num_shards = 2;
+  sharded.omega_pruning = true;
+
+  NmEngine baseline_engine(data, space);
+  const MiningResult baseline = MineTrajPatterns(baseline_engine, base);
+  NmEngine sharded_baseline_engine(data, space);
+  const MiningResult sharded_baseline =
+      MineTrajPatterns(sharded_baseline_engine, sharded);
+
+  // Full introspection on: journal streaming, live tracking, status
+  // server answering between runs.
+  const std::string path = TempPath("tp_identity.jsonl");
+  ASSERT_TRUE(RunJournal::Global().Open(path));
+  StatusServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+
+  NmEngine observed_engine(data, space);
+  const MiningResult observed = MineTrajPatterns(observed_engine, base);
+  EXPECT_NE(HttpGet(server.port(), "/runz").find("200 OK"),
+            std::string::npos);
+  NmEngine observed_sharded_engine(data, space);
+  const MiningResult observed_sharded =
+      MineTrajPatterns(observed_sharded_engine, sharded);
+
+  server.Stop();
+  RunJournal::Global().Close();
+
+  ExpectBitIdentical(observed.patterns, baseline.patterns);
+  ExpectBitIdentical(observed_sharded.patterns, sharded_baseline.patterns);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- status server
+
+TEST(StatusServerTest, ServesAllEndpointsOverRealSockets) {
+  StatusServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  // Give /runz something to show.
+  const TrajectoryDataset data = MakeMiningData();
+  NmEngine engine(data, MakeSpace());
+  (void)MineTrajPatterns(engine, MakeOptions());
+
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_EQ(HttpBody(health), "ok\n");
+
+  const std::string runz = HttpGet(server.port(), "/runz");
+  EXPECT_NE(runz.find("200 OK"), std::string::npos);
+  EXPECT_NE(runz.find("application/json"), std::string::npos);
+  EXPECT_TRUE(test::IsValidJson(HttpBody(runz))) << HttpBody(runz);
+  EXPECT_NE(HttpBody(runz).find("\"runs\""), std::string::npos);
+  EXPECT_NE(HttpBody(runz).find("\"shards\""), std::string::npos);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+
+  const std::string tracez = HttpGet(server.port(), "/tracez");
+  EXPECT_NE(tracez.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(test::IsValidJson(HttpBody(tracez)));
+  EXPECT_NE(HttpBody(tracez).find("\"droppedEvents\""), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/nonsense").find("404"),
+            std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_NE(HttpGet(server.port(), "/healthz?verbose=1").find("200 OK"),
+            std::string::npos);
+
+  const int port = server.port();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(HttpGet(port, "/healthz"), "");  // really stopped
+  server.Stop();                             // idempotent
+}
+
+TEST(StatusServerTest, HandlersAreCoverableWithoutSockets) {
+  EXPECT_NE(StatusServer::HandlePath("/healthz").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(StatusServer::HandlePath("/metrics").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(StatusServer::HandlePath("/runz").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(StatusServer::HandlePath("/tracez").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(StatusServer::HandlePath("/").find("404"), std::string::npos);
+  EXPECT_TRUE(test::IsValidJson(StatusServer::RunzJson()));
+
+  RunSnapshot snap;
+  std::string json;
+  obs::AppendRunSnapshotJson(snap, &json);
+  EXPECT_TRUE(test::IsValidJson(json)) << json;  // -inf ω must not leak
+}
+
+TEST(StatusServerTest, RunzReflectsLiveShardedRunMidFlight) {
+  RunJournal::Global().EnableLiveTracking();
+  StatusServer server;
+  ASSERT_TRUE(server.Start({}).ok());
+
+  // Park a sharded run at its first checkpoint boundary, then inspect it
+  // from outside while it is provably mid-flight.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false;
+  bool release = false;
+  const TrajectoryDataset data = MakeDeepMiningData();
+  NmEngine engine(data, MakeSpace());
+  MinerOptions opt = MakeDeepOptions();
+  opt.num_shards = 2;
+  opt.omega_pruning = true;
+  opt.checkpoint_sink = [&](const MinerCheckpoint&) {
+    std::unique_lock<std::mutex> lock(mu);
+    parked = true;
+    cv.notify_all();
+    cv.wait_for(lock, std::chrono::seconds(30), [&] { return release; });
+    return true;
+  };
+
+  MiningResult result;
+  std::thread miner([&] { result = MineTrajPatterns(engine, opt); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(30), [&] { return parked; }));
+  }
+
+  const std::string live = HttpBody(HttpGet(server.port(), "/runz"));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  miner.join();
+  server.Stop();
+
+  ASSERT_TRUE(test::IsValidJson(live)) << live;
+  EXPECT_NE(live.find("\"active\": true"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"num_shards\": 2"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"omega\""), std::string::npos);
+  EXPECT_NE(live.find("\"frontier_depth\""), std::string::npos);
+  EXPECT_NE(live.find("\"checkpoint_age_ms\""), std::string::npos);
+#if TRAJPATTERN_OBS_ENABLED
+  // The shards section is registry-derived: per-shard ω gauges plus the
+  // coordinator's merge-latency histogram.
+  EXPECT_NE(live.find("\"global_omega\""), std::string::npos) << live;
+  EXPECT_NE(live.find("\"per_shard\""), std::string::npos);
+  EXPECT_NE(live.find("\"merge_latency_ms\""), std::string::npos);
+#endif
+  ASSERT_FALSE(result.stats.aborted);
+
+  // After release, the same run shows up finished with a clean stop.
+  const std::string after = StatusServer::RunzJson();
+  EXPECT_NE(after.find("\"stop_reason\": \"none\""), std::string::npos)
+      << after;
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorderTest, JsonIsValidEvenWithNoState) {
+  const std::string json = obs::FlightRecordJson("unit_test", "no state");
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trigger\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"journal\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, WriteToMissingDirectoryFailsCleanly) {
+  EXPECT_EQ(obs::WriteFlightRecord(::testing::TempDir() + "/no_such_dir_xyz",
+                                   "t", "d"),
+            "");
+}
+
+// The kill-at-boundary sweep: every way a run can die non-cleanly under
+// the supervisor must leave a valid flight record naming its stop.
+struct KillCase {
+  const char* name;
+  StopReason expected;
+};
+
+TEST(FlightRecorderTest, EveryNonCleanStopLeavesAPostMortem) {
+  RunJournal::Global().EnableLiveTracking();
+  const TrajectoryDataset data = MakeMiningData();
+  const MiningSpace space = MakeSpace();
+  const std::string dir = ::testing::TempDir();
+
+  const std::vector<KillCase> cases = {
+      {"cancelled", StopReason::kCancelled},
+      {"deadline_exceeded", StopReason::kDeadlineExceeded},
+      {"memory_budget_exceeded", StopReason::kMemoryBudgetExceeded},
+      {"sink_veto", StopReason::kSinkVeto},
+      {"alloc_failed", StopReason::kAllocFailed},
+  };
+  for (const KillCase& kc : cases) {
+    SCOPED_TRACE(kc.name);
+    NmEngine engine(data, space);
+    FaultScheduleOptions fo;
+    fo.fail_rate = 1.0;
+    FaultSchedule faults(fo);
+    SupervisorOptions sup;
+    sup.checkpoint_path =
+        TempPath(std::string("tp_flight_") + kc.name + ".ckpt");
+    sup.miner = MakeOptions();
+    sup.flight_record_dir = dir;
+    sup.sleep_fn = [](double) {};
+    switch (kc.expected) {
+      case StopReason::kCancelled:
+        sup.miner.run.token.Cancel();
+        break;
+      case StopReason::kDeadlineExceeded:
+        sup.miner.run.SetDeadlineAfterMillis(-1.0);
+        break;
+      case StopReason::kMemoryBudgetExceeded:
+        sup.miner.run.memory_budget_bytes = 1;
+        break;
+      case StopReason::kSinkVeto:
+        sup.checkpoint_retries = 1;
+        sup.sink_faults = &faults;
+        break;
+      case StopReason::kAllocFailed:
+        engine.set_alloc_fault_hook(
+            [&faults](size_t) { return faults.ShouldFail(); });
+        break;
+      default:
+        FAIL() << "unhandled case";
+    }
+    MiningSupervisor supervisor(&engine, sup);
+    const SupervisorReport report = supervisor.Run();
+    EXPECT_EQ(report.result.stats.stop_reason, kc.expected);
+
+    ASSERT_EQ(report.flight_records.size(), 1u);
+    std::string json;
+    ASSERT_TRUE(test::ReadFileToString(report.flight_records[0], &json));
+    EXPECT_TRUE(test::IsValidJson(json)) << json;
+    EXPECT_NE(json.find("\"trigger\": \"abort\""), std::string::npos);
+    EXPECT_NE(json.find(StopReasonName(kc.expected)), std::string::npos)
+        << "post-mortem must name its stop reason";
+    std::remove(report.flight_records[0].c_str());
+    std::remove(sup.checkpoint_path.c_str());
+  }
+}
+
+TEST(FlightRecorderTest, CrashRestartsDumpAndJournalTheException) {
+  RunJournal::Global().EnableLiveTracking();
+  const TrajectoryDataset data = MakeMiningData();
+  NmEngine engine(data, MakeSpace());
+  SupervisorOptions sup;
+  sup.checkpoint_path = TempPath("tp_flight_crash.ckpt");
+  sup.miner = MakeOptions();
+  sup.flight_record_dir = ::testing::TempDir();
+  sup.max_restarts = 1;
+  sup.write_fn = [](const MinerCheckpoint&, const std::string&) -> Status {
+    throw std::runtime_error("disk controller on fire");
+  };
+  sup.sleep_fn = [](double) {};
+  MiningSupervisor supervisor(&engine, sup);
+  const SupervisorReport report = supervisor.Run();
+  EXPECT_EQ(report.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(report.restarts, 1);
+
+  // One dump per crash: the restarted attempt and the terminal one.
+  ASSERT_EQ(report.flight_records.size(), 2u);
+  for (const std::string& path : report.flight_records) {
+    std::string json;
+    ASSERT_TRUE(test::ReadFileToString(path, &json));
+    EXPECT_TRUE(test::IsValidJson(json)) << json;
+    EXPECT_NE(json.find("\"trigger\": \"crash\""), std::string::npos);
+    EXPECT_NE(json.find("disk controller on fire"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  // The journal's tail ring saw the restart and both dumps.
+  bool saw_restart = false, saw_dump = false;
+  for (const std::string& line : RunJournal::Global().TailLines(64)) {
+    if (HasEvent(line, "supervisor_restart")) saw_restart = true;
+    if (HasEvent(line, "flight_dump")) saw_dump = true;
+  }
+  EXPECT_TRUE(saw_restart);
+  EXPECT_TRUE(saw_dump);
+  std::remove(sup.checkpoint_path.c_str());
+}
+
+}  // namespace
+}  // namespace trajpattern

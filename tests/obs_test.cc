@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "prom_lint.h"
 
 namespace trajpattern {
 namespace {
@@ -131,6 +132,60 @@ TEST(ObsMetricsTest, PrometheusExportSanitizesNames) {
   EXPECT_EQ(text.find('.'), std::string::npos) << "unsanitized metric name";
 }
 
+// The full promtool-style lint (tests/prom_lint.h) over an export that
+// exercises every shape the registry can produce: dotted and hyphenated
+// names (must sanitize), per-shard numbered series, a -Inf gauge, and
+// multi-bucket histograms (cumulativity + le="+Inf" + _count coherence).
+TEST(ObsMetricsTest, PrometheusExportPassesLint) {
+  MetricsRegistry reg;
+  reg.GetCounter("miner.candidates_evaluated")->Add(9);
+  reg.GetCounter("shard.0.candidates_pruned")->Add(2);
+  reg.GetCounter("shard.1.candidates_pruned")->Add(5);
+  reg.GetGauge("miner.omega")->Set(-std::numeric_limits<double>::infinity());
+  reg.GetGauge("shard.merge-latency")->Set(1.5);
+  obs::Histogram* h =
+      reg.GetHistogram("nm.batch_size", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 4.0, 40.0, 400.0, 4000.0}) h->Observe(v);
+  const std::string text = obs::ToPrometheusText(reg.Snapshot());
+  const auto issues = test::PromLint(text);
+  std::string joined;
+  for (const auto& i : issues) joined += i + "\n";
+  EXPECT_TRUE(issues.empty()) << joined << "--- exposition ---\n" << text;
+}
+
+// The lint itself must catch the failure modes it exists for; otherwise a
+// green PrometheusExportPassesLint proves nothing.
+TEST(PromLintTest, CatchesMalformedExposition) {
+  EXPECT_FALSE(test::PromLint("bad-name 1\n").empty());
+  EXPECT_FALSE(test::PromLint("orphan_sample 1\n").empty());  // no TYPE
+  EXPECT_FALSE(test::PromLint("# TYPE d counter\nd 1\nd 1\n").empty());
+  // Non-cumulative buckets.
+  EXPECT_FALSE(test::PromLint("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 5\n"
+                              "h_bucket{le=\"2\"} 3\n"
+                              "h_bucket{le=\"+Inf\"} 5\n"
+                              "h_sum 4\nh_count 5\n")
+                   .empty());
+  // Missing le="+Inf".
+  EXPECT_FALSE(test::PromLint("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 5\n"
+                              "h_sum 4\nh_count 5\n")
+                   .empty());
+  // +Inf bucket disagrees with _count.
+  EXPECT_FALSE(test::PromLint("# TYPE h histogram\n"
+                              "h_bucket{le=\"+Inf\"} 4\n"
+                              "h_sum 4\nh_count 5\n")
+                   .empty());
+  // A well-formed document sails through.
+  EXPECT_TRUE(test::PromLint("# TYPE ok counter\nok 3\n"
+                             "# TYPE g gauge\ng -Inf\n"
+                             "# TYPE h histogram\n"
+                             "h_bucket{le=\"1\"} 2\n"
+                             "h_bucket{le=\"+Inf\"} 5\n"
+                             "h_sum 9.5\nh_count 5\n")
+                  .empty());
+}
+
 TEST(ObsTraceTest, ChromeExportIsValidJsonWithCompleteSpans) {
   TraceRecorder& rec = TraceRecorder::Global();
   rec.Start(1024);
@@ -182,6 +237,27 @@ TEST(ObsTraceTest, RingOverflowKeepsNewestAndCountsDropped) {
   for (size_t i = 0; i < events.size(); ++i) {
     EXPECT_DOUBLE_EQ(events[i].value, 12.0 + static_cast<double>(i));
   }
+}
+
+// Silent truncation is the trace format's worst failure mode: a clean-
+// looking export missing its earliest spans.  The loss must be visible in
+// the artifact itself (droppedEvents header) and in the metrics registry
+// (trace.dropped_events counter), not only via the recorder's accessor.
+TEST(ObsTraceTest, DroppedEventsSurfaceInHeaderAndRegistry) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Start(8);
+  for (int i = 0; i < 20; ++i) rec.RecordCounter("tick", i);
+  rec.Stop();
+  const std::string json = rec.ChromeTraceJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"droppedEvents\": 12"), std::string::npos) << json;
+#if TRAJPATTERN_OBS_ENABLED
+  // >= because the global registry accumulates across tests in this
+  // binary (the ring-overflow test above also drops 12).
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snap.counters.count("trace.dropped_events"), 1u);
+  EXPECT_GE(snap.counters.at("trace.dropped_events"), 12);
+#endif
 }
 
 TEST(ObsMacroTest, MacrosFollowCompileTimeSwitch) {

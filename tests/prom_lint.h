@@ -1,0 +1,247 @@
+#ifndef TRAJPATTERN_TESTS_PROM_LINT_H_
+#define TRAJPATTERN_TESTS_PROM_LINT_H_
+
+// promtool-style lint for Prometheus text exposition format, reimplemented
+// as a test helper (no external binaries in CI).  Checks the subset of
+// `promtool check metrics` rules our exporter can violate:
+//
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+//     [a-zA-Z_][a-zA-Z0-9_]*
+//   - every sample's metric has exactly one preceding # TYPE line, and
+//     the declared type matches the sample shape (histogram samples only
+//     as <name>_bucket/_sum/_count)
+//   - sample values parse as floats (NaN/+Inf/-Inf allowed; bare "inf"
+//     or "nan" from a careless printf are not)
+//   - no duplicate series (same name + label set)
+//   - histograms: le labels strictly ascending, bucket counts cumulative
+//     (non-decreasing), an le="+Inf" bucket present and equal to _count
+//
+// Returns the list of violations; empty means the text lints clean.
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace trajpattern::test {
+
+inline bool PromValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+inline bool PromValidLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+inline bool PromValidValue(const std::string& v) {
+  if (v.empty()) return false;
+  if (v == "NaN" || v == "+Inf" || v == "-Inf" || v == "Inf") return true;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+inline std::vector<std::string> PromLint(const std::string& text) {
+  std::vector<std::string> issues;
+  // name -> declared type; name -> seen series (name + sorted labels).
+  std::map<std::string, std::string> types;
+  std::set<std::string> series_seen;
+  // histogram base name -> ordered (le, count) pairs and _count value.
+  struct HistState {
+    std::vector<std::pair<std::string, double>> buckets;
+    double count = -1.0;
+    bool has_count = false;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto complain = [&](const std::string& what) {
+      issues.push_back("line " + std::to_string(lineno) + ": " + what +
+                       " [" + line + "]");
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name, type;
+      ls >> hash >> kind >> name >> type;
+      if (kind == "TYPE") {
+        if (!PromValidMetricName(name)) complain("bad metric name in TYPE");
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          complain("unknown TYPE '" + type + "'");
+        }
+        if (types.count(name) > 0) complain("duplicate TYPE for " + name);
+        types[name] = type;
+      }
+      continue;  // other comments are free-form
+    }
+
+    // Sample: name[{labels}] value [timestamp]
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      complain("sample with no value");
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!PromValidMetricName(name)) complain("bad metric name");
+
+    std::string labels;
+    size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        complain("unterminated label set");
+        continue;
+      }
+      labels = line.substr(name_end + 1, close - name_end - 1);
+      value_begin = close + 1;
+    }
+    while (value_begin < line.size() && line[value_begin] == ' ') {
+      ++value_begin;
+    }
+    const size_t value_end = line.find(' ', value_begin);
+    const std::string value =
+        line.substr(value_begin, value_end == std::string::npos
+                                     ? std::string::npos
+                                     : value_end - value_begin);
+    if (!PromValidValue(value)) complain("bad sample value '" + value + "'");
+
+    // Label syntax: k="v" pairs, comma-separated.
+    std::string le_value;
+    if (!labels.empty()) {
+      std::string rest = labels;
+      while (!rest.empty()) {
+        const size_t eq = rest.find('=');
+        if (eq == std::string::npos || eq + 1 >= rest.size() ||
+            rest[eq + 1] != '"') {
+          complain("malformed label in '" + labels + "'");
+          break;
+        }
+        const std::string lname = rest.substr(0, eq);
+        if (!PromValidLabelName(lname)) complain("bad label name " + lname);
+        const size_t vclose = rest.find('"', eq + 2);
+        if (vclose == std::string::npos) {
+          complain("unterminated label value");
+          break;
+        }
+        const std::string lvalue = rest.substr(eq + 2, vclose - eq - 2);
+        if (lname == "le") le_value = lvalue;
+        if (vclose + 1 < rest.size() && rest[vclose + 1] == ',') {
+          rest = rest.substr(vclose + 2);
+        } else {
+          rest = rest.substr(vclose + 1);
+        }
+      }
+    }
+
+    const std::string series = name + "{" + labels + "}";
+    if (!series_seen.insert(series).second) {
+      complain("duplicate series " + series);
+    }
+
+    // TYPE resolution: histogram samples carry the base name's suffix.
+    std::string base = name;
+    bool suffix = false;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string sfx(s);
+      if (base.size() > sfx.size() &&
+          base.compare(base.size() - sfx.size(), sfx.size(), sfx) == 0) {
+        const std::string candidate =
+            base.substr(0, base.size() - sfx.size());
+        if (types.count(candidate) > 0 &&
+            types[candidate] == "histogram") {
+          base = candidate;
+          suffix = true;
+          break;
+        }
+      }
+    }
+    if (types.count(base) == 0) {
+      complain("sample for " + name + " with no preceding TYPE");
+      continue;
+    }
+    if (types[base] == "histogram" && !suffix) {
+      complain("histogram " + base + " exposed without _bucket/_sum/_count");
+    }
+    if (types[base] == "histogram" && suffix) {
+      HistState& h = hists[base];
+      const double v = value == "+Inf" ? 0.0 : std::strtod(value.c_str(), nullptr);
+      if (name == base + "_bucket") {
+        if (le_value.empty()) {
+          complain("histogram bucket without le label");
+        } else {
+          h.buckets.emplace_back(le_value, std::strtod(value.c_str(), nullptr));
+        }
+      } else if (name == base + "_count") {
+        h.count = v;
+        h.has_count = true;
+      }
+    }
+  }
+
+  // Histogram structural checks.
+  for (const auto& [base, h] : hists) {
+    if (h.buckets.empty()) {
+      issues.push_back("histogram " + base + " has no buckets");
+      continue;
+    }
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_count = -1.0;
+    bool has_inf = false;
+    for (const auto& [le, count] : h.buckets) {
+      if (le == "+Inf") {
+        has_inf = true;
+        if (h.has_count && count != h.count) {
+          issues.push_back("histogram " + base +
+                           ": +Inf bucket != _count");
+        }
+      } else {
+        const double le_num = std::strtod(le.c_str(), nullptr);
+        if (le_num <= prev_le) {
+          issues.push_back("histogram " + base +
+                           ": le bounds not strictly ascending at le=" + le);
+        }
+        prev_le = le_num;
+      }
+      if (count < prev_count) {
+        issues.push_back("histogram " + base +
+                         ": bucket counts not cumulative at le=" + le);
+      }
+      prev_count = count;
+    }
+    if (!has_inf) {
+      issues.push_back("histogram " + base + " missing le=\"+Inf\" bucket");
+    }
+    if (!h.has_count) {
+      issues.push_back("histogram " + base + " missing _count");
+    }
+  }
+  return issues;
+}
+
+}  // namespace trajpattern::test
+
+#endif  // TRAJPATTERN_TESTS_PROM_LINT_H_
