@@ -1,0 +1,233 @@
+// Out-of-core mining through the storage subsystem: a RAM-resident
+// baseline run records the arena working set and the top-k, then the
+// same dataset is mined with (a) the column arena budgeted to a quarter
+// of that peak and (b) evicted columns spilled to a FilePageStore whose
+// buffer pool is a small fraction of the file they accumulate into.
+// Gates (non-zero exit on failure): the out-of-core top-k is
+// bit-identical to the RAM run, the spill file grows to at least 4x the
+// configured page cache, columns actually spilled and faulted back in,
+// and the buffer pool saw real misses and evictions (i.e. the run did
+// not secretly fit in cache).  Writes BENCH_out_of_core.json (override
+// with --json=PATH).
+//
+//   --page_size=N     physical page size in bytes (default 4096)
+//   --cache_pages=N   buffer-pool capacity in pages (default: sized so
+//                     the pool is ~1/8 of the baseline's peak arena)
+//   --store=PATH      spill file (default /tmp/bench_out_of_core.pages)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/run_context.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "io/flags.h"
+#include "io/obs_flags.h"
+#include "stats/timer.h"
+#include "storage/file_page_store.h"
+#include "storage/page_store.h"
+
+using namespace trajpattern;
+namespace tb = trajpattern::bench;
+
+namespace {
+
+bool BitIdentical(const std::vector<ScoredPattern>& a,
+                  const std::vector<ScoredPattern>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].pattern == b[i].pattern) ||
+        std::memcmp(&a[i].nm, &b[i].nm, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  tb::Fig4Config cfg = tb::ParseFig4Config(flags);
+  const std::string json_path =
+      flags.GetString("json", tb::DefaultJsonPath("BENCH_out_of_core.json"));
+  const std::string store_path =
+      flags.GetString("store", "/tmp/bench_out_of_core.pages");
+  const ObsOptions obs_opts = ParseObsOptions(flags);
+  StartObservability(obs_opts);
+
+  const TrajectoryDataset data = tb::MakeZebraData(cfg);
+  const MiningSpace space = tb::MakeSpace(cfg);
+  const MinerOptions base = tb::MakeMinerOptions(cfg);
+
+  std::printf("Out-of-core  (S=%d, L=%d, G=%d, k=%d, max_len=%d)\n",
+              cfg.num_trajectories, cfg.avg_length,
+              cfg.grid_side * cfg.grid_side, cfg.k, cfg.max_pattern_length);
+
+  // ---- baseline: everything RAM-resident; its peak arena is the
+  // working set every cache/budget below is sized against.
+  MiningResult baseline;
+  double baseline_s = 0.0;
+  size_t baseline_peak_bytes = 0;
+  size_t column_bytes = 0;
+  {
+    NmEngine engine(data, space);
+    MinerOptions opt = base;
+    WallTimer timer;
+    baseline = MineTrajPatterns(engine, opt);
+    baseline_s = timer.Seconds();
+    baseline_peak_bytes = engine.arena_peak_bytes();
+    column_bytes = engine.column_bytes();
+  }
+  std::printf("  baseline: %.3fs, peak arena %zu bytes (%zu-byte columns), "
+              "%zu patterns\n",
+              baseline_s, baseline_peak_bytes, column_bytes,
+              baseline.patterns.size());
+
+  // ---- out-of-core leg: arena budgeted to peak/4, evictions spill to a
+  // FilePageStore whose pool is ~peak/8 (the 4x-dataset gate then has
+  // slack: the hexfloat encoding makes the spill file larger than the
+  // arena bytes it shadows).
+  const size_t page_size =
+      static_cast<size_t>(flags.GetInt("page_size", 4096));
+  const size_t default_pool = std::max<size_t>(
+      1, baseline_peak_bytes / (8 * std::max<size_t>(1, page_size)));
+  const size_t pool_pages = static_cast<size_t>(
+      flags.GetInt("cache_pages", static_cast<int>(default_pool)));
+  const uint64_t budget_bytes =
+      std::max<uint64_t>(baseline_peak_bytes / 4, 4 * column_bytes);
+
+  std::remove(store_path.c_str());
+  MiningResult ooc;
+  double ooc_s = 0.0;
+  size_t ooc_peak_bytes = 0;
+  size_t spilled = 0, faulted = 0, evicted = 0;
+  size_t file_pages = 0;
+  storage::StorageStats sstats;
+  {
+    storage::FilePageStoreOptions sopt;
+    sopt.path = store_path;
+    sopt.page_size = page_size;
+    sopt.pool_pages = pool_pages;
+    auto store = storage::FilePageStore::Open(sopt);
+    if (!store.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", store_path.c_str(),
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    NmEngine engine(data, space);
+    engine.AttachColumnStore(store.value().get());
+    MinerOptions opt = base;
+    opt.run = RunContext();
+    opt.run.memory_budget_bytes = budget_bytes;
+    WallTimer timer;
+    ooc = MineTrajPatterns(engine, opt);
+    ooc_s = timer.Seconds();
+    ooc_peak_bytes = engine.arena_peak_bytes();
+    spilled = engine.columns_spilled();
+    faulted = engine.columns_faulted();
+    evicted = engine.cells_evicted();
+    if (!store.value()->Flush().ok()) {
+      std::fprintf(stderr, "flush failed\n");
+      return 1;
+    }
+    file_pages = store.value()->num_pages();
+    sstats = store.value()->stats();
+  }
+  std::remove(store_path.c_str());
+
+  const size_t cache_bytes = pool_pages * page_size;
+  const size_t file_bytes = file_pages * page_size;
+  const double ratio =
+      cache_bytes > 0 ? static_cast<double>(file_bytes) / cache_bytes : 0.0;
+  const bool identical = BitIdentical(ooc.patterns, baseline.patterns);
+  const bool budget_held = ooc_peak_bytes <= budget_bytes;
+  const bool dataset_4x = ratio >= 4.0;
+  const bool really_out_of_core =
+      spilled > 0 && faulted > 0 && sstats.misses > 0 && sstats.evictions > 0;
+
+  std::printf("  out-of-core: pool %zu pages x %zu B = %zu B, spill file "
+              "%zu pages = %zu B (%.1fx cache, %s)\n",
+              pool_pages, page_size, cache_bytes, file_pages, file_bytes,
+              ratio, dataset_4x ? ">=4x" : "UNDER 4x");
+  std::printf("    arena budget %llu B: peak %zu (%s), %zu evictions, "
+              "%zu spilled, %zu faulted\n",
+              static_cast<unsigned long long>(budget_bytes), ooc_peak_bytes,
+              budget_held ? "held" : "EXCEEDED", evicted, spilled, faulted);
+  std::printf("    pool: %llu reads, %llu writes, %llu hits, %llu misses, "
+              "%llu evictions, %llu checksum failures\n",
+              static_cast<unsigned long long>(sstats.page_reads),
+              static_cast<unsigned long long>(sstats.page_writes),
+              static_cast<unsigned long long>(sstats.hits),
+              static_cast<unsigned long long>(sstats.misses),
+              static_cast<unsigned long long>(sstats.evictions),
+              static_cast<unsigned long long>(sstats.checksum_failures));
+  std::printf("    %.3fs (%.2fx baseline), bit-identical=%s\n", ooc_s,
+              baseline_s > 0 ? ooc_s / baseline_s : 0.0,
+              identical ? "yes" : "NO");
+
+  tb::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Str("out_of_core");
+  w.Key("config").BeginObject();
+  w.Key("num_trajectories").Int(cfg.num_trajectories);
+  w.Key("avg_length").Int(cfg.avg_length);
+  w.Key("grid_cells").Int(cfg.grid_side * cfg.grid_side);
+  w.Key("k").Int(cfg.k);
+  w.Key("max_pattern_length").Int(cfg.max_pattern_length);
+  w.Key("threads").Int(cfg.threads);
+  w.Key("page_size").UInt(page_size);
+  w.Key("cache_pages").UInt(pool_pages);
+  w.EndObject();
+  w.Key("baseline").BeginObject();
+  w.Key("seconds").Double(baseline_s);
+  w.Key("peak_arena_bytes").UInt(baseline_peak_bytes);
+  w.Key("column_bytes").UInt(column_bytes);
+  w.Key("patterns").Int(static_cast<long long>(baseline.patterns.size()));
+  w.EndObject();
+  w.Key("out_of_core").BeginObject();
+  w.Key("seconds").Double(ooc_s);
+  w.Key("slowdown_vs_baseline")
+      .Double(baseline_s > 0 ? ooc_s / baseline_s : 0.0, 3);
+  w.Key("memory_budget_bytes").UInt(budget_bytes);
+  w.Key("peak_arena_bytes").UInt(ooc_peak_bytes);
+  w.Key("budget_held").Bool(budget_held);
+  w.Key("cache_bytes").UInt(cache_bytes);
+  w.Key("spill_file_pages").UInt(file_pages);
+  w.Key("spill_file_bytes").UInt(file_bytes);
+  w.Key("file_to_cache_ratio").Double(ratio, 3);
+  w.Key("dataset_at_least_4x_cache").Bool(dataset_4x);
+  w.Key("cells_evicted").UInt(evicted);
+  w.Key("columns_spilled").UInt(spilled);
+  w.Key("columns_faulted").UInt(faulted);
+  w.Key("bit_identical_to_baseline").Bool(identical);
+  w.Key("stop_reason").Str(StopReasonName(ooc.stats.stop_reason));
+  w.Key("storage").BeginObject();
+  w.Key("page_reads").UInt(sstats.page_reads);
+  w.Key("page_writes").UInt(sstats.page_writes);
+  w.Key("hits").UInt(sstats.hits);
+  w.Key("misses").UInt(sstats.misses);
+  w.Key("evictions").UInt(sstats.evictions);
+  w.Key("checksum_failures").UInt(sstats.checksum_failures);
+  w.EndObject();
+  w.EndObject();
+  tb::StampMetrics(&w);
+  tb::StampObsArtifacts(&w, obs_opts);
+  w.EndObject();
+  if (!w.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  if (!FlushObservability(obs_opts)) return 1;
+  // Correctness gates: the bench doubles as an acceptance check.
+  return (identical && budget_held && dataset_4x && really_out_of_core &&
+          sstats.checksum_failures == 0)
+             ? 0
+             : 2;
+}

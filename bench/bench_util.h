@@ -112,8 +112,25 @@ class JsonWriter {
   void AppendQuoted(const std::string& s) {
     out_ += '"';
     for (char c : s) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          // RFC 8259: control characters must be escaped; a raw one
+          // (e.g. from a dataset path or a kernel name) would make the
+          // whole artifact unparseable.
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += esc;
+          } else {
+            out_ += c;
+          }
+      }
     }
     out_ += '"';
   }

@@ -13,6 +13,7 @@
 #include "prob/log_space.h"
 #include "prob/normal.h"
 #include "stats/timer.h"
+#include "storage/column_codec.h"
 
 namespace trajpattern {
 namespace {
@@ -56,6 +57,47 @@ NmEngine::NmEngine(const TrajectoryDataset& data, const MiningSpace& space)
 }
 
 NmEngine::~NmEngine() = default;
+
+void NmEngine::AttachColumnStore(storage::PageStore* store) {
+  column_store_ = store;
+  // Spill records are only meaningful against the store they live in:
+  // attach (or detach) resets the map.
+  cell_record_.assign(store == nullptr ? 0 : cell_slot_.size(),
+                      storage::kNewRecord);
+}
+
+/// Reads `cell`'s spilled column (if any) from the store into `out`.
+/// Any failure — missing record, torn page, bad encoding — degrades to
+/// "not spilled": the caller recomputes and the result stays bit-exact.
+bool NmEngine::FaultColumnIn(CellId cell, double* out) const {
+  const storage::RecordId rec = cell_record_[static_cast<size_t>(cell)];
+  if (rec < 0) return false;
+  StatusOr<std::string> data = column_store_->ReadRecord(rec);
+  if (!data.ok() ||
+      !storage::DecodeColumn(data.value(), out, stride_).ok()) {
+    return false;
+  }
+  ++columns_faulted_;
+  TP_COUNTER_INC("storage.columns_faulted");
+  return true;
+}
+
+/// Write-once spill of the resident column in `slot`: serializes the
+/// slab and records the store record id.  Failures are silently dropped
+/// (the column recomputes on its next touch).
+void NmEngine::SpillColumn(CellId cell, int32_t slot) const {
+  if (cell_record_[static_cast<size_t>(cell)] != storage::kNewRecord) {
+    return;  // already spilled; the bits on disk are identical
+  }
+  const std::string encoded =
+      storage::EncodeColumn(ColumnBase(slot), stride_);
+  StatusOr<storage::RecordId> rec =
+      column_store_->WriteRecord(storage::kNewRecord, encoded);
+  if (!rec.ok()) return;
+  cell_record_[static_cast<size_t>(cell)] = rec.value();
+  ++columns_spilled_;
+  TP_COUNTER_INC("storage.columns_spilled");
+}
 
 Status NmEngine::ValidateScorable(const Pattern& p) {
   if (p.empty()) {
@@ -136,6 +178,11 @@ size_t NmEngine::EvictLruSlots(size_t count, uint64_t protect_tick) const {
   for (size_t i = 0; i < n; ++i) {
     const CellId c = order[i].second;
     const int32_t slot = cell_slot_[static_cast<size_t>(c)];
+    // With a column store attached, eviction is "spill + free" instead
+    // of "free": the slab's bits land in the store before the slot is
+    // recycled, so a later warm-up faults them back in instead of
+    // recomputing.
+    if (column_store_ != nullptr) SpillColumn(c, slot);
     cell_slot_[static_cast<size_t>(c)] = kNoSlot;
     slot_cell_[static_cast<size_t>(slot)] = kWildcardCell;
     free_slots_.push_back(slot);
@@ -162,8 +209,10 @@ int32_t NmEngine::EnsureColumn(CellId cell) const {
     if (!GrowArena(allocated_slots_ + 1)) throw std::bad_alloc();
     slot = static_cast<int32_t>(allocated_slots_ - 1);
   }
-  ComputeColumnInto(cell, arena_.data() + static_cast<size_t>(slot) * stride_,
-                    &column_scratch_);
+  double* out = arena_.data() + static_cast<size_t>(slot) * stride_;
+  if (column_store_ == nullptr || !FaultColumnIn(cell, out)) {
+    ComputeColumnInto(cell, out, &column_scratch_);
+  }
   cell_slot_[static_cast<size_t>(cell)] = slot;
   slot_cell_[static_cast<size_t>(slot)] = cell;
   slot_last_use_[static_cast<size_t>(slot)] = ++warm_tick_;
@@ -633,26 +682,78 @@ size_t NmEngine::WarmCells(const std::vector<CellId>& cells, int num_threads,
   }
   free_slots_.resize(free_slots_.size() - reuse);
 
+  // Fault-in: columns previously spilled to the attached store are read
+  // back instead of recomputed.  The reads run serially on the calling
+  // thread before the parallel fill so the store never sees concurrent
+  // access; the hexfloat round-trip restores the exact bits the original
+  // computation produced, so downstream scoring cannot tell a faulted
+  // column from a computed one.
+  std::vector<char> faulted(missing.size(), 0);
+  size_t num_faulted = 0;
+  if (column_store_ != nullptr) {
+    for (size_t i = 0; i < missing.size(); ++i) {
+      if (FaultColumnIn(missing[i], arena_.data() +
+                                        static_cast<size_t>(slots[i]) *
+                                            stride_)) {
+        faulted[i] = 1;
+        ++num_faulted;
+      }
+    }
+  }
+  ws.faulted = num_faulted;
+
   ThreadPool* pool = PoolFor(ResolveThreadCount(num_threads));
   // Without run control every fill completes; with it, `done` records
-  // which columns finished before a stop.
+  // which columns finished before a stop.  Faulted columns are already
+  // resident, so they count as done up front.
   std::vector<char> done(missing.size(), run == nullptr ? 1 : 0);
-  if (space_.model == IndifferenceModel::kRectangular) {
-    WarmRectangularFactored(missing, slots, pool, run,
-                            run == nullptr ? nullptr : &done);
-  } else {
-    const int lanes = pool == nullptr ? 1 : pool->size();
-    std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
-    ParallelFor(
-        pool, missing.size(),
-        [&](size_t i, int worker) {
-          ComputeColumnInto(missing[i],
-                            arena_.data() +
-                                static_cast<size_t>(slots[i]) * stride_,
-                            &scratch[static_cast<size_t>(worker)]);
-          if (run != nullptr) done[i] = 1;
-        },
-        run);
+  for (size_t i = 0; i < missing.size(); ++i) {
+    if (faulted[i]) done[i] = 1;
+  }
+  const auto fill = [&](const std::vector<CellId>& fcells,
+                        const std::vector<int32_t>& fslots,
+                        std::vector<char>* fdone) {
+    if (space_.model == IndifferenceModel::kRectangular) {
+      WarmRectangularFactored(fcells, fslots, pool, run,
+                              run == nullptr ? nullptr : fdone);
+    } else {
+      const int lanes = pool == nullptr ? 1 : pool->size();
+      std::vector<ColumnScratch> scratch(static_cast<size_t>(lanes));
+      ParallelFor(
+          pool, fcells.size(),
+          [&](size_t i, int worker) {
+            ComputeColumnInto(fcells[i],
+                              arena_.data() +
+                                  static_cast<size_t>(fslots[i]) * stride_,
+                              &scratch[static_cast<size_t>(worker)]);
+            if (run != nullptr) (*fdone)[i] = 1;
+          },
+          run);
+    }
+  };
+  if (num_faulted == 0) {
+    fill(missing, slots, &done);
+  } else if (num_faulted < missing.size()) {
+    // Compact the still-cold subset so the fill paths see dense lists
+    // (the rectangular plan batches by row/column of the cells it is
+    // given), then scatter the completion flags back.
+    std::vector<CellId> cold_cells;
+    std::vector<int32_t> cold_slots;
+    std::vector<size_t> cold_idx;
+    cold_cells.reserve(missing.size() - num_faulted);
+    cold_slots.reserve(missing.size() - num_faulted);
+    cold_idx.reserve(missing.size() - num_faulted);
+    for (size_t i = 0; i < missing.size(); ++i) {
+      if (faulted[i]) continue;
+      cold_cells.push_back(missing[i]);
+      cold_slots.push_back(slots[i]);
+      cold_idx.push_back(i);
+    }
+    std::vector<char> cold_done(cold_cells.size(), run == nullptr ? 1 : 0);
+    fill(cold_cells, cold_slots, &cold_done);
+    for (size_t j = 0; j < cold_idx.size(); ++j) {
+      done[cold_idx[j]] = cold_done[j];
+    }
   }
 
   // Ordered publish.  Columns a stop skipped revert to cold and their

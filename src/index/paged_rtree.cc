@@ -1,0 +1,415 @@
+#include "index/paged_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace trajpattern {
+namespace {
+
+// Record 0: "tprtree1" magic, u32 fan-out, i64 root record, u64 size,
+// u32 height.  Node record: u8 leaf flag, u32 item count, then per item
+// an i64 ref (entry id in leaves, child record id in internal nodes) and
+// the item box as 4 raw doubles.  Doubles travel as their IEEE bits, so
+// a reopened tree answers queries with the exact boxes it was built
+// with.
+constexpr char kMagic[8] = {'t', 'p', 'r', 't', 'r', 'e', 'e', '1'};
+constexpr storage::RecordId kHeaderRecord = 0;
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 8 + 4;
+constexpr size_t kItemBytes = 8 + 4 * sizeof(double);
+
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const std::string& in, size_t off) {
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  return v;
+}
+
+/// Area growth needed for `box` to also cover `add`.
+double Enlargement(const BoundingBox& box, const BoundingBox& add) {
+  return BoundingBox::Union(box, add).Area() - box.Area();
+}
+
+}  // namespace
+
+struct PagedRTree::Node {
+  struct Item {
+    int64_t ref = 0;
+    BoundingBox box;
+  };
+  bool leaf = true;
+  std::vector<Item> items;
+
+  BoundingBox Mbr() const {
+    BoundingBox box;
+    for (const Item& it : items) box.ExtendBox(it.box);
+    return box;
+  }
+};
+
+struct PagedRTree::InsertOutcome {
+  BoundingBox box;  // the visited node's MBR after the insert
+  bool split = false;
+  storage::RecordId sibling = storage::kNewRecord;
+  BoundingBox sibling_box;
+};
+
+PagedRTree::PagedRTree(storage::PageStore* store, int max_entries)
+    : store_(store),
+      max_entries_(max_entries),
+      min_entries_(max_entries / 2) {}
+
+StatusOr<std::unique_ptr<PagedRTree>> PagedRTree::Open(
+    storage::PageStore* store, int max_entries) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("paged r-tree: null store");
+  }
+  StatusOr<std::string> head = store->ReadRecord(kHeaderRecord);
+  if (head.ok()) {
+    const std::string& h = head.value();
+    if (h.size() != kHeaderBytes ||
+        std::memcmp(h.data(), kMagic, sizeof(kMagic)) != 0) {
+      return Status::DataLoss("paged r-tree: record 0 is not a tree header");
+    }
+    const uint32_t fanout = ReadRaw<uint32_t>(h, 8);
+    if (fanout < 4 || fanout > 1u << 20) {
+      return Status::DataLoss("paged r-tree: header fan-out out of range");
+    }
+    auto tree = std::unique_ptr<PagedRTree>(
+        new PagedRTree(store, static_cast<int>(fanout)));
+    tree->root_ = ReadRaw<int64_t>(h, 12);
+    tree->size_ = static_cast<size_t>(ReadRaw<uint64_t>(h, 20));
+    tree->height_ = static_cast<int>(ReadRaw<uint32_t>(h, 28));
+    if (tree->root_ < 0 || tree->height_ < 1) {
+      return Status::DataLoss("paged r-tree: header root/height invalid");
+    }
+    return StatusOr<std::unique_ptr<PagedRTree>>(std::move(tree));
+  }
+  if (head.status().code() != StatusCode::kNotFound) return head.status();
+  if (max_entries < 4) {
+    return Status::InvalidArgument("paged r-tree: max_entries must be >= 4");
+  }
+  auto tree =
+      std::unique_ptr<PagedRTree>(new PagedRTree(store, max_entries));
+  // Claim record 0 for the header before anything else lands.
+  StatusOr<storage::RecordId> hid =
+      store->WriteRecord(storage::kNewRecord, std::string());
+  if (!hid.ok()) return hid.status();
+  if (hid.value() != kHeaderRecord) {
+    return Status::FailedPrecondition(
+        "paged r-tree: store is not fresh (record 0 unavailable)");
+  }
+  Node root;
+  root.leaf = true;
+  StatusOr<storage::RecordId> rid =
+      tree->StoreNode(storage::kNewRecord, root);
+  if (!rid.ok()) return rid.status();
+  tree->root_ = rid.value();
+  Status s = tree->WriteHeader();
+  if (!s.ok()) return s;
+  return StatusOr<std::unique_ptr<PagedRTree>>(std::move(tree));
+}
+
+StatusOr<PagedRTree::Node> PagedRTree::LoadNode(storage::RecordId rec) const {
+  StatusOr<std::string> data = store_->ReadRecord(rec);
+  if (!data.ok()) return data.status();
+  const std::string& d = data.value();
+  if (d.size() < 5) {
+    return Status::DataLoss("paged r-tree: node record shorter than header");
+  }
+  Node node;
+  node.leaf = d[0] != 0;
+  const uint32_t count = ReadRaw<uint32_t>(d, 1);
+  if (d.size() != 5 + static_cast<size_t>(count) * kItemBytes) {
+    return Status::DataLoss("paged r-tree: node record length mismatch");
+  }
+  node.items.resize(count);
+  size_t off = 5;
+  for (uint32_t i = 0; i < count; ++i) {
+    node.items[i].ref = ReadRaw<int64_t>(d, off);
+    const double minx = ReadRaw<double>(d, off + 8);
+    const double miny = ReadRaw<double>(d, off + 16);
+    const double maxx = ReadRaw<double>(d, off + 24);
+    const double maxy = ReadRaw<double>(d, off + 32);
+    node.items[i].box = BoundingBox(Point2(minx, miny), Point2(maxx, maxy));
+    off += kItemBytes;
+  }
+  return node;
+}
+
+StatusOr<storage::RecordId> PagedRTree::StoreNode(storage::RecordId rec,
+                                                  const Node& node) {
+  std::string out;
+  out.reserve(5 + node.items.size() * kItemBytes);
+  out.push_back(node.leaf ? 1 : 0);
+  AppendRaw<uint32_t>(&out, static_cast<uint32_t>(node.items.size()));
+  for (const Node::Item& it : node.items) {
+    AppendRaw<int64_t>(&out, it.ref);
+    AppendRaw<double>(&out, it.box.min().x);
+    AppendRaw<double>(&out, it.box.min().y);
+    AppendRaw<double>(&out, it.box.max().x);
+    AppendRaw<double>(&out, it.box.max().y);
+  }
+  return store_->WriteRecord(rec, out);
+}
+
+Status PagedRTree::WriteHeader() {
+  std::string out;
+  out.reserve(kHeaderBytes);
+  out.append(kMagic, sizeof(kMagic));
+  AppendRaw<uint32_t>(&out, static_cast<uint32_t>(max_entries_));
+  AppendRaw<int64_t>(&out, root_);
+  AppendRaw<uint64_t>(&out, static_cast<uint64_t>(size_));
+  AppendRaw<uint32_t>(&out, static_cast<uint32_t>(height_));
+  StatusOr<storage::RecordId> id = store_->WriteRecord(kHeaderRecord, out);
+  if (!id.ok()) return id.status();
+  return Status::Ok();
+}
+
+void PagedRTree::SplitNode(Node* node, Node* sibling) const {
+  // Quadratic split (Guttman), the same distribution the in-memory
+  // RTree uses: seed with the pair wasting the most area, then assign
+  // each remaining item to the group whose MBR it enlarges least,
+  // forcing assignments once a group must take all the rest to reach
+  // the minimum fill.
+  sibling->leaf = node->leaf;
+  const int n = static_cast<int>(node->items.size());
+  auto item_box = [&](int i) -> const BoundingBox& {
+    return node->items[static_cast<size_t>(i)].box;
+  };
+
+  int seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dead = BoundingBox::Union(item_box(i), item_box(j)).Area() -
+                          item_box(i).Area() - item_box(j).Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<int> group(static_cast<size_t>(n), -1);
+  group[static_cast<size_t>(seed_a)] = 0;
+  group[static_cast<size_t>(seed_b)] = 1;
+  BoundingBox box_a = item_box(seed_a);
+  BoundingBox box_b = item_box(seed_b);
+  int count_a = 1, count_b = 1;
+  for (int assigned = 2; assigned < n; ++assigned) {
+    const int remaining = n - assigned;
+    int pick = -1;
+    int target;
+    if (count_a + remaining == min_entries_) {
+      target = 0;
+    } else if (count_b + remaining == min_entries_) {
+      target = 1;
+    } else {
+      double best_diff = -1.0;
+      double grow_a_pick = 0.0, grow_b_pick = 0.0;
+      for (int i = 0; i < n; ++i) {
+        if (group[static_cast<size_t>(i)] != -1) continue;
+        const double ga = Enlargement(box_a, item_box(i));
+        const double gb = Enlargement(box_b, item_box(i));
+        const double diff = std::abs(ga - gb);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          grow_a_pick = ga;
+          grow_b_pick = gb;
+        }
+      }
+      target = grow_a_pick < grow_b_pick
+                   ? 0
+                   : grow_a_pick > grow_b_pick
+                         ? 1
+                         : (box_a.Area() <= box_b.Area() ? 0 : 1);
+    }
+    if (pick == -1) {
+      for (int i = 0; i < n; ++i) {
+        if (group[static_cast<size_t>(i)] == -1) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    group[static_cast<size_t>(pick)] = target;
+    if (target == 0) {
+      box_a.ExtendBox(item_box(pick));
+      ++count_a;
+    } else {
+      box_b.ExtendBox(item_box(pick));
+      ++count_b;
+    }
+  }
+
+  std::vector<Node::Item> keep;
+  for (int i = 0; i < n; ++i) {
+    if (group[static_cast<size_t>(i)] == 0) {
+      keep.push_back(node->items[static_cast<size_t>(i)]);
+    } else {
+      sibling->items.push_back(node->items[static_cast<size_t>(i)]);
+    }
+  }
+  node->items = std::move(keep);
+}
+
+StatusOr<PagedRTree::InsertOutcome> PagedRTree::InsertRecursive(
+    storage::RecordId rec, EntryId id, const BoundingBox& box) {
+  StatusOr<Node> loaded = LoadNode(rec);
+  if (!loaded.ok()) return loaded.status();
+  Node node = std::move(loaded).value();
+
+  if (node.leaf) {
+    node.items.push_back({id, box});
+  } else {
+    // Choose the child needing least enlargement (area tiebreak) — the
+    // stored child boxes make this a single-node decision.
+    size_t best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.items.size(); ++i) {
+      const double grow = Enlargement(node.items[i].box, box);
+      const double area = node.items[i].box.Area();
+      if (grow < best_enlargement ||
+          (grow == best_enlargement && area < best_area)) {
+        best = i;
+        best_enlargement = grow;
+        best_area = area;
+      }
+    }
+    StatusOr<InsertOutcome> sub =
+        InsertRecursive(node.items[best].ref, id, box);
+    if (!sub.ok()) return sub.status();
+    node.items[best].box = sub.value().box;
+    if (sub.value().split) {
+      node.items.push_back({sub.value().sibling, sub.value().sibling_box});
+    }
+  }
+
+  InsertOutcome out;
+  if (static_cast<int>(node.items.size()) > max_entries_) {
+    Node sibling;
+    SplitNode(&node, &sibling);
+    StatusOr<storage::RecordId> sid = StoreNode(storage::kNewRecord, sibling);
+    if (!sid.ok()) return sid.status();
+    out.split = true;
+    out.sibling = sid.value();
+    out.sibling_box = sibling.Mbr();
+  }
+  StatusOr<storage::RecordId> nid = StoreNode(rec, node);
+  if (!nid.ok()) return nid.status();
+  out.box = node.Mbr();
+  return out;
+}
+
+Status PagedRTree::Insert(EntryId id, const BoundingBox& box) {
+  StatusOr<InsertOutcome> top = InsertRecursive(root_, id, box);
+  if (!top.ok()) return top.status();
+  if (top.value().split) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.items.push_back({root_, top.value().box});
+    new_root.items.push_back(
+        {top.value().sibling, top.value().sibling_box});
+    StatusOr<storage::RecordId> rid = StoreNode(storage::kNewRecord, new_root);
+    if (!rid.ok()) return rid.status();
+    root_ = rid.value();
+    ++height_;
+  }
+  ++size_;
+  return WriteHeader();
+}
+
+StatusOr<std::vector<PagedRTree::EntryId>> PagedRTree::QueryIntersects(
+    const BoundingBox& box) const {
+  std::vector<EntryId> out;
+  std::vector<storage::RecordId> stack = {root_};
+  while (!stack.empty()) {
+    const storage::RecordId rec = stack.back();
+    stack.pop_back();
+    StatusOr<Node> loaded = LoadNode(rec);
+    if (!loaded.ok()) return loaded.status();
+    const Node& node = loaded.value();
+    for (const Node::Item& it : node.items) {
+      if (!it.box.Intersects(box)) continue;
+      if (node.leaf) {
+        out.push_back(it.ref);
+      } else {
+        stack.push_back(it.ref);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+StatusOr<std::vector<PagedRTree::EntryId>> PagedRTree::QueryPoint(
+    const Point2& p) const {
+  return QueryIntersects(BoundingBox(p, p));
+}
+
+Status PagedRTree::CheckNode(storage::RecordId rec,
+                             const BoundingBox* parent_box, int depth,
+                             size_t* entries_seen) const {
+  StatusOr<Node> loaded = LoadNode(rec);
+  if (!loaded.ok()) return loaded.status();
+  const Node& node = loaded.value();
+  const BoundingBox mbr = node.Mbr();
+  if (parent_box != nullptr && !node.items.empty() &&
+      !parent_box->ContainsBox(mbr)) {
+    return Status::FailedPrecondition(
+        "paged r-tree: child MBR escapes the box stored in its parent");
+  }
+  if (parent_box != nullptr &&
+      static_cast<int>(node.items.size()) < min_entries_) {
+    return Status::FailedPrecondition("paged r-tree: node under min fill");
+  }
+  if (static_cast<int>(node.items.size()) > max_entries_) {
+    return Status::FailedPrecondition("paged r-tree: node over max fill");
+  }
+  if (node.leaf) {
+    if (depth != height_) {
+      return Status::FailedPrecondition(
+          "paged r-tree: leaf depth != stored height");
+    }
+    *entries_seen += node.items.size();
+    return Status::Ok();
+  }
+  if (node.items.empty()) {
+    return Status::FailedPrecondition(
+        "paged r-tree: internal node with no children");
+  }
+  for (const Node::Item& it : node.items) {
+    Status s = CheckNode(it.ref, &it.box, depth + 1, entries_seen);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status PagedRTree::CheckInvariants() const {
+  size_t entries_seen = 0;
+  Status s = CheckNode(root_, nullptr, 1, &entries_seen);
+  if (!s.ok()) return s;
+  if (entries_seen != size_) {
+    return Status::FailedPrecondition(
+        "paged r-tree: header size disagrees with leaf entry count");
+  }
+  return Status::Ok();
+}
+
+Status PagedRTree::Flush() { return store_->Flush(); }
+
+}  // namespace trajpattern

@@ -1,0 +1,112 @@
+#ifndef TRAJPATTERN_INDEX_PAGED_RTREE_H_
+#define TRAJPATTERN_INDEX_PAGED_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/bounding_box.h"
+#include "geometry/point.h"
+#include "storage/page_store.h"
+
+namespace trajpattern {
+
+/// R-tree (Guttman, quadratic split) whose nodes live in a
+/// `storage::PageStore` instead of the heap.
+///
+/// Same algorithm and entry semantics as the in-memory `RTree` — the two
+/// return identical query results for identical insert sequences — but
+/// every node is a store record, so the working set is bounded by the
+/// store's buffer pool, not by the index size.  Spatial-database engines
+/// keep their trees under exactly this kind of buffered page manager; the
+/// moving-object indexes the paper builds on ([7], [9], [11]) are
+/// disk-resident for the same reason.
+///
+/// Layout: record 0 is a fixed-size header (magic, fan-out, root record,
+/// size, height); every other record is one node.  An internal node's
+/// items carry the child's bounding box alongside its record id, so
+/// descent reads only the nodes actually on the path.  The header is
+/// rewritten after each insert, which makes a flushed store self
+/// describing: `Open` on it restores the tree exactly.
+///
+/// Deletion is not supported (the mining pipeline only ever builds
+/// indexes up); use the in-memory `RTree` when entries must be removed.
+///
+/// Not thread-safe, like the store underneath it.
+class PagedRTree {
+ public:
+  using EntryId = int64_t;
+
+  /// Opens the tree stored in `store`, or bootstraps an empty one if the
+  /// store has no records yet.  Bootstrapping must claim record 0 for the
+  /// header; a non-empty store without a valid header is rejected
+  /// (kFailedPrecondition / kDataLoss).  For an existing tree the stored
+  /// fan-out wins and `max_entries` is ignored.  `store` must outlive the
+  /// returned tree.
+  static StatusOr<std::unique_ptr<PagedRTree>> Open(storage::PageStore* store,
+                                                    int max_entries = 8);
+
+  PagedRTree(const PagedRTree&) = delete;
+  PagedRTree& operator=(const PagedRTree&) = delete;
+
+  /// Number of entries stored.
+  size_t size() const { return size_; }
+  /// Tree height (1 = a single leaf).
+  int height() const { return height_; }
+  /// Node fan-out M; the minimum fill m is M / 2.
+  int max_entries() const { return max_entries_; }
+
+  /// Inserts an entry; duplicate ids are allowed (multiset semantics).
+  /// An error leaves the tree unusable for further writes (the on-store
+  /// image may hold a partial path); reads of flushed state stay valid.
+  Status Insert(EntryId id, const BoundingBox& box);
+  /// Point-entry convenience.
+  Status Insert(EntryId id, const Point2& point) {
+    return Insert(id, BoundingBox(point, point));
+  }
+
+  /// Ids of all entries whose box intersects `box`, sorted.
+  StatusOr<std::vector<EntryId>> QueryIntersects(const BoundingBox& box) const;
+
+  /// Ids of all entries whose box contains `p`, sorted.
+  StatusOr<std::vector<EntryId>> QueryPoint(const Point2& p) const;
+
+  /// Validates the structural invariants (MBR containment, fill bounds,
+  /// uniform leaf depth, header consistency); used by the test suite.
+  Status CheckInvariants() const;
+
+  /// Flushes the underlying store; after OK the tree survives a crash.
+  Status Flush();
+
+ private:
+  struct Node;
+
+  PagedRTree(storage::PageStore* store, int max_entries);
+
+  StatusOr<Node> LoadNode(storage::RecordId rec) const;
+  /// Serializes `node` into `rec` (or a fresh record for kNewRecord);
+  /// returns the record id it landed in.
+  StatusOr<storage::RecordId> StoreNode(storage::RecordId rec,
+                                        const Node& node);
+  Status WriteHeader();
+
+  struct InsertOutcome;
+  StatusOr<InsertOutcome> InsertRecursive(storage::RecordId rec, EntryId id,
+                                          const BoundingBox& box);
+  /// Quadratic split of an overfull node; `sibling` receives group 1.
+  void SplitNode(Node* node, Node* sibling) const;
+  Status CheckNode(storage::RecordId rec, const BoundingBox* parent_box,
+                   int depth, size_t* entries_seen) const;
+
+  storage::PageStore* store_;
+  int max_entries_;
+  int min_entries_;
+  storage::RecordId root_ = storage::kNewRecord;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace trajpattern
+
+#endif  // TRAJPATTERN_INDEX_PAGED_RTREE_H_

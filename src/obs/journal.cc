@@ -296,4 +296,114 @@ std::string RunJournal::path() const {
   return path_;
 }
 
+namespace {
+
+/// Structural check that `line` is one complete JSON object: balanced
+/// braces/brackets outside strings, properly closed strings, no raw
+/// control characters, nothing after the closing brace.  This is what a
+/// replay needs to tell "complete event" from "chopped append" without
+/// a full JSON parser.
+bool IsCompleteJsonObjectLine(const std::string& line) {
+  if (line.empty() || line[0] != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool closed = false;  // the top-level object has ended
+  for (char c : line) {
+    if (closed) {
+      if (c == ' ' || c == '\t' || c == '\r') continue;
+      return false;  // trailing garbage after the object
+    }
+    if (in_string) {
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        if (depth == 0) {
+          if (c != '}') return false;
+          closed = true;
+        }
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) return false;
+    }
+  }
+  return closed;
+}
+
+}  // namespace
+
+Status ReplayJournalFile(const std::string& path, JournalReplay* out) {
+  *out = JournalReplay();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("journal file not found: " + path);
+  }
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::DataLoss("journal read failed: " + path);
+  }
+
+  // Split into lines, remembering whether each had its newline — a
+  // crash mid-append can chop the final line anywhere, including right
+  // before the '\n'.
+  std::vector<std::string> raw;
+  std::vector<char> terminated;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    const size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      raw.push_back(data.substr(pos));
+      terminated.push_back(0);
+      break;
+    }
+    raw.push_back(data.substr(pos, nl - pos));
+    terminated.push_back(1);
+    pos = nl + 1;
+  }
+
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const bool tail = i + 1 == raw.size();
+    if (IsCompleteJsonObjectLine(raw[i])) {
+      // A complete object missing only its newline is a crash between
+      // the line write and the terminator; the event itself survived.
+      out->lines.push_back(raw[i]);
+      continue;
+    }
+    if (tail && !terminated[i]) {
+      // Torn final append: expected crash evidence, skip and count.
+      ++out->torn_tail_lines;
+      continue;
+    }
+    if (tail && raw[i].empty()) {
+      // "...}\n\n": a stray blank tail is noise, not corruption.
+      ++out->torn_tail_lines;
+      continue;
+    }
+    return Status::DataLoss("journal line " + std::to_string(i + 1) +
+                            " is corrupt before the tail: " + path);
+  }
+  return Status::Ok();
+}
+
 }  // namespace trajpattern::obs

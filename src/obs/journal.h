@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/status.h"
 
 namespace trajpattern::obs {
 
@@ -91,6 +92,25 @@ struct RunSnapshot {
 /// Serializes one run-table entry as a JSON object (shared by the
 /// status server's `/runz` and the crash flight recorder).
 void AppendRunSnapshotJson(const RunSnapshot& s, std::string* out);
+
+/// Result of replaying a journal file from disk.
+struct JournalReplay {
+  /// The structurally valid JSONL event lines, in file order.
+  std::vector<std::string> lines;
+  /// Trailing lines dropped because a crash chopped the final append
+  /// (no terminating newline, or a structurally broken JSON object).
+  size_t torn_tail_lines = 0;
+};
+
+/// Reads a run-journal JSONL file back for replay.
+///
+/// The journal is appended with one fflush per event, so a crash can
+/// leave at most the final line torn (partially written).  A torn *tail*
+/// is therefore expected evidence, not corruption: it is skipped and
+/// counted in `torn_tail_lines`.  A broken line anywhere *before* the
+/// tail cannot come from a crashed append and is reported as kDataLoss.
+/// Missing file is kNotFound.
+Status ReplayJournalFile(const std::string& path, JournalReplay* out);
 
 /// Append-only JSONL event stream of mining-run lifecycles, with an
 /// in-memory tail ring (the crash flight recorder's event source) and a

@@ -15,6 +15,7 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/page_store.h"
 
 namespace trajpattern {
 namespace {
@@ -95,6 +96,11 @@ std::string StatusServer::RunzJson() {
   }
   out += "\n],\n\"shards\": ";
   AppendShardsJson(MetricsRegistry::Global().Snapshot(), &out);
+  // The storage registry is always on (it does not depend on
+  // TRAJPATTERN_OBS), so /runz shows buffer-pool behavior even in
+  // obs-off builds.
+  out += ",\n\"storage\": ";
+  storage::AppendStorageStatsJson(&out);
   out += ",\n\"journal_events\": " +
          std::to_string(RunJournal::Global().events_emitted());
   out += "\n}\n";
@@ -179,11 +185,15 @@ void StatusServer::Serve() {
       continue;
     }
     // Read the request head.  One recv is almost always the whole "GET
-    // /path HTTP/1.x" head; keep reading only until the blank line.
+    // /path HTTP/1.x" head; keep reading until the blank line that ends
+    // it ("\r\n\r\n", not the first "\r\n" — curl and browsers send
+    // several header lines, often across packets), capped at 16 KiB.
+    // EINTR is a retry, not a dropped connection.
     std::string req;
     char buf[2048];
-    while (req.find("\r\n") == std::string::npos && req.size() < 16384) {
+    while (req.find("\r\n\r\n") == std::string::npos && req.size() < 16384) {
       const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       req.append(buf, static_cast<size_t>(n));
     }
@@ -200,6 +210,7 @@ void StatusServer::Serve() {
     while (sent < resp.size()) {
       const ssize_t n =
           ::send(conn, resp.data() + sent, resp.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       sent += static_cast<size_t>(n);
     }

@@ -1,0 +1,46 @@
+#include "storage/column_codec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace trajpattern::storage {
+
+std::string EncodeColumn(const double* values, size_t n) {
+  std::string out;
+  out.reserve(n * 24);
+  char buf[64];
+  for (size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%a\n", values[i]);
+    out += buf;
+  }
+  return out;
+}
+
+Status DecodeColumn(const std::string& encoded, double* out, size_t n) {
+  const char* p = encoded.c_str();
+  for (size_t i = 0; i < n; ++i) {
+    if (*p == '\0') {
+      return Status::DataLoss("column truncated at value " +
+                              std::to_string(i));
+    }
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p || *end != '\n') {
+      return Status::DataLoss("malformed hexfloat at value " +
+                              std::to_string(i));
+    }
+    if (std::isnan(v)) {
+      return Status::DataLoss("NaN at value " + std::to_string(i));
+    }
+    out[i] = v;
+    p = end + 1;
+  }
+  if (*p != '\0') {
+    return Status::DataLoss("trailing bytes after " + std::to_string(n) +
+                            " values");
+  }
+  return Status::Ok();
+}
+
+}  // namespace trajpattern::storage

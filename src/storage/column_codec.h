@@ -1,0 +1,26 @@
+#ifndef TRAJPATTERN_STORAGE_COLUMN_CODEC_H_
+#define TRAJPATTERN_STORAGE_COLUMN_CODEC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace trajpattern::storage {
+
+/// Text encoding of one arena column (a log-prob slab of `n` doubles):
+/// one C99 hexfloat (`%a`) per line, the same encoding the checkpoint
+/// format uses.  Hexfloats round-trip IEEE doubles bit-exactly —
+/// including the -inf a log-prob floor produces — which is what lets a
+/// spilled column fault back in bit-identical to recomputing it.
+std::string EncodeColumn(const double* values, size_t n);
+
+/// Inverse of `EncodeColumn` into a caller-owned slab of exactly `n`
+/// doubles.  DataLoss on any malformed line, a NaN (no valid column
+/// contains one — the trust boundary mirrors the checkpoint loader), or
+/// a length mismatch; `out` may be partially written on error.
+Status DecodeColumn(const std::string& encoded, double* out, size_t n);
+
+}  // namespace trajpattern::storage
+
+#endif  // TRAJPATTERN_STORAGE_COLUMN_CODEC_H_

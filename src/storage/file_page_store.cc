@@ -1,0 +1,446 @@
+#include "storage/file_page_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace trajpattern::storage {
+namespace {
+
+/// Page header layout (see file_page_store.h): field byte offsets.
+constexpr size_t kChecksumOff = 0;
+constexpr size_t kRecordOff = 8;
+constexpr size_t kEpochOff = 16;
+constexpr size_t kSeqOff = 24;
+constexpr size_t kLenOff = 28;
+constexpr size_t kHeaderBytes = 32;
+
+/// Chain-slot sentinel: the chunk's page was never found (torn record).
+constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+
+/// High bit of the seq field marks the record's final chunk.  Without
+/// it a crash that loses only the tail pages of a chain would read back
+/// as a silently shorter record: the surviving prefix is contiguous,
+/// same-epoch, and checksums clean.  The flag turns that into DataLoss.
+constexpr uint32_t kLastChunk = 0x80000000u;
+
+uint64_t Fnv1a64(const char* p, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+T LoadAt(const std::string& page, size_t off) {
+  T v;
+  std::memcpy(&v, page.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void StoreAt(std::string* page, size_t off, T v) {
+  std::memcpy(page->data() + off, &v, sizeof(T));
+}
+
+/// Checksum over everything after the checksum field (payload padding is
+/// always zeroed by BuildPage, so the whole tail is deterministic).
+uint64_t PageChecksum(const std::string& page) {
+  return Fnv1a64(page.data() + kRecordOff, page.size() - kRecordOff);
+}
+
+bool AllZero(const std::string& page) {
+  for (char c : page) {
+    if (c != '\0') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FilePageStore::FilePageStore(const FilePageStoreOptions& options)
+    : options_(options) {}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) {
+    Flush();  // best effort; a failed write-back shows up on reopen
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+size_t FilePageStore::payload_capacity() const {
+  return options_.page_size - kHeaderBytes;
+}
+
+StatusOr<std::unique_ptr<FilePageStore>> FilePageStore::Open(
+    const FilePageStoreOptions& options) {
+  if (options.page_size < 2 * kHeaderBytes) {
+    return Status::InvalidArgument("page_size must be at least " +
+                                   std::to_string(2 * kHeaderBytes));
+  }
+  if (options.pool_pages == 0) {
+    return Status::InvalidArgument("pool_pages must be positive");
+  }
+  if (options.path.empty()) {
+    return Status::InvalidArgument("empty store path");
+  }
+  std::unique_ptr<FilePageStore> store(new FilePageStore(options));
+  std::FILE* f = std::fopen(options.path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(options.path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + options.path);
+  }
+  store->file_ = f;
+  const Status scan = store->ScanExisting();
+  if (!scan.ok()) return scan;
+  return store;
+}
+
+Status FilePageStore::ScanExisting() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::DataLoss("seek failed on " + options_.path);
+  }
+  const long size = std::ftell(file_);
+  if (size < 0) return Status::DataLoss("ftell failed on " + options_.path);
+  // A trailing partial page (crash mid-extension) is dropped: it was
+  // never a durable page.
+  num_pages_ = static_cast<size_t>(size) / options_.page_size;
+
+  // Per-record winner table: for each chunk slot, the page with the
+  // highest epoch claims it (a crashed overwrite leaves both the old and
+  // new chain on disk; epochs order them).
+  struct Slot {
+    uint64_t epoch = 0;
+    uint32_t page = kNoPage;
+  };
+  std::unordered_map<RecordId, std::vector<Slot>> chains;
+
+  std::string page(options_.page_size, '\0');
+  for (size_t p = 0; p < num_pages_; ++p) {
+    if (std::fseek(file_, static_cast<long>(p * options_.page_size),
+                   SEEK_SET) != 0 ||
+        std::fread(page.data(), 1, options_.page_size, file_) !=
+            options_.page_size) {
+      return Status::DataLoss("short read scanning " + options_.path);
+    }
+    ++stats_.page_reads;
+    TP_COUNTER_INC("storage.page_reads");
+    if (AllZero(page)) {
+      // A hole: the page was allocated past EOF but its contents were
+      // never written back.  Reclaim silently.
+      free_pages_.push_back(static_cast<uint32_t>(p));
+      continue;
+    }
+    if (LoadAt<uint64_t>(page, kChecksumOff) != PageChecksum(page)) {
+      // Torn or corrupted: quarantine as free; the owning record (if
+      // any) will read as DataLoss through its chain gap.
+      ++stats_.checksum_failures;
+      TP_COUNTER_INC("storage.checksum_failures");
+      free_pages_.push_back(static_cast<uint32_t>(p));
+      continue;
+    }
+    const RecordId record = LoadAt<int64_t>(page, kRecordOff);
+    const uint64_t epoch = LoadAt<uint64_t>(page, kEpochOff);
+    epoch_ = std::max(epoch_, epoch);
+    if (record < 0) {  // explicit free marker
+      free_pages_.push_back(static_cast<uint32_t>(p));
+      continue;
+    }
+    next_record_ = std::max(next_record_, record + 1);
+    const uint32_t seq = LoadAt<uint32_t>(page, kSeqOff) & ~kLastChunk;
+    auto& chain = chains[record];
+    if (chain.size() <= seq) chain.resize(seq + 1);
+    if (epoch > chain[seq].epoch) {
+      if (chain[seq].page != kNoPage) free_pages_.push_back(chain[seq].page);
+      chain[seq] = {epoch, static_cast<uint32_t>(p)};
+    } else {
+      free_pages_.push_back(static_cast<uint32_t>(p));
+    }
+  }
+  for (auto& [record, chain] : chains) {
+    std::vector<uint32_t>& pages = directory_[record];
+    pages.reserve(chain.size());
+    for (const Slot& s : chain) pages.push_back(s.page);
+  }
+  return Status::Ok();
+}
+
+void FilePageStore::BuildPage(Frame* frame, RecordId record, uint64_t epoch,
+                              uint32_t seq, const char* payload,
+                              size_t len) const {
+  frame->data.assign(options_.page_size, '\0');
+  StoreAt<int64_t>(&frame->data, kRecordOff, record);
+  StoreAt<uint64_t>(&frame->data, kEpochOff, epoch);
+  StoreAt<uint32_t>(&frame->data, kSeqOff, seq);
+  StoreAt<uint32_t>(&frame->data, kLenOff, static_cast<uint32_t>(len));
+  if (len > 0) std::memcpy(frame->data.data() + kHeaderBytes, payload, len);
+  StoreAt<uint64_t>(&frame->data, kChecksumOff, PageChecksum(frame->data));
+}
+
+Status FilePageStore::WritePhysical(const Frame& frame) {
+  if (std::fseek(file_,
+                 static_cast<long>(static_cast<size_t>(frame.page) *
+                                   options_.page_size),
+                 SEEK_SET) != 0 ||
+      std::fwrite(frame.data.data(), 1, options_.page_size, file_) !=
+          options_.page_size) {
+    return Status::DataLoss("page write failed on " + options_.path);
+  }
+  ++stats_.page_writes;
+  TP_COUNTER_INC("storage.page_writes");
+  return Status::Ok();
+}
+
+Status FilePageStore::MaybeEvict() {
+  if (frames_.size() < options_.pool_pages) return Status::Ok();
+  size_t victim = 0;
+  for (size_t i = 1; i < frames_.size(); ++i) {
+    if (frames_[i].lru < frames_[victim].lru) victim = i;
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    const Status s = WritePhysical(f);
+    if (!s.ok()) return s;
+  }
+  ++stats_.evictions;
+  TP_COUNTER_INC("storage.page_evictions");
+  page_frame_.erase(f.page);
+  if (victim != frames_.size() - 1) {
+    frames_[victim] = std::move(frames_.back());
+    page_frame_[frames_[victim].page] = victim;
+  }
+  frames_.pop_back();
+  return Status::Ok();
+}
+
+StatusOr<FilePageStore::Frame*> FilePageStore::FetchPage(uint32_t page) {
+  auto it = page_frame_.find(page);
+  if (it != page_frame_.end()) {
+    ++stats_.hits;
+    TP_COUNTER_INC("storage.page_hits");
+    Frame& f = frames_[it->second];
+    f.lru = ++lru_tick_;
+    return &f;
+  }
+  ++stats_.misses;
+  TP_COUNTER_INC("storage.page_misses");
+  const Status evict = MaybeEvict();
+  if (!evict.ok()) return evict;
+
+  Frame frame;
+  frame.page = page;
+  frame.data.assign(options_.page_size, '\0');
+  // Short reads past EOF leave the zero-fill in place: such a page is a
+  // hole and fails the checksum below, exactly like a torn write.
+  if (std::fseek(file_,
+                 static_cast<long>(static_cast<size_t>(page) *
+                                   options_.page_size),
+                 SEEK_SET) == 0) {
+    (void)!std::fread(frame.data.data(), 1, options_.page_size, file_);
+  }
+  ++stats_.page_reads;
+  TP_COUNTER_INC("storage.page_reads");
+  if (LoadAt<uint64_t>(frame.data, kChecksumOff) != PageChecksum(frame.data)) {
+    ++stats_.checksum_failures;
+    TP_COUNTER_INC("storage.checksum_failures");
+    return Status::DataLoss("torn page " + std::to_string(page) + " in " +
+                            options_.path);
+  }
+  frame.lru = ++lru_tick_;
+  frames_.push_back(std::move(frame));
+  page_frame_[page] = frames_.size() - 1;
+  return &frames_.back();
+}
+
+StatusOr<FilePageStore::Frame*> FilePageStore::FrameForWrite(uint32_t page) {
+  auto it = page_frame_.find(page);
+  if (it != page_frame_.end()) {
+    ++stats_.hits;
+    TP_COUNTER_INC("storage.page_hits");
+    Frame& f = frames_[it->second];
+    f.lru = ++lru_tick_;
+    return &f;
+  }
+  // Counts as a pool miss (the frame was not resident) but needs no
+  // physical read: the caller overwrites the whole page.
+  ++stats_.misses;
+  TP_COUNTER_INC("storage.page_misses");
+  const Status evict = MaybeEvict();
+  if (!evict.ok()) return evict;
+  Frame frame;
+  frame.page = page;
+  frame.lru = ++lru_tick_;
+  frames_.push_back(std::move(frame));
+  page_frame_[page] = frames_.size() - 1;
+  return &frames_.back();
+}
+
+uint32_t FilePageStore::AllocPage() {
+  if (!free_pages_.empty()) {
+    const uint32_t p = free_pages_.back();
+    free_pages_.pop_back();
+    return p;
+  }
+  return static_cast<uint32_t>(num_pages_++);
+}
+
+Status FilePageStore::FreePage(uint32_t page) {
+  if (page == kNoPage) return Status::Ok();
+  StatusOr<Frame*> frame = FrameForWrite(page);
+  if (!frame.ok()) return frame.status();
+  BuildPage(frame.value(), /*record=*/-1, epoch_, /*seq=*/0, nullptr, 0);
+  frame.value()->dirty = true;
+  free_pages_.push_back(page);
+  return Status::Ok();
+}
+
+StatusOr<std::string> FilePageStore::ReadRecord(RecordId id) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("store is closed");
+  }
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("no record " + std::to_string(id));
+  }
+  std::string out;
+  uint64_t chain_epoch = 0;
+  for (size_t seq = 0; seq < it->second.size(); ++seq) {
+    const uint32_t page = it->second[seq];
+    if (page == kNoPage) {
+      return Status::DataLoss("record " + std::to_string(id) +
+                              " chunk " + std::to_string(seq) +
+                              " lost (torn page)");
+    }
+    StatusOr<Frame*> frame = FetchPage(page);
+    if (!frame.ok()) return frame.status();
+    const std::string& data = frame.value()->data;
+    const RecordId rec = LoadAt<int64_t>(data, kRecordOff);
+    const uint32_t raw_seq = LoadAt<uint32_t>(data, kSeqOff);
+    const uint32_t got_seq = raw_seq & ~kLastChunk;
+    const uint64_t epoch = LoadAt<uint64_t>(data, kEpochOff);
+    if (rec != id || got_seq != static_cast<uint32_t>(seq)) {
+      return Status::DataLoss("record " + std::to_string(id) +
+                              " chain points at a foreign page");
+    }
+    // The last-chunk flag must sit on exactly the final page: a chain
+    // whose tail pages were lost scans as a shorter-but-clean chain,
+    // and only this check stops it from reading back truncated.
+    if (((raw_seq & kLastChunk) != 0) != (seq + 1 == it->second.size())) {
+      return Status::DataLoss("record " + std::to_string(id) +
+                              " chain is truncated (tail chunk missing)");
+    }
+    if (seq == 0) {
+      chain_epoch = epoch;
+    } else if (epoch != chain_epoch) {
+      // A crashed overwrite interleaved two versions; neither is whole.
+      return Status::DataLoss("record " + std::to_string(id) +
+                              " has a mixed-epoch chain");
+    }
+    const uint32_t len = LoadAt<uint32_t>(data, kLenOff);
+    if (len > payload_capacity()) {
+      return Status::DataLoss("record " + std::to_string(id) +
+                              " chunk length out of range");
+    }
+    out.append(data.data() + kHeaderBytes, len);
+  }
+  return out;
+}
+
+StatusOr<RecordId> FilePageStore::WriteRecord(RecordId id,
+                                              const std::string& data) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("store is closed");
+  }
+  if (id == kNewRecord) {
+    id = next_record_++;
+  } else if (id < 0) {
+    return Status::InvalidArgument("negative record id");
+  } else {
+    next_record_ = std::max(next_record_, id + 1);
+  }
+  const size_t cap = payload_capacity();
+  const size_t chunks = data.empty() ? 1 : (data.size() + cap - 1) / cap;
+  const uint64_t epoch = ++epoch_;
+
+  std::vector<uint32_t> old_chain;
+  auto prev = directory_.find(id);
+  if (prev != directory_.end()) old_chain = prev->second;
+
+  std::vector<uint32_t> chain;
+  chain.reserve(chunks);
+  for (size_t i = 0; i < chunks; ++i) {
+    const uint32_t page = AllocPage();
+    StatusOr<Frame*> frame = FrameForWrite(page);
+    if (!frame.ok()) return frame.status();
+    const size_t off = i * cap;
+    const size_t len = data.empty() ? 0 : std::min(cap, data.size() - off);
+    const uint32_t seq =
+        static_cast<uint32_t>(i) | (i + 1 == chunks ? kLastChunk : 0u);
+    BuildPage(frame.value(), id, epoch, seq, data.data() + off, len);
+    frame.value()->dirty = true;
+    chain.push_back(page);
+  }
+  directory_[id] = std::move(chain);
+  for (uint32_t page : old_chain) {
+    const Status s = FreePage(page);
+    if (!s.ok()) return s;
+  }
+  return id;
+}
+
+Status FilePageStore::EraseRecord(RecordId id) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("store is closed");
+  }
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Status::NotFound("no record " + std::to_string(id));
+  }
+  const std::vector<uint32_t> chain = std::move(it->second);
+  directory_.erase(it);
+  for (uint32_t page : chain) {
+    const Status s = FreePage(page);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status FilePageStore::Flush() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("store is closed");
+  }
+  // Deterministic write-back order (ascending page) so flush I/O is a
+  // pure function of the dirty set, not of pool insertion history.
+  std::vector<size_t> dirty;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].dirty) dirty.push_back(i);
+  }
+  std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
+    return frames_[a].page < frames_[b].page;
+  });
+  for (size_t i : dirty) {
+    const Status s = WritePhysical(frames_[i]);
+    if (!s.ok()) return s;
+    frames_[i].dirty = false;
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::DataLoss("flush failed on " + options_.path);
+  }
+  return Status::Ok();
+}
+
+void FilePageStore::AbandonForTest() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // dirty frames are deliberately NOT written back
+    file_ = nullptr;
+  }
+  frames_.clear();
+  page_frame_.clear();
+}
+
+}  // namespace trajpattern::storage

@@ -1,0 +1,132 @@
+#ifndef TRAJPATTERN_STORAGE_FILE_PAGE_STORE_H_
+#define TRAJPATTERN_STORAGE_FILE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page_store.h"
+
+namespace trajpattern::storage {
+
+struct FilePageStoreOptions {
+  std::string path;
+  /// Physical page size in bytes (header + payload).  Must exceed the
+  /// 32-byte page header.
+  size_t page_size = 4096;
+  /// Buffer-pool capacity in pages; at most this many pages are resident
+  /// in RAM, everything else lives in the file.
+  size_t pool_pages = 64;
+};
+
+/// File-backed `PageStore`: one file of fixed-size pages behind an
+/// explicit LRU buffer pool.
+///
+/// Page layout (all little-endian, host order — the file is a cache
+/// spill target, not a portable interchange format):
+///
+///   u64 checksum     FNV-1a 64 over bytes [8, page_size)
+///   i64 record_id    owning record; -1 == free page
+///   u64 epoch        allocation stamp; resolves chains after a crash
+///   u32 seq          chunk index within the record; the high bit marks
+///                    the final chunk (so a chain missing its tail
+///                    reads as DataLoss, never silently shorter)
+///   u32 payload_len  payload bytes used
+///   ...payload, zero-padded to page_size
+///
+/// A record spans ceil(len / (page_size - 32)) pages.  There is no
+/// separate directory file: `Open` rebuilds the record directory by
+/// scanning page headers, so a crash can never leave the directory and
+/// the data disagreeing.  Pages whose checksum does not verify (torn
+/// writes, bit rot) are quarantined as free and the affected record
+/// reads return DataLoss — never silently wrong bytes.  All-zero pages
+/// are holes (allocated past EOF, never written back) and are reclaimed
+/// silently.
+///
+/// Durability contract: after `Flush` returns OK, every record written
+/// so far survives a process kill.  Un-flushed writes may be lost or
+/// torn; torn records read as DataLoss after reopen.  Overwriting an
+/// existing record is not atomic across a crash (the new chain wins by
+/// epoch; if it is incomplete the record is DataLoss) — the engine's
+/// column spill path is write-once and never hits this.
+class FilePageStore final : public PageStore {
+ public:
+  ~FilePageStore() override;
+
+  /// Opens (or creates) the store.  An existing file is scanned to
+  /// rebuild the directory; InvalidArgument for unusable options.
+  static StatusOr<std::unique_ptr<FilePageStore>> Open(
+      const FilePageStoreOptions& options);
+
+  StatusOr<std::string> ReadRecord(RecordId id) override;
+  StatusOr<RecordId> WriteRecord(RecordId id, const std::string& data) override;
+  Status EraseRecord(RecordId id) override;
+  Status Flush() override;
+  std::string name() const override { return "file:" + options_.path; }
+
+  /// Test hook simulating a kill: closes the file WITHOUT writing back
+  /// dirty pool pages.  Every later operation fails FailedPrecondition;
+  /// reopen the path to see what a crash would have left.
+  void AbandonForTest();
+
+  size_t num_records() const { return directory_.size(); }
+  size_t num_pages() const { return num_pages_; }
+  size_t pool_resident_pages() const { return frames_.size(); }
+  size_t payload_capacity() const;
+
+ private:
+  /// One buffer-pool slot: a fully materialized physical page.
+  struct Frame {
+    uint32_t page = 0;
+    std::string data;
+    bool dirty = false;
+    uint64_t lru = 0;
+  };
+
+  explicit FilePageStore(const FilePageStoreOptions& options);
+
+  /// Rebuilds the directory from page headers (see class comment).
+  Status ScanExisting();
+
+  /// The pool frame for `page`, faulting it in from the file on a miss
+  /// (LRU eviction with dirty write-back when the pool is full).
+  /// `verify` checks the checksum on fault-in — readers verify, whole-
+  /// page writers skip the read entirely via `FrameForWrite`.
+  StatusOr<Frame*> FetchPage(uint32_t page);
+  /// A (possibly fresh) frame for `page` with no physical read: the
+  /// caller overwrites the whole page.
+  StatusOr<Frame*> FrameForWrite(uint32_t page);
+  /// Evicts the least-recently-used frame if the pool is at capacity.
+  Status MaybeEvict();
+  Status WritePhysical(const Frame& frame);
+
+  /// Fills `frame->data` with a checksummed page image.
+  void BuildPage(Frame* frame, RecordId record, uint64_t epoch, uint32_t seq,
+                 const char* payload, size_t len) const;
+
+  /// Allocates a physical page (free list first, then file growth).
+  uint32_t AllocPage();
+  /// Marks `page` free on disk (through the pool) and recycles it.
+  Status FreePage(uint32_t page);
+
+  FilePageStoreOptions options_;
+  std::FILE* file_ = nullptr;
+
+  /// record -> ordered page chain.
+  std::unordered_map<RecordId, std::vector<uint32_t>> directory_;
+  std::vector<uint32_t> free_pages_;
+  size_t num_pages_ = 0;
+  RecordId next_record_ = 0;
+  uint64_t epoch_ = 0;
+
+  std::vector<Frame> frames_;
+  std::unordered_map<uint32_t, size_t> page_frame_;
+  uint64_t lru_tick_ = 0;
+};
+
+}  // namespace trajpattern::storage
+
+#endif  // TRAJPATTERN_STORAGE_FILE_PAGE_STORE_H_

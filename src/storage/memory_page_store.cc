@@ -1,0 +1,41 @@
+#include "storage/memory_page_store.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace trajpattern::storage {
+
+StatusOr<std::string> MemoryPageStore::ReadRecord(RecordId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("no record " + std::to_string(id));
+  }
+  ++stats_.hits;
+  TP_COUNTER_INC("storage.page_hits");
+  return it->second;
+}
+
+StatusOr<RecordId> MemoryPageStore::WriteRecord(RecordId id,
+                                                const std::string& data) {
+  if (id == kNewRecord) {
+    id = next_id_++;
+  } else if (id < 0) {
+    return Status::InvalidArgument("negative record id");
+  } else if (id >= next_id_) {
+    next_id_ = id + 1;
+  }
+  records_[id] = data;
+  ++stats_.page_writes;
+  TP_COUNTER_INC("storage.page_writes");
+  return id;
+}
+
+Status MemoryPageStore::EraseRecord(RecordId id) {
+  if (records_.erase(id) == 0) {
+    return Status::NotFound("no record " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+}  // namespace trajpattern::storage

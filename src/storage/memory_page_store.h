@@ -1,0 +1,34 @@
+#ifndef TRAJPATTERN_STORAGE_MEMORY_PAGE_STORE_H_
+#define TRAJPATTERN_STORAGE_MEMORY_PAGE_STORE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "storage/page_store.h"
+
+namespace trajpattern::storage {
+
+/// RAM-backed `PageStore`: a record map with the same contract as the
+/// file backend minus durability.  Every read counts as a pool hit (the
+/// whole store *is* the pool), so callers exercising accounting logic
+/// can run against it without touching the filesystem.
+class MemoryPageStore final : public PageStore {
+ public:
+  MemoryPageStore() = default;
+
+  StatusOr<std::string> ReadRecord(RecordId id) override;
+  StatusOr<RecordId> WriteRecord(RecordId id, const std::string& data) override;
+  Status EraseRecord(RecordId id) override;
+  Status Flush() override { return Status::Ok(); }
+  std::string name() const override { return "memory"; }
+
+  size_t num_records() const { return records_.size(); }
+
+ private:
+  std::unordered_map<RecordId, std::string> records_;
+  RecordId next_id_ = 0;
+};
+
+}  // namespace trajpattern::storage
+
+#endif  // TRAJPATTERN_STORAGE_MEMORY_PAGE_STORE_H_

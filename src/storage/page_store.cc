@@ -1,0 +1,71 @@
+#include "storage/page_store.h"
+
+#include <mutex>
+#include <vector>
+
+namespace trajpattern::storage {
+namespace {
+
+/// Process-wide store registry: live stores plus the folded-in stats of
+/// destroyed ones.  Leaked (never destroyed) like the other process-wide
+/// singletons so static-destruction order can never race a late reader.
+struct StoreRegistry {
+  std::mutex mu;
+  std::vector<const PageStore*> live;
+  StorageStats retired;
+};
+
+StoreRegistry& Registry() {
+  static StoreRegistry* const registry = new StoreRegistry();
+  return *registry;
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+PageStore::PageStore() {
+  StoreRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.live.push_back(this);
+}
+
+PageStore::~PageStore() {
+  StoreRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto it = r.live.begin(); it != r.live.end(); ++it) {
+    if (*it == this) {
+      r.live.erase(it);
+      break;
+    }
+  }
+  r.retired += stats();
+}
+
+StorageStats AggregateStorageStats() {
+  StoreRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  StorageStats total = r.retired;
+  for (const PageStore* s : r.live) total += s->stats();
+  return total;
+}
+
+size_t NumRegisteredStores() {
+  StoreRegistry& r = Registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.live.size();
+}
+
+void AppendStorageStatsJson(std::string* out) {
+  const StorageStats s = AggregateStorageStats();
+  *out += "{\"stores\": " + U64(NumRegisteredStores());
+  *out += ", \"page_reads\": " + U64(s.page_reads);
+  *out += ", \"page_writes\": " + U64(s.page_writes);
+  *out += ", \"hits\": " + U64(s.hits);
+  *out += ", \"misses\": " + U64(s.misses);
+  *out += ", \"evictions\": " + U64(s.evictions);
+  *out += ", \"checksum_failures\": " + U64(s.checksum_failures);
+  *out += "}";
+}
+
+}  // namespace trajpattern::storage

@@ -1,0 +1,112 @@
+#ifndef TRAJPATTERN_STORAGE_PAGE_STORE_H_
+#define TRAJPATTERN_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace trajpattern::storage {
+
+/// Logical record handle.  Records are variable-length byte strings; the
+/// file backend maps each one onto a chain of fixed-size physical pages.
+using RecordId = int64_t;
+
+/// Pass to `WriteRecord` to allocate a fresh record id.
+constexpr RecordId kNewRecord = -1;
+
+/// Cumulative I/O and buffer-pool accounting of one store (or, via
+/// `AggregateStorageStats`, of every store the process ever opened).
+/// "Pages" are physical: the memory backend has no pages and counts one
+/// hit per record read instead.
+struct StorageStats {
+  /// Physical page reads that went to the backing file.
+  uint64_t page_reads = 0;
+  /// Physical page writes (write-back on eviction or flush).
+  uint64_t page_writes = 0;
+  /// Page requests satisfied by the buffer pool.
+  uint64_t hits = 0;
+  /// Page requests that had to fault the page in from the file.
+  uint64_t misses = 0;
+  /// Pool frames evicted to make room (dirty frames write back first).
+  uint64_t evictions = 0;
+  /// Pages rejected because their checksum did not match (torn or
+  /// corrupted); the affected record reads fail typed, never silently.
+  uint64_t checksum_failures = 0;
+
+  StorageStats& operator+=(const StorageStats& o) {
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    checksum_failures += o.checksum_failures;
+    return *this;
+  }
+};
+
+/// IStorageManager-style logical record store (after xzrunner/brepdb):
+/// the substrate the out-of-core column arena and the paged R-tree sit
+/// on.  Implementations: `MemoryPageStore` (RAM map, for tests and as
+/// the no-spill fast path) and `FilePageStore` (fixed-size pages in one
+/// file behind an explicit LRU buffer pool with dirty-page write-back
+/// and per-page checksums).
+///
+/// Construction registers the store in a process-wide registry so the
+/// status server's `/runz` can report storage traffic even with
+/// TRAJPATTERN_OBS=OFF; destruction folds its final stats into the
+/// registry's retired total.
+///
+/// Thread-safety: none.  Callers serialize access the same way they
+/// serialize `NmEngine` warm-up (the batch APIs already do).
+class PageStore {
+ public:
+  PageStore();
+  virtual ~PageStore();
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// The record's bytes, exactly as last written.  NotFound for an id
+  /// never written (or erased); DataLoss when a backing page is torn.
+  virtual StatusOr<std::string> ReadRecord(RecordId id) = 0;
+
+  /// Stores `data` under `id`, overwriting any previous contents;
+  /// `kNewRecord` allocates and returns a fresh id.
+  virtual StatusOr<RecordId> WriteRecord(RecordId id,
+                                         const std::string& data) = 0;
+
+  /// Frees the record and its pages.  NotFound if it does not exist.
+  virtual Status EraseRecord(RecordId id) = 0;
+
+  /// Forces every dirty page down to the backing file (no-op for the
+  /// memory backend).  After an OK flush, everything written so far
+  /// survives a process kill.
+  virtual Status Flush() = 0;
+
+  /// Non-virtual on purpose: the base destructor folds these into the
+  /// registry's retired total after the derived class is already gone.
+  StorageStats stats() const { return stats_; }
+
+  /// Human-readable backend tag ("memory", "file:<path>").
+  virtual std::string name() const = 0;
+
+ protected:
+  StorageStats stats_;
+};
+
+/// Sum of every live store's stats plus the retired total of every
+/// destroyed one — the process-lifetime storage traffic `/runz` reports.
+/// Always on, independent of TRAJPATTERN_OBS.
+StorageStats AggregateStorageStats();
+
+/// Live (currently open) stores.
+size_t NumRegisteredStores();
+
+/// Serializes `AggregateStorageStats()` as a JSON object (the `/runz`
+/// "storage" section and the flight recorder share this).
+void AppendStorageStatsJson(std::string* out);
+
+}  // namespace trajpattern::storage
+
+#endif  // TRAJPATTERN_STORAGE_PAGE_STORE_H_

@@ -295,6 +295,96 @@ TEST(RunJournalTest, ShardedRunJournalsPerShardTightenings) {
   std::remove(path.c_str());
 }
 
+// --------------------------------------------------------- journal replay
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(JournalReplayTest, ReplaysACleanJournalInFull) {
+  const std::string path = TempPath("tp_replay_clean.jsonl");
+  RunJournal& j = RunJournal::Global();
+  ASSERT_TRUE(j.Open(path));
+  const TrajectoryDataset data = MakeDeepMiningData();
+  NmEngine engine(data, MakeSpace());
+  const MiningResult result = MineTrajPatterns(engine, MakeDeepOptions());
+  ASSERT_FALSE(result.stats.aborted);
+  j.Close();
+
+  std::string text;
+  ASSERT_TRUE(test::ReadFileToString(path, &text));
+  const std::vector<std::string> expect = SplitLines(text);
+
+  obs::JournalReplay replay;
+  const Status s = obs::ReplayJournalFile(path, &replay);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(replay.torn_tail_lines, 0u);
+  ASSERT_EQ(replay.lines.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(replay.lines[i], expect[i]);
+    EXPECT_TRUE(test::IsValidJson(replay.lines[i])) << replay.lines[i];
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalReplayTest, ChoppedTrailingAppendIsSkippedNotFatal) {
+  // A kill mid-append leaves the final line truncated at an arbitrary
+  // byte.  Replay must survive every chop point: the complete prefix
+  // comes back, the torn tail is counted, and nothing is misparsed.
+  const std::string l1 =
+      "{\"seq\": 1, \"event\": \"run_started\", \"run_id\": 1}";
+  const std::string l2 =
+      "{\"seq\": 2, \"event\": \"round_committed\", \"omega\": -12.5}";
+  const std::string l3 =
+      "{\"seq\": 3, \"event\": \"run_stopped\", \"stop_reason\": \"none\"}";
+  const std::string path = TempPath("tp_replay_chopped.jsonl");
+  const std::string intact = l1 + "\n" + l2 + "\n";
+
+  for (size_t cut = 1; cut <= l3.size(); ++cut) {
+    WriteFileBytes(path, intact + l3.substr(0, cut));
+    obs::JournalReplay replay;
+    const Status s = obs::ReplayJournalFile(path, &replay);
+    ASSERT_TRUE(s.ok()) << "cut=" << cut << ": " << s.ToString();
+    ASSERT_GE(replay.lines.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(replay.lines[0], l1);
+    EXPECT_EQ(replay.lines[1], l2);
+    if (cut == l3.size()) {
+      // The whole object made it out; only the '\n' was lost.
+      EXPECT_EQ(replay.lines.size(), 3u);
+      EXPECT_EQ(replay.lines[2], l3);
+      EXPECT_EQ(replay.torn_tail_lines, 0u);
+    } else {
+      EXPECT_EQ(replay.lines.size(), 2u) << "cut=" << cut;
+      EXPECT_EQ(replay.torn_tail_lines, 1u) << "cut=" << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalReplayTest, MidFileCorruptionIsDataLossNotSilence) {
+  // Only the *tail* can be torn by a crashed append; a broken line with
+  // valid lines after it means real corruption and must fail typed.
+  const std::string path = TempPath("tp_replay_corrupt.jsonl");
+  WriteFileBytes(path,
+                 "{\"seq\": 1, \"event\": \"run_started\"}\n"
+                 "{\"seq\": 2, \"event\": \"round_com\n"
+                 "{\"seq\": 3, \"event\": \"run_stopped\"}\n");
+  obs::JournalReplay replay;
+  const Status s = obs::ReplayJournalFile(path, &replay);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(JournalReplayTest, MissingFileIsNotFound) {
+  obs::JournalReplay replay;
+  const Status s =
+      obs::ReplayJournalFile(TempPath("tp_replay_nope.jsonl"), &replay);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
 // ------------------------------------------- introspection changes nothing
 
 TEST(IntrospectionIdentityTest, JournalAndServerNeverChangeAnswers) {

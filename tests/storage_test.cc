@@ -1,0 +1,655 @@
+// The out-of-core storage layer end to end: page-store record
+// semantics, the file backend's LRU buffer pool (hit/miss/eviction
+// accounting, cache-smaller-than-working-set correctness), its
+// crash-consistency story (kill-at-boundary resume with dirty pages,
+// torn/corrupted page rejection corpus), the hexfloat column codec, the
+// engine's spill/fault-in path (bit-identity against the RAM-resident
+// run), and the paged R-tree against the in-memory oracle.  Also the
+// bench JsonWriter's control-character escaping regression.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/miner.h"
+#include "core/nm_engine.h"
+#include "datagen/planted_generator.h"
+#include "geometry/grid.h"
+#include "index/paged_rtree.h"
+#include "index/rtree.h"
+#include "json_check.h"
+#include "storage/column_codec.h"
+#include "storage/file_page_store.h"
+#include "storage/memory_page_store.h"
+#include "storage/page_store.h"
+
+namespace trajpattern {
+namespace {
+
+using storage::FilePageStore;
+using storage::FilePageStoreOptions;
+using storage::MemoryPageStore;
+using storage::RecordId;
+using storage::StorageStats;
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Deterministic pseudo-random payload of `n` bytes (any byte value,
+/// including NUL and control characters — records are raw bytes).
+std::string Payload(size_t n, uint32_t seed) {
+  std::string out(n, '\0');
+  uint32_t x = seed * 2654435761u + 1u;
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    out[i] = static_cast<char>(x & 0xFF);
+  }
+  return out;
+}
+
+FilePageStoreOptions SmallStore(const std::string& path, size_t pool_pages) {
+  FilePageStoreOptions opt;
+  opt.path = path;
+  opt.page_size = 128;  // 96 payload bytes per page: chains form fast
+  opt.pool_pages = pool_pages;
+  return opt;
+}
+
+// ------------------------------------------------------ memory backend
+
+TEST(MemoryPageStoreTest, RoundTripAllocateOverwriteErase) {
+  MemoryPageStore store;
+  auto id = store.WriteRecord(storage::kNewRecord, "hello");
+  ASSERT_TRUE(id.ok());
+  auto read = store.ReadRecord(id.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello");
+
+  ASSERT_TRUE(store.WriteRecord(id.value(), "rewritten").ok());
+  EXPECT_EQ(store.ReadRecord(id.value()).value(), "rewritten");
+
+  ASSERT_TRUE(store.EraseRecord(id.value()).ok());
+  EXPECT_EQ(store.ReadRecord(id.value()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.EraseRecord(id.value()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.ReadRecord(12345).status().code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------------- file backend
+
+TEST(FilePageStoreTest, RoundTripsRecordsAcrossPageChains) {
+  const std::string path = TempPath("tp_store_roundtrip.pages");
+  auto store = FilePageStore::Open(SmallStore(path, 8));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  // Empty, sub-page, exactly-one-page, and multi-page records.
+  const size_t cap = store.value()->payload_capacity();
+  const std::vector<std::string> payloads = {
+      "", Payload(7, 1), Payload(cap, 2), Payload(3 * cap + 11, 3)};
+  std::vector<RecordId> ids;
+  for (const std::string& p : payloads) {
+    auto id = store.value()->WriteRecord(storage::kNewRecord, p);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto read = store.value()->ReadRecord(ids[i]);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read.value(), payloads[i]) << "record " << i;
+  }
+  // Overwrite with a longer payload, then erase.
+  const std::string longer = Payload(5 * cap, 4);
+  ASSERT_TRUE(store.value()->WriteRecord(ids[1], longer).ok());
+  EXPECT_EQ(store.value()->ReadRecord(ids[1]).value(), longer);
+  ASSERT_TRUE(store.value()->EraseRecord(ids[1]).ok());
+  EXPECT_EQ(store.value()->ReadRecord(ids[1]).status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, FlushedRecordsSurviveReopenBitExactly) {
+  const std::string path = TempPath("tp_store_reopen.pages");
+  std::vector<RecordId> ids;
+  std::vector<std::string> payloads;
+  {
+    auto store = FilePageStore::Open(SmallStore(path, 4));
+    ASSERT_TRUE(store.ok());
+    for (uint32_t i = 0; i < 16; ++i) {
+      payloads.push_back(Payload(20 + 37 * i, i));
+      auto id =
+          store.value()->WriteRecord(storage::kNewRecord, payloads.back());
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(store.value()->Flush().ok());
+  }  // destructor closes
+  auto reopened = FilePageStore::Open(SmallStore(path, 4));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->num_records(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto read = reopened.value()->ReadRecord(ids[i]);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read.value(), payloads[i]) << "record " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, CacheSmallerThanWorkingSetStaysBitExact) {
+  // The tentpole contract in miniature: a 2-frame pool over a working
+  // set dozens of pages deep must return exactly the written bytes, with
+  // real evictions and write-backs happening underneath.
+  const std::string path = TempPath("tp_store_thrash.pages");
+  auto store = FilePageStore::Open(SmallStore(path, 2));
+  ASSERT_TRUE(store.ok());
+  const size_t cap = store.value()->payload_capacity();
+
+  std::vector<RecordId> ids;
+  std::vector<std::string> payloads;
+  for (uint32_t i = 0; i < 32; ++i) {
+    payloads.push_back(Payload(cap + 13 * i, 100 + i));
+    auto id = store.value()->WriteRecord(storage::kNewRecord, payloads.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_LE(store.value()->pool_resident_pages(), 2u);
+  // Interleaved re-reads so the pool thrashes rather than streams.
+  for (size_t round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const size_t j = (i * 17 + round) % ids.size();
+      auto read = store.value()->ReadRecord(ids[j]);
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      EXPECT_EQ(read.value(), payloads[j]) << "record " << j;
+    }
+  }
+  const StorageStats stats = store.value()->stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.page_reads, 0u);
+  EXPECT_GT(stats.page_writes, 0u);
+  EXPECT_EQ(stats.checksum_failures, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, PoolAccountingIsExactOnADeterministicTrace) {
+  const std::string path = TempPath("tp_store_accounting.pages");
+  auto store = FilePageStore::Open(SmallStore(path, 2));
+  ASSERT_TRUE(store.ok());
+  const size_t cap = store.value()->payload_capacity();
+
+  // Three one-page records: writes populate the pool (3 frame fills, 1
+  // eviction once the third record exceeds the 2-frame pool).
+  RecordId a = store.value()->WriteRecord(storage::kNewRecord,
+                                          Payload(cap, 1)).value();
+  RecordId b = store.value()->WriteRecord(storage::kNewRecord,
+                                          Payload(cap, 2)).value();
+  RecordId c = store.value()->WriteRecord(storage::kNewRecord,
+                                          Payload(cap, 3)).value();
+  StorageStats s = store.value()->stats();
+  EXPECT_EQ(s.misses, 3u);  // each write faulted a fresh frame
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.evictions, 1u);        // page A shed for page C
+  EXPECT_EQ(s.page_writes, 1u);      // A was dirty: one write-back
+  EXPECT_EQ(s.page_reads, 0u);       // whole-page writes never read
+
+  // C is resident: hit.  A was evicted: miss + physical read, evicting
+  // B (dirty, so another write-back).
+  ASSERT_TRUE(store.value()->ReadRecord(c).ok());
+  ASSERT_TRUE(store.value()->ReadRecord(a).ok());
+  s = store.value()->stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.page_writes, 2u);
+  EXPECT_EQ(s.page_reads, 1u);
+  (void)b;
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, KillAtBoundaryKeepsEveryFlushedRecord) {
+  // Kill-at-boundary resume: flush a prefix, keep writing (dirty pages
+  // in the pool), then die without write-back.  Reopen must serve every
+  // flushed record bit-exactly; un-flushed ones may be gone or DataLoss
+  // but never silently wrong.
+  const std::string path = TempPath("tp_store_kill.pages");
+  std::vector<RecordId> flushed_ids, unflushed_ids;
+  std::vector<std::string> flushed_payloads, unflushed_payloads;
+  {
+    auto store = FilePageStore::Open(SmallStore(path, 4));
+    ASSERT_TRUE(store.ok());
+    const size_t cap = store.value()->payload_capacity();
+    for (uint32_t i = 0; i < 8; ++i) {
+      flushed_payloads.push_back(Payload(2 * cap + i, i));
+      flushed_ids.push_back(store.value()
+                                ->WriteRecord(storage::kNewRecord,
+                                              flushed_payloads.back())
+                                .value());
+    }
+    ASSERT_TRUE(store.value()->Flush().ok());
+    for (uint32_t i = 0; i < 8; ++i) {
+      unflushed_payloads.push_back(Payload(2 * cap + i, 50 + i));
+      unflushed_ids.push_back(store.value()
+                                  ->WriteRecord(storage::kNewRecord,
+                                                unflushed_payloads.back())
+                                  .value());
+    }
+    store.value()->AbandonForTest();  // the kill
+    // Post-kill operations fail typed instead of crashing.
+    EXPECT_EQ(store.value()->ReadRecord(flushed_ids[0]).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  auto reopened = FilePageStore::Open(SmallStore(path, 4));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (size_t i = 0; i < flushed_ids.size(); ++i) {
+    auto read = reopened.value()->ReadRecord(flushed_ids[i]);
+    ASSERT_TRUE(read.ok()) << "flushed record " << i << " lost: "
+                           << read.status().ToString();
+    EXPECT_EQ(read.value(), flushed_payloads[i]);
+  }
+  for (size_t i = 0; i < unflushed_ids.size(); ++i) {
+    auto read = reopened.value()->ReadRecord(unflushed_ids[i]);
+    if (read.ok()) {
+      // Whatever the pool happened to write back before the kill must
+      // still read back exactly (page checksums passed).
+      EXPECT_EQ(read.value(), unflushed_payloads[i]) << "record " << i;
+    } else {
+      EXPECT_TRUE(read.status().code() == StatusCode::kNotFound ||
+                  read.status().code() == StatusCode::kDataLoss)
+          << read.status().ToString();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, CorruptedPagesAreRejectedNeverMisread) {
+  // Torn-page corpus: flip one byte at assorted offsets in one record's
+  // page and reopen.  Every corruption must surface as a typed error on
+  // that record (checksum quarantine), with other records intact; a
+  // flipped byte may never flow back out as data.
+  const std::string path = TempPath("tp_store_corrupt.pages");
+  const FilePageStoreOptions opt = SmallStore(path, 4);
+  RecordId victim = 0, bystander = 0;
+  std::string victim_payload, bystander_payload;
+  {
+    auto store = FilePageStore::Open(opt);
+    ASSERT_TRUE(store.ok());
+    const size_t cap = store.value()->payload_capacity();
+    victim_payload = Payload(2 * cap, 1);  // two-page chain
+    bystander_payload = Payload(cap / 2, 2);
+    victim =
+        store.value()->WriteRecord(storage::kNewRecord, victim_payload)
+            .value();
+    bystander =
+        store.value()->WriteRecord(storage::kNewRecord, bystander_payload)
+            .value();
+    ASSERT_TRUE(store.value()->Flush().ok());
+  }
+  std::string pristine;
+  ASSERT_TRUE(test::ReadFileToString(path, &pristine));
+  ASSERT_GE(pristine.size(), 3 * opt.page_size);
+
+  // Offsets inside page 0 (the victim's first page): checksum itself,
+  // record id, epoch, seq, payload length, payload head/middle/tail.
+  const std::vector<size_t> offsets = {0,  8,  16, 24,  28,
+                                       32, 64, 90, 127};
+  for (const size_t off : offsets) {
+    std::string mutated = pristine;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x5A);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(mutated.data(), 1, mutated.size(), f),
+              mutated.size());
+    std::fclose(f);
+
+    auto store = FilePageStore::Open(opt);
+    ASSERT_TRUE(store.ok()) << "off=" << off;
+    auto read = store.value()->ReadRecord(victim);
+    if (read.ok()) {
+      // Only acceptable if the flip landed in checksummed-but-unused
+      // padding can't happen (payload fills the page) — so the bytes
+      // must be exactly right if the read passes at all.
+      EXPECT_EQ(read.value(), victim_payload) << "off=" << off;
+    } else {
+      EXPECT_TRUE(read.status().code() == StatusCode::kDataLoss ||
+                  read.status().code() == StatusCode::kNotFound)
+          << "off=" << off << ": " << read.status().ToString();
+    }
+    // The corruption is page-local: the bystander record still reads.
+    auto other = store.value()->ReadRecord(bystander);
+    ASSERT_TRUE(other.ok()) << "off=" << off << ": "
+                            << other.status().ToString();
+    EXPECT_EQ(other.value(), bystander_payload) << "off=" << off;
+    EXPECT_GT(store.value()->stats().checksum_failures, 0u)
+        << "off=" << off << ": corruption went uncounted";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FilePageStoreTest, RejectsUnusableOptions) {
+  FilePageStoreOptions opt;
+  opt.path = TempPath("tp_store_badopts.pages");
+  opt.page_size = 16;  // below the page header
+  EXPECT_EQ(FilePageStore::Open(opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.page_size = 4096;
+  opt.pool_pages = 0;
+  EXPECT_EQ(FilePageStore::Open(opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- column codec
+
+TEST(ColumnCodecTest, RoundTripsBitExactlyIncludingNegInfinity) {
+  std::vector<double> col = {0.0,
+                             -0.0,
+                             1.0 / 3.0,
+                             -123.456e-78,
+                             std::numeric_limits<double>::denorm_min(),
+                             -std::numeric_limits<double>::max(),
+                             -std::numeric_limits<double>::infinity()};
+  const std::string encoded = storage::EncodeColumn(col.data(), col.size());
+  std::vector<double> out(col.size(), 42.0);
+  ASSERT_TRUE(storage::DecodeColumn(encoded, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(col.data(), out.data(), col.size() * sizeof(double)),
+            0);
+}
+
+TEST(ColumnCodecTest, RejectsTruncationGarbageAndNan) {
+  std::vector<double> col = {1.0, 2.0, 3.0};
+  const std::string encoded = storage::EncodeColumn(col.data(), col.size());
+  std::vector<double> out(3);
+  // Truncated at every byte.
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_EQ(storage::DecodeColumn(encoded.substr(0, cut), out.data(), 3)
+                  .code(),
+              StatusCode::kDataLoss)
+        << "cut=" << cut;
+  }
+  // Trailing garbage, wrong count, malformed line, NaN.
+  EXPECT_FALSE(storage::DecodeColumn(encoded + "junk", out.data(), 3).ok());
+  EXPECT_FALSE(storage::DecodeColumn(encoded, out.data(), 2).ok());
+  EXPECT_FALSE(storage::DecodeColumn("hello\n", out.data(), 1).ok());
+  EXPECT_FALSE(storage::DecodeColumn("nan\n", out.data(), 1).ok());
+}
+
+// ------------------------------------------------- engine spill / fault
+
+TrajectoryDataset MakeMiningData() {
+  PlantedPatternOptions opt;
+  opt.pattern = {Point2(0.15, 0.15), Point2(0.35, 0.35), Point2(0.55, 0.55),
+                 Point2(0.75, 0.75), Point2(0.95, 0.95)};
+  opt.num_with_pattern = 20;
+  opt.num_background = 8;
+  opt.num_snapshots = 10;
+  opt.seed = 7;
+  return GeneratePlantedPatterns(opt);
+}
+
+MiningSpace MakeSpace() { return MiningSpace(Grid::UnitSquare(8), 0.125); }
+
+MinerOptions MakeOptions() {
+  MinerOptions opt;
+  opt.k = 10;
+  opt.min_length = 2;
+  opt.max_pattern_length = 5;
+  return opt;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredPattern>& a,
+                        const std::vector<ScoredPattern>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pattern, b[i].pattern) << "rank " << i;
+    EXPECT_EQ(std::memcmp(&a[i].nm, &b[i].nm, sizeof(double)), 0)
+        << "rank " << i;
+  }
+}
+
+TEST(EngineSpillTest, BudgetedMiningWithColumnStoreIsBitIdentical) {
+  const TrajectoryDataset data = MakeMiningData();
+  const MiningSpace space = MakeSpace();
+
+  // Reference: RAM-resident, no budget, no store.
+  NmEngine ram(data, space);
+  const MiningResult want = MineTrajPatterns(ram, MakeOptions());
+  ASSERT_FALSE(want.stats.aborted);
+  ASSERT_GT(ram.arena_peak_bytes(), 0u);
+
+  // Out-of-core: a budget a quarter of the RAM peak forces eviction,
+  // and the attached store turns those evictions into spills.
+  for (const bool use_file : {false, true}) {
+    const std::string path = TempPath("tp_engine_spill.pages");
+    std::unique_ptr<storage::PageStore> store;
+    if (use_file) {
+      FilePageStoreOptions sopt;
+      sopt.path = path;
+      sopt.page_size = 1024;
+      sopt.pool_pages = 8;
+      auto opened = FilePageStore::Open(sopt);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store = std::move(opened).value();
+    } else {
+      store = std::make_unique<MemoryPageStore>();
+    }
+    NmEngine engine(data, space);
+    engine.AttachColumnStore(store.get());
+    MinerOptions opt = MakeOptions();
+    opt.run.memory_budget_bytes =
+        std::max(ram.arena_peak_bytes() / 4, 4 * engine.column_bytes());
+    const MiningResult got = MineTrajPatterns(engine, opt);
+    ASSERT_FALSE(got.stats.aborted)
+        << StopReasonName(got.stats.stop_reason);
+
+    ExpectBitIdentical(got.patterns, want.patterns);
+    EXPECT_GT(engine.columns_spilled(), 0u) << "budget never evicted";
+    EXPECT_GT(engine.columns_faulted(), 0u) << "spills never re-read";
+    EXPECT_LE(engine.arena_peak_bytes(), opt.run.memory_budget_bytes);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(EngineSpillTest, FaultInSurvivesAStoreThatLosesRecords) {
+  // Self-healing contract: if the store cannot produce the bits, the
+  // engine silently recomputes — answers never depend on store health.
+  const TrajectoryDataset data = MakeMiningData();
+  const MiningSpace space = MakeSpace();
+  NmEngine ram(data, space);
+  const MiningResult want = MineTrajPatterns(ram, MakeOptions());
+
+  class LossyStore final : public storage::PageStore {
+   public:
+    StatusOr<std::string> ReadRecord(RecordId) override {
+      return Status::DataLoss("lost");
+    }
+    StatusOr<RecordId> WriteRecord(RecordId, const std::string&) override {
+      return next_++;
+    }
+    Status EraseRecord(RecordId) override { return Status::Ok(); }
+    Status Flush() override { return Status::Ok(); }
+    std::string name() const override { return "lossy"; }
+
+   private:
+    RecordId next_ = 0;
+  };
+  LossyStore store;
+  NmEngine engine(data, space);
+  engine.AttachColumnStore(&store);
+  MinerOptions opt = MakeOptions();
+  opt.run.memory_budget_bytes =
+      std::max(ram.arena_peak_bytes() / 4, 4 * engine.column_bytes());
+  const MiningResult got = MineTrajPatterns(engine, opt);
+  ASSERT_FALSE(got.stats.aborted);
+  ExpectBitIdentical(got.patterns, want.patterns);
+  EXPECT_EQ(engine.columns_faulted(), 0u);
+}
+
+// -------------------------------------------------------- paged R-tree
+
+BoundingBox BoxAt(std::mt19937* rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  const double x = u(*rng), y = u(*rng);
+  const double w = 0.05 * u(*rng), h = 0.05 * u(*rng);
+  return BoundingBox(Point2(x, y), Point2(x + w, y + h));
+}
+
+TEST(PagedRTreeTest, MatchesInMemoryOracleOnRandomWorkload) {
+  MemoryPageStore store;
+  auto opened = PagedRTree::Open(&store, 8);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  PagedRTree& paged = *opened.value();
+  RTree oracle(8);
+
+  std::mt19937 rng(42);
+  for (int64_t i = 0; i < 300; ++i) {
+    const BoundingBox box = BoxAt(&rng);
+    ASSERT_TRUE(paged.Insert(i, box).ok());
+    oracle.Insert(i, box);
+  }
+  EXPECT_EQ(paged.size(), 300u);
+  EXPECT_EQ(paged.height(), oracle.height());
+  ASSERT_TRUE(paged.CheckInvariants().ok())
+      << paged.CheckInvariants().ToString();
+  EXPECT_TRUE(oracle.CheckInvariants());
+
+  for (int q = 0; q < 50; ++q) {
+    BoundingBox query = BoxAt(&rng);
+    query.Inflate(0.1);
+    auto got = paged.QueryIntersects(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), oracle.QueryIntersects(query)) << "query " << q;
+  }
+  for (int q = 0; q < 50; ++q) {
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    const Point2 p(u(rng), u(rng));
+    auto got = paged.QueryPoint(p);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), oracle.QueryPoint(p)) << "point query " << q;
+  }
+}
+
+TEST(PagedRTreeTest, PersistsAcrossFlushAndReopen) {
+  const std::string path = TempPath("tp_rtree.pages");
+  FilePageStoreOptions opt;
+  opt.path = path;
+  opt.page_size = 512;
+  opt.pool_pages = 4;  // smaller than the tree: queries page nodes in
+  RTree oracle(6);
+  std::mt19937 rng(7);
+  std::vector<BoundingBox> boxes;
+  {
+    auto store = FilePageStore::Open(opt);
+    ASSERT_TRUE(store.ok());
+    auto tree = PagedRTree::Open(store.value().get(), 6);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    for (int64_t i = 0; i < 120; ++i) {
+      boxes.push_back(BoxAt(&rng));
+      ASSERT_TRUE(tree.value()->Insert(i, boxes.back()).ok());
+      oracle.Insert(i, boxes.back());
+    }
+    ASSERT_TRUE(tree.value()->Flush().ok());
+  }
+  auto store = FilePageStore::Open(opt);
+  ASSERT_TRUE(store.ok());
+  auto tree = PagedRTree::Open(store.value().get());
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree.value()->size(), 120u);
+  EXPECT_EQ(tree.value()->max_entries(), 6);  // stored fan-out wins
+  ASSERT_TRUE(tree.value()->CheckInvariants().ok());
+  for (int q = 0; q < 40; ++q) {
+    BoundingBox query = BoxAt(&rng);
+    query.Inflate(0.1);
+    auto got = tree.value()->QueryIntersects(query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), oracle.QueryIntersects(query)) << "query " << q;
+  }
+  // Inserts keep working against the reopened image.
+  for (int64_t i = 120; i < 140; ++i) {
+    boxes.push_back(BoxAt(&rng));
+    ASSERT_TRUE(tree.value()->Insert(i, boxes.back()).ok());
+    oracle.Insert(i, boxes.back());
+  }
+  ASSERT_TRUE(tree.value()->CheckInvariants().ok());
+  BoundingBox all = BoundingBox::UnitSquare();
+  all.Inflate(1.0);
+  EXPECT_EQ(tree.value()->QueryIntersects(all).value(),
+            oracle.QueryIntersects(all));
+  EXPECT_GT(store.value()->stats().misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PagedRTreeTest, RefusesAStoreHoldingSomethingElse) {
+  MemoryPageStore store;
+  ASSERT_TRUE(store.WriteRecord(storage::kNewRecord, "not a header").ok());
+  auto tree = PagedRTree::Open(&store);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(PagedRTree::Open(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------- registry + JSON surface
+
+TEST(StorageRegistryTest, AggregatesLiveAndRetiredStores) {
+  const StorageStats before = storage::AggregateStorageStats();
+  {
+    MemoryPageStore store;
+    auto id = store.WriteRecord(storage::kNewRecord, "x");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(store.ReadRecord(id.value()).ok());
+    const StorageStats live = storage::AggregateStorageStats();
+    EXPECT_EQ(live.hits, before.hits + 1);
+  }  // destroyed: stats fold into the retired total
+  const StorageStats after = storage::AggregateStorageStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.page_writes, before.page_writes + 1);
+
+  std::string json;
+  storage::AppendStorageStatsJson(&json);
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"page_reads\""), std::string::npos);
+  EXPECT_NE(json.find("\"evictions\""), std::string::npos);
+}
+
+// ------------------------------------- bench JsonWriter escaping (bugfix)
+
+TEST(JsonWriterTest, EscapesControlCharactersToValidJson) {
+  // Regression: AppendQuoted used to pass raw control characters
+  // through, producing artifacts no strict parser would accept.
+  std::string nasty = "tab\there\nnewline\rcr";
+  nasty.push_back('\x01');
+  nasty.push_back('\x1f');
+  nasty += "quote\"backslash\\done";
+
+  bench::JsonWriter w;
+  w.BeginObject();
+  w.Key(nasty).Str(nasty);
+  w.Key("plain").Str("ok");
+  w.EndObject();
+  const std::string& json = w.str();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u001f"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  // The writer's own pretty-printing newlines are the only raw control
+  // characters allowed in the artifact.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n')
+        << "raw control character leaked into the artifact";
+  }
+}
+
+}  // namespace
+}  // namespace trajpattern
